@@ -1,0 +1,23 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper and prints the
+reproduced rows/series so the output can be compared against the original
+(see EXPERIMENTS.md for the side-by-side record).  Heavy computations run
+exactly once per benchmark (``rounds=1``) — the interesting output is the
+reproduced data, not a timing distribution.
+"""
+
+from __future__ import annotations
+
+
+def run_once(benchmark, function):
+    """Run ``function`` exactly once under pytest-benchmark and return it."""
+    return benchmark.pedantic(function, rounds=1, iterations=1)
+
+
+def print_table(title: str, header: str, rows) -> None:
+    """Print a small aligned table (captured by pytest unless -s is used)."""
+    print(f"\n{title}")
+    print(header)
+    for row in rows:
+        print(row)

@@ -1,0 +1,40 @@
+"""Ablation — Butler matrix vs ideal beamforming across all node pairs.
+
+Design question from DESIGN.md: how much transmit power does the
+Butler-matrix complexity trade-off cost across the whole board-to-board
+geometry (not just the worst-case diagonal link of Table I)?
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.channel import BoardToBoardGeometry, LinkBudget
+
+TARGET_SNR_DB = 20.0
+
+
+def _reproduce():
+    geometry = BoardToBoardGeometry.paper_geometry()
+    budget = LinkBudget()
+    rows = []
+    for distance in np.unique(np.round(geometry.link_distances_m(), 6)):
+        ideal = float(budget.required_tx_power_dbm(TARGET_SNR_DB, distance))
+        butler = float(budget.required_tx_power_dbm(TARGET_SNR_DB, distance,
+                                                    include_butler_mismatch=True))
+        rows.append({"distance_mm": distance * 1e3, "ideal_dbm": ideal,
+                     "butler_dbm": butler})
+    return rows
+
+
+def test_ablation_butler_matrix_penalty(benchmark):
+    results = run_once(benchmark, _reproduce)
+    rows = [f"  {r['distance_mm']:9.1f} {r['ideal_dbm']:11.1f} "
+            f"{r['butler_dbm']:12.1f}" for r in results]
+    print_table(f"Ablation — TX power for {TARGET_SNR_DB:.0f} dB SNR: ideal vs "
+                "Butler-matrix beamforming",
+                "  dist [mm]  ideal [dBm]  Butler [dBm]", rows)
+    for entry in results:
+        assert entry["butler_dbm"] - entry["ideal_dbm"] == 5.0
+    # Distances (and therefore powers) increase monotonically.
+    powers = [entry["ideal_dbm"] for entry in results]
+    assert powers == sorted(powers)

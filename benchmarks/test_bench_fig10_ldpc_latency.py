@@ -1,0 +1,137 @@
+"""Fig. 10 — required Eb/N0 vs structural decoding latency.
+
+Paper series: (4,8)-regular LDPC-CC (B0 = [2,2], B1 = B2 = [1,1]) with
+lifting factors N = 25, 40, 60 and window sizes W = 3..8, against the
+(4,8)-regular LDPC block code, all at a BER target of 1e-5.
+
+Reproduction notes (see EXPERIMENTS.md):
+
+* The asymptotic placement of every configuration comes from
+  window-decoding density evolution (fast and deterministic).
+* The finite-length effect of the lifting factor is measured with the
+  Monte-Carlo harness at a reduced BER target of 1e-3 (a laptop-feasible
+  substitute for the paper's 1e-5); the *shape* claims — LDPC-CC beats the
+  block code at equal latency, larger W helps with diminishing returns,
+  larger N helps at fixed W — are asserted on the measured data.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.coding import (
+    BerSimulator,
+    LdpcBlockCode,
+    LdpcConvolutionalCode,
+    PAPER_BLOCK_PROTOGRAPH,
+    WindowDecoder,
+    block_code_structural_latency,
+    gaussian_de_threshold,
+    paper_edge_spreading,
+    required_ebn0_db,
+    window_de_threshold,
+    window_decoder_structural_latency,
+)
+
+RATE = 0.5
+TARGET_BER = 1e-3
+TERMINATION_LENGTH = 12
+DE_WINDOWS = (3, 4, 5, 6, 7, 8)
+MC_CONFIGS = (
+    # (lifting factor N, window size W)
+    (25, 3), (25, 5), (25, 8),
+    (40, 3), (40, 5), (40, 8),
+)
+BLOCK_LIFTING_FACTORS = (100, 200, 400)
+
+
+def _measure_cc(lifting_factor: int, window: int) -> float:
+    code = LdpcConvolutionalCode(paper_edge_spreading(), lifting_factor,
+                                 TERMINATION_LENGTH, rng=0)
+    decoder = WindowDecoder(code, window_size=window, max_iterations=40)
+    simulator = BerSimulator(code.n, RATE, decoder.decode_bits)
+    return required_ebn0_db(simulator, TARGET_BER, low_db=0.5, high_db=6.0,
+                            tolerance_db=0.25, n_codewords=25, rng=3)
+
+
+def _measure_bc(lifting_factor: int) -> float:
+    code = LdpcBlockCode(PAPER_BLOCK_PROTOGRAPH, lifting_factor, rng=0)
+    simulator = BerSimulator(code.n, RATE,
+                             lambda llrs: code.decode(llrs).hard_decisions)
+    return required_ebn0_db(simulator, TARGET_BER, low_db=0.5, high_db=6.0,
+                            tolerance_db=0.25, n_codewords=60, rng=3)
+
+
+def _reproduce_figure():
+    spreading = paper_edge_spreading()
+    de_thresholds = {window: window_de_threshold(spreading, window, rate=RATE)
+                     for window in DE_WINDOWS}
+    block_threshold = gaussian_de_threshold(PAPER_BLOCK_PROTOGRAPH, rate=RATE)
+    cc_points = []
+    for lifting_factor, window in MC_CONFIGS:
+        latency = window_decoder_structural_latency(window, lifting_factor, 2,
+                                                    RATE)
+        cc_points.append({
+            "N": lifting_factor,
+            "W": window,
+            "latency": latency,
+            "required_ebn0_db": _measure_cc(lifting_factor, window),
+            "de_threshold_db": de_thresholds[window],
+        })
+    bc_points = []
+    for lifting_factor in BLOCK_LIFTING_FACTORS:
+        bc_points.append({
+            "N": lifting_factor,
+            "latency": block_code_structural_latency(lifting_factor, 2, RATE),
+            "required_ebn0_db": _measure_bc(lifting_factor),
+            "de_threshold_db": block_threshold,
+        })
+    return {"cc": cc_points, "bc": bc_points,
+            "de_thresholds": de_thresholds,
+            "block_threshold": block_threshold}
+
+
+def test_fig10_required_ebn0_vs_latency(benchmark):
+    data = run_once(benchmark, _reproduce_figure)
+    rows = [
+        f"  LDPC-CC N={p['N']:3d} W={p['W']}  latency {p['latency']:6.0f}  "
+        f"required {p['required_ebn0_db']:5.2f} dB  "
+        f"(DE threshold {p['de_threshold_db']:4.2f} dB)"
+        for p in data["cc"]
+    ] + [
+        f"  LDPC-BC N={p['N']:3d}      latency {p['latency']:6.0f}  "
+        f"required {p['required_ebn0_db']:5.2f} dB  "
+        f"(DE threshold {p['de_threshold_db']:4.2f} dB)"
+        for p in data["bc"]
+    ]
+    print_table("Fig. 10 — required Eb/N0 vs structural latency "
+                f"(BER target {TARGET_BER:g})",
+                "  configuration", rows)
+
+    cc = {(p["N"], p["W"]): p for p in data["cc"]}
+    bc = {p["N"]: p for p in data["bc"]}
+    de = data["de_thresholds"]
+
+    # (1) Window-decoding thresholds improve with W, with diminishing returns.
+    assert de[3] > de[4] > de[5] >= de[6] >= de[7] >= de[8]
+    assert (de[3] - de[4]) > (de[7] - de[8])
+    # (2) Every coupled threshold beats the block-code threshold.
+    assert max(de.values()) < data["block_threshold"]
+    # (3) Larger W lowers the measured required Eb/N0 at fixed N
+    #     (allowing Monte-Carlo slack of half the search resolution).
+    for lifting_factor in (25, 40):
+        assert cc[(lifting_factor, 8)]["required_ebn0_db"] <= \
+            cc[(lifting_factor, 3)]["required_ebn0_db"] + 0.13
+    # (4) Larger N does not hurt at fixed W (finite-length gain).
+    assert cc[(40, 5)]["required_ebn0_db"] <= \
+        cc[(25, 5)]["required_ebn0_db"] + 0.13
+    # (5) The paper's headline: at equal structural latency (200 information
+    #     bits) the LDPC-CC needs no more Eb/N0 than the LDPC-BC, and the
+    #     block code needs about twice the latency to catch up.
+    assert cc[(40, 5)]["latency"] == bc[200]["latency"] == 200.0
+    assert cc[(40, 5)]["required_ebn0_db"] <= \
+        bc[200]["required_ebn0_db"] + 0.13
+    assert bc[400]["required_ebn0_db"] <= bc[200]["required_ebn0_db"] + 0.13
+    # (6) Latencies follow Eqs. (4) and (5).
+    assert cc[(25, 3)]["latency"] == 75.0
+    assert cc[(40, 8)]["latency"] == 320.0
+    assert bc[400]["latency"] == 400.0

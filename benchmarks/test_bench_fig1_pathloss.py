@@ -1,0 +1,73 @@
+"""Fig. 1 — pathloss vs distance: model, synthetic measurements, fits.
+
+Paper series: computed pathloss n = 2.000 (free space), measured free-space
+data, computed pathloss n = 2.0454 (parallel copper boards), measured
+copper-board data, and the free-space curves shifted by the horn
+(2 x 9.5 dB) and array (2 x 12 dB) gains.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.channel import LogDistancePathLossModel, SyntheticVNA
+from repro.channel.fitting import fit_from_sweeps, pathloss_samples_from_sweeps
+
+CENTER_FREQUENCY_HZ = 232.5e9
+HORN_GAIN_DB = 2 * 9.5
+ARRAY_GAIN_DB = 2 * 12.0
+
+
+def _reproduce_figure():
+    vna = SyntheticVNA(n_points=1024, rng=1)
+    distances = np.linspace(0.02, 0.2, 12)
+    free_sweeps = vna.distance_sweep(distances, "freespace")
+    copper_sweeps = [vna.measure_parallel_copper_boards(float(d))
+                     for d in np.linspace(0.05, 0.2, 10)]
+    free_fit = fit_from_sweeps(free_sweeps, antenna_gain_db=HORN_GAIN_DB)
+    copper_fit = fit_from_sweeps(copper_sweeps, antenna_gain_db=HORN_GAIN_DB)
+    model = LogDistancePathLossModel.free_space(CENTER_FREQUENCY_HZ)
+    grid = np.linspace(0.02, 0.2, 7)
+    return {
+        "free_fit": free_fit,
+        "copper_fit": copper_fit,
+        "grid_mm": grid * 1e3,
+        "isotropic_db": np.asarray(model.path_loss_db(grid)),
+        "with_horn_db": np.asarray(
+            model.with_antenna_gain_db(HORN_GAIN_DB).path_loss_db(grid)),
+        "with_array_db": np.asarray(
+            model.with_antenna_gain_db(ARRAY_GAIN_DB).path_loss_db(grid)),
+        "measured_free": pathloss_samples_from_sweeps(free_sweeps,
+                                                      HORN_GAIN_DB),
+        "measured_copper": pathloss_samples_from_sweeps(copper_sweeps,
+                                                        HORN_GAIN_DB),
+    }
+
+
+def test_fig1_pathloss_model_and_fits(benchmark):
+    data = run_once(benchmark, _reproduce_figure)
+    rows = [
+        f"  {d:6.0f} {iso:12.1f} {horn:12.1f} {arr:12.1f}"
+        for d, iso, horn, arr in zip(data["grid_mm"], data["isotropic_db"],
+                                     data["with_horn_db"],
+                                     data["with_array_db"])
+    ]
+    print_table("Fig. 1 — pathloss vs distance (dB)",
+                "  d[mm]   isotropic    +2x9.5dB     +2x12dB", rows)
+    print(f"  fitted exponent, free space          : "
+          f"{data['free_fit'].exponent:.4f}  (paper: 2.000)")
+    print(f"  fitted exponent, parallel copper     : "
+          f"{data['copper_fit'].exponent:.4f}  (paper: 2.0454)")
+    # Shape assertions: the fitted exponents reproduce the paper's values
+    # and the measured points track the computed model.
+    assert abs(data["free_fit"].exponent - 2.000) < 0.01
+    assert abs(data["copper_fit"].exponent - 2.0454) < 0.03
+    distances, losses = data["measured_free"]
+    model_losses = data["isotropic_db"]
+    assert np.all(np.diff(losses) > 0)
+    assert data["free_fit"].rms_error_db < 0.5
+    assert data["copper_fit"].rms_error_db < 0.5
+    # Antenna gains shift the curve down by exactly the gain.
+    np.testing.assert_allclose(data["isotropic_db"] - data["with_horn_db"],
+                               HORN_GAIN_DB)
+    np.testing.assert_allclose(data["isotropic_db"] - data["with_array_db"],
+                               ARRAY_GAIN_DB)

@@ -1,0 +1,45 @@
+"""Fig. 4 — required transmit power vs target SNR.
+
+Paper series: shortest link (100 mm), longest link (300 mm) and longest
+link with the Butler-matrix direction mismatch, for SNR targets 0-35 dB.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.channel import LinkBudget
+
+
+def _reproduce_figure():
+    budget = LinkBudget()
+    snrs = np.arange(0.0, 36.0, 5.0)
+    return {
+        "snrs": snrs,
+        "short": np.asarray(budget.required_tx_power_dbm(snrs, 0.1)),
+        "long": np.asarray(budget.required_tx_power_dbm(snrs, 0.3)),
+        "long_butler": np.asarray(
+            budget.required_tx_power_dbm(snrs, 0.3, True)),
+    }
+
+
+def test_fig4_required_tx_power(benchmark):
+    data = run_once(benchmark, _reproduce_figure)
+    rows = [f"  {snr:6.0f} {s:10.1f} {l:10.1f} {b:14.1f}"
+            for snr, s, l, b in zip(data["snrs"], data["short"], data["long"],
+                                    data["long_butler"])]
+    print_table("Fig. 4 — required TX power [dBm]",
+                "  SNR[dB]   100 mm     300 mm    300 mm+Butler", rows)
+    # Curve ordering and spacings of the paper.
+    assert np.all(data["short"] < data["long"])
+    assert np.all(data["long"] < data["long_butler"])
+    np.testing.assert_allclose(data["long"] - data["short"], 9.54, atol=0.1)
+    np.testing.assert_allclose(data["long_butler"] - data["long"], 5.0,
+                               atol=1e-9)
+    # All three curves are straight lines with slope 1 dB/dB.
+    for curve in ("short", "long", "long_butler"):
+        np.testing.assert_allclose(np.diff(data[curve]), 5.0, atol=1e-9)
+    # Anchor points: roughly -15 dBm at 0 dB SNR and 20 dBm at 35 dB SNR for
+    # the shortest link; the worst case tops out near 40 dBm (as in Fig. 4).
+    assert -20.0 < data["short"][0] < -10.0
+    assert 15.0 < data["short"][-1] < 25.0
+    assert 33.0 < data["long_butler"][-1] < 45.0

@@ -1,0 +1,75 @@
+"""Fig. 5 — impulse responses of the four ISI filter designs.
+
+Paper panels: (a) rectangular pulse without ISI, (b) ISI optimised for
+symbol-by-symbol detection at 25 dB, (c) ISI optimised for sequence
+detection at 25 dB, (d) the noise-agnostic suboptimal design based on
+unique detection.  The benchmark regenerates the four designs (the two
+optimised ones via the shipped optimiser results), reports their taps and
+verifies their defining properties.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.phy import (
+    rectangular_pulse,
+    sequence_optimized_pulse,
+    suboptimal_unique_detection_pulse,
+    symbolwise_optimized_pulse,
+    symbolwise_information_rate,
+    sequence_information_rate,
+    unique_detection_fraction,
+)
+
+DESIGN_SNR_DB = 25.0
+
+
+def _reproduce_figure():
+    designs = {
+        "(a) rectangular, no ISI": rectangular_pulse(5),
+        "(b) optimal ISI, symbol-by-symbol": symbolwise_optimized_pulse(),
+        "(c) optimal ISI, sequence detection": sequence_optimized_pulse(),
+        "(d) suboptimal unique-detection": suboptimal_unique_detection_pulse(),
+    }
+    properties = {}
+    for label, pulse in designs.items():
+        properties[label] = {
+            "taps": pulse.taps,
+            "unique_detection": unique_detection_fraction(pulse),
+            "symbolwise_rate": symbolwise_information_rate(pulse,
+                                                           DESIGN_SNR_DB),
+            "sequence_rate": sequence_information_rate(pulse, DESIGN_SNR_DB,
+                                                       n_symbols=6_000, rng=0),
+        }
+    return properties
+
+
+def test_fig5_isi_filter_designs(benchmark):
+    data = run_once(benchmark, _reproduce_figure)
+    rows = []
+    for label, props in data.items():
+        rows.append(f"  {label:38s} unique={props['unique_detection']:4.2f} "
+                    f"I_sym={props['symbolwise_rate']:5.2f} "
+                    f"I_seq={props['sequence_rate']:5.2f}")
+        rows.append(f"      taps: {np.round(props['taps'], 3)}")
+    print_table("Fig. 5 — ISI filter designs at 25 dB SNR",
+                "  design                                   properties", rows)
+    rect = data["(a) rectangular, no ISI"]
+    symbolwise = data["(b) optimal ISI, symbol-by-symbol"]
+    sequence = data["(c) optimal ISI, sequence detection"]
+    suboptimal = data["(d) suboptimal unique-detection"]
+    # (a) has no ISI and therefore no unique detection of 4-ASK.
+    assert rect["unique_detection"] == 0.0
+    assert np.allclose(rect["taps"][5:] if rect["taps"].size > 5 else 0.0, 0.0)
+    # (b) beats the rectangular pulse for symbol-by-symbol detection.
+    assert symbolwise["symbolwise_rate"] > rect["symbolwise_rate"] + 0.3
+    # (c) beats (b) under sequence detection.
+    assert sequence["sequence_rate"] > symbolwise["symbolwise_rate"]
+    assert sequence["sequence_rate"] > 1.85
+    # (d) is designed purely for unique detection and achieves it fully.
+    assert suboptimal["unique_detection"] == 1.0
+    # The designed pulses all spread energy into the following symbol.
+    for label in ("(b) optimal ISI, symbol-by-symbol",
+                  "(c) optimal ISI, sequence detection",
+                  "(d) suboptimal unique-detection"):
+        assert np.max(np.abs(data[label]["taps"][5:])) > 0.1

@@ -1,0 +1,97 @@
+"""Fig. 6 — information rates of 4-ASK with 1-bit oversampling receivers.
+
+Paper series (SNR -5 ... 35 dB): max information rate 1-bit oversampled
+(sequence detection), the same restricted to symbol-wise detection, the
+rectangular pulse with 1-bit oversampling, 1-bit without oversampling, the
+unquantised reference and the proposed suboptimal design.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.phy import (
+    ask_awgn_information_rate,
+    one_bit_no_oversampling_rate,
+    rectangular_pulse,
+    sequence_information_rate,
+    sequence_optimized_pulse,
+    suboptimal_unique_detection_pulse,
+    symbolwise_information_rate,
+    symbolwise_optimized_pulse,
+)
+
+SNRS_DB = np.array([-5.0, 0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0])
+N_SYMBOLS = 8_000
+
+
+def _reproduce_figure():
+    candidate_pulses = (rectangular_pulse(5), sequence_optimized_pulse(),
+                        suboptimal_unique_detection_pulse())
+    curves = {label: [] for label in
+              ("max_sequence", "max_symbolwise", "rect_oversampled",
+               "one_bit_no_os", "no_quantization", "suboptimal")}
+    for snr in SNRS_DB:
+        # "Max information rate" = best available design at this SNR, which
+        # is how the per-SNR-optimised curve of the paper is emulated.
+        curves["max_sequence"].append(max(
+            sequence_information_rate(pulse, snr, n_symbols=N_SYMBOLS, rng=0)
+            for pulse in candidate_pulses))
+        curves["max_symbolwise"].append(max(
+            symbolwise_information_rate(pulse, snr)
+            for pulse in (rectangular_pulse(5), symbolwise_optimized_pulse())))
+        curves["rect_oversampled"].append(
+            symbolwise_information_rate(rectangular_pulse(5), snr))
+        curves["one_bit_no_os"].append(one_bit_no_oversampling_rate(snr))
+        curves["no_quantization"].append(ask_awgn_information_rate(snr))
+        curves["suboptimal"].append(sequence_information_rate(
+            suboptimal_unique_detection_pulse(), snr, n_symbols=N_SYMBOLS,
+            rng=0))
+    return {label: np.asarray(values) for label, values in curves.items()}
+
+
+def test_fig6_information_rates(benchmark):
+    curves = run_once(benchmark, _reproduce_figure)
+    rows = []
+    for index, snr in enumerate(SNRS_DB):
+        rows.append(
+            f"  {snr:5.0f} {curves['no_quantization'][index]:9.3f} "
+            f"{curves['max_sequence'][index]:9.3f} "
+            f"{curves['suboptimal'][index]:9.3f} "
+            f"{curves['max_symbolwise'][index]:9.3f} "
+            f"{curves['rect_oversampled'][index]:9.3f} "
+            f"{curves['one_bit_no_os'][index]:9.3f}")
+    print_table("Fig. 6 — information rate [bpcu] vs SNR",
+                "  SNR     noQuant   maxSeq    subopt   maxSymb  rect-OS  "
+                "1bit-noOS", rows)
+    high_snr = slice(-3, None)
+    # The unquantised curve upper-bounds every 1-bit scheme and reaches 2.
+    for label in ("max_sequence", "max_symbolwise", "rect_oversampled",
+                  "one_bit_no_os", "suboptimal"):
+        assert np.all(curves[label] <= curves["no_quantization"] + 0.05), label
+    assert curves["no_quantization"][-1] > 1.99
+    # 1-bit without oversampling and the rectangular pulse saturate at 1 bpcu.
+    assert abs(curves["one_bit_no_os"][-1] - 1.0) < 0.02
+    assert abs(curves["rect_oversampled"][-1] - 1.0) < 0.02
+    # Oversampling with the rectangular pulse beats no oversampling at
+    # moderate SNR (the paper's first observation).
+    mid = SNRS_DB.tolist().index(10.0)
+    assert curves["rect_oversampled"][mid] > curves["one_bit_no_os"][mid] + 0.2
+    # Designed ISI + sequence estimation recovers almost the full 2 bpcu.
+    assert curves["max_sequence"][-1] > 1.95
+    assert curves["suboptimal"][-1] > 1.9
+    # Sequence detection beats symbol-wise detection, which beats rect.
+    assert np.all(curves["max_sequence"][high_snr] >=
+                  curves["max_symbolwise"][high_snr] - 0.02)
+    assert curves["max_symbolwise"][-1] > curves["rect_oversampled"][-1] + 0.3
+    # The reference curves and the sequence-detection curves increase with
+    # SNR.  The rectangular-pulse curve is deliberately excluded: like in
+    # the paper it peaks above 1 bpcu at moderate SNR (noise acts as a
+    # useful dither) and falls back to 1 bpcu at high SNR; the symbol-wise
+    # curve targets the 25 dB design point and rolls off beyond it.
+    for label in ("no_quantization", "one_bit_no_os", "max_sequence",
+                  "suboptimal"):
+        assert np.all(np.diff(curves[label]) > -0.05), label
+    assert np.all(np.diff(curves["max_symbolwise"][:7]) > -0.05)
+    peak_rect = float(np.max(curves["rect_oversampled"]))
+    assert peak_rect > 1.2
+    assert peak_rect > curves["rect_oversampled"][-1] + 0.2

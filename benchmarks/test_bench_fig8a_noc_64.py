@@ -1,0 +1,70 @@
+"""Fig. 8(a) — mean packet latency vs injection rate, 64 modules.
+
+Paper series: 8x8 2D mesh, 4x4x4 star-mesh and 4x4x4 3D mesh under uniform
+Poisson traffic; zero-load latencies about 13 / 7 / 10 cycles and
+saturation throughputs about 0.41 / 0.19 / 0.75 flits/cycle/module.
+"""
+
+import numpy as np
+
+from conftest import print_table, run_once
+from repro.noc import AnalyticNocModel, Mesh2D, Mesh3D, StarMesh
+
+INJECTION_RATES = np.array([0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6,
+                            0.7, 0.8])
+
+PAPER_VALUES = {
+    "8x8 2D mesh": {"zero_load": 13.0, "saturation": 0.41},
+    "4x4x4 star-mesh": {"zero_load": 7.0, "saturation": 0.19},
+    "4x4x4 3D mesh": {"zero_load": 10.0, "saturation": 0.75},
+}
+
+
+def _reproduce_figure():
+    topologies = [Mesh2D(8, 8), StarMesh(4, 4, concentration=4),
+                  Mesh3D(4, 4, 4)]
+    results = {}
+    for topology in topologies:
+        model = AnalyticNocModel(topology)
+        curve = model.latency_curve(INJECTION_RATES)
+        results[topology.name] = {
+            "latency": curve.mean_latency_cycles,
+            "zero_load": model.zero_load_latency(),
+            "saturation": model.saturation_rate(),
+        }
+    return results
+
+
+def test_fig8a_latency_64_modules(benchmark):
+    results = run_once(benchmark, _reproduce_figure)
+    rows = []
+    for index, rate in enumerate(INJECTION_RATES):
+        cells = []
+        for name in PAPER_VALUES:
+            latency = results[name]["latency"][index]
+            cells.append(f"{latency:12.1f}" if np.isfinite(latency)
+                         else f"{'sat':>12s}")
+        rows.append(f"  {rate:5.2f}" + "".join(cells))
+    print_table("Fig. 8(a) — mean latency [cycles] vs injection rate, 64 modules",
+                "  rate      2D mesh    star-mesh      3D mesh", rows)
+    for name, paper in PAPER_VALUES.items():
+        reproduced = results[name]
+        print(f"  {name:18s} zero-load {reproduced['zero_load']:5.1f} "
+              f"(paper {paper['zero_load']:4.1f}), saturation "
+              f"{reproduced['saturation']:5.2f} (paper {paper['saturation']:4.2f})")
+    # Zero-load latencies land within one cycle of the paper.
+    for name, paper in PAPER_VALUES.items():
+        assert abs(results[name]["zero_load"] - paper["zero_load"]) <= 1.0, name
+    # Saturation ordering and rough values: star < 2D < 3D.
+    star = results["4x4x4 star-mesh"]["saturation"]
+    mesh2d = results["8x8 2D mesh"]["saturation"]
+    mesh3d = results["4x4x4 3D mesh"]["saturation"]
+    assert star < mesh2d < mesh3d
+    assert abs(mesh2d - 0.41) <= 0.05
+    assert abs(star - 0.19) <= 0.04
+    assert abs(mesh3d - 0.75) <= 0.12
+    # Latency ordering at low traffic: star < 3D < 2D (Fig. 8a).
+    low = 0
+    assert results["4x4x4 star-mesh"]["latency"][low] < \
+        results["4x4x4 3D mesh"]["latency"][low] < \
+        results["8x8 2D mesh"]["latency"][low]

@@ -1,0 +1,27 @@
+"""Table I — link-budget parameters for board-to-board communications."""
+
+from conftest import print_table, run_once
+from repro.channel import LinkBudget
+
+PAPER_TABLE_I = {
+    "rx_noise_figure_db": 10.0,
+    "path_loss_exponent": 2.0,
+    "path_loss_shortest_link_db": 59.8,
+    "path_loss_largest_link_db": 69.3,
+    "array_gain_db": 12.0,
+    "butler_matrix_inaccuracy_db": 5.0,
+    "polarization_mismatch_db": 3.0,
+    "implementation_loss_db": 5.0,
+    "rx_temperature_k": 323.0,
+}
+
+
+def test_table1_link_budget_parameters(benchmark):
+    table = run_once(benchmark, lambda: LinkBudget().table_entries())
+    rows = [f"  {key:32s} {table[key]:10.2f} {PAPER_TABLE_I[key]:10.2f}"
+            for key in PAPER_TABLE_I]
+    print_table("Table I — link budget parameters (reproduced vs paper)",
+                "  parameter                          reproduced      paper",
+                rows)
+    for key, paper_value in PAPER_TABLE_I.items():
+        assert abs(table[key] - paper_value) <= 0.1, key

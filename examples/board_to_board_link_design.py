@@ -1,0 +1,77 @@
+"""Board-to-board wireless link design study (Sections II of the paper).
+
+Reproduces the design flow behind Figs. 1-4: generate a synthetic
+measurement campaign, fit the pathloss exponent, inspect the impulse
+response for reflections, and sweep the required transmit power against
+the target SNR for the ahead and diagonal links.
+
+Run with:  python examples/board_to_board_link_design.py
+"""
+
+import numpy as np
+
+from repro.channel import (
+    LinkBudget,
+    SyntheticVNA,
+    reflection_margin_db,
+    sweep_to_impulse_response,
+)
+from repro.channel.fitting import fit_from_sweeps
+
+
+def pathloss_study() -> None:
+    """Fig. 1: pathloss-exponent fits for free space and copper boards."""
+    vna = SyntheticVNA(rng=1)
+    horn_gain_db = 2 * 9.5
+    distances = np.linspace(0.02, 0.2, 12)
+    free_fit = fit_from_sweeps(vna.distance_sweep(distances, "freespace"),
+                               antenna_gain_db=horn_gain_db)
+    copper_fit = fit_from_sweeps(
+        vna.distance_sweep(np.linspace(0.05, 0.2, 10),
+                           "parallel copper boards"),
+        antenna_gain_db=horn_gain_db)
+    print("Pathloss-exponent fits (paper: n = 2.000 / 2.0454):")
+    print(f"  free space             n = {free_fit.exponent:.4f}  "
+          f"(rms error {free_fit.rms_error_db:.2f} dB)")
+    print(f"  parallel copper boards n = {copper_fit.exponent:.4f}  "
+          f"(rms error {copper_fit.rms_error_db:.2f} dB)")
+
+
+def impulse_response_study() -> None:
+    """Figs. 2-3: reflections stay at least 15 dB below the LoS path."""
+    vna = SyntheticVNA(rng=1)
+    print("\nImpulse-response reflection margins (paper: >= 15 dB):")
+    for distance, label in ((0.05, "50 mm shortest link"),
+                            (0.15, "150 mm diagonal link")):
+        for scenario in ("freespace", "parallel copper boards"):
+            if scenario == "freespace":
+                sweep = vna.measure_freespace(distance)
+            else:
+                sweep = vna.measure_parallel_copper_boards(distance)
+            response = sweep_to_impulse_response(sweep)
+            print(f"  {label:22s} {scenario:22s} "
+                  f"margin {reflection_margin_db(response):5.1f} dB, "
+                  f"LoS delay {response.los_delay_s*1e9:5.2f} ns")
+
+
+def transmit_power_study() -> None:
+    """Fig. 4: required transmit power versus target SNR."""
+    budget = LinkBudget()
+    snrs = np.arange(0.0, 36.0, 5.0)
+    print("\nRequired transmit power [dBm] (Fig. 4):")
+    print("  SNR[dB]   100mm    300mm    300mm+Butler")
+    for snr in snrs:
+        short = float(budget.required_tx_power_dbm(snr, 0.1))
+        long = float(budget.required_tx_power_dbm(snr, 0.3))
+        butler = float(budget.required_tx_power_dbm(snr, 0.3, True))
+        print(f"  {snr:7.0f} {short:8.1f} {long:8.1f} {butler:10.1f}")
+
+
+def main() -> None:
+    pathloss_study()
+    impulse_response_study()
+    transmit_power_study()
+
+
+if __name__ == "__main__":
+    main()

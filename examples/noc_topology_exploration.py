@@ -1,0 +1,78 @@
+"""3D NiCS topology exploration (Section IV of the paper).
+
+Reproduces the Fig. 8 comparison — 2D mesh vs star-mesh vs 3D mesh at 64
+modules and 2D mesh vs 3D mesh at 512 modules — with the analytic queueing
+model, and cross-checks one operating point with the cycle-level
+simulator.
+
+Run with:  python examples/noc_topology_exploration.py
+"""
+
+import numpy as np
+
+from repro.noc import (
+    AnalyticNocModel,
+    Mesh2D,
+    Mesh3D,
+    NocSimulator,
+    StarMesh,
+    bisection_links,
+)
+
+
+def compare_64_modules() -> None:
+    """Fig. 8(a): latency/throughput of the three 64-module topologies."""
+    topologies = [Mesh2D(8, 8), StarMesh(4, 4, concentration=4), Mesh3D(4, 4, 4)]
+    print("64-module comparison (Fig. 8a):")
+    print("  topology                  zero-load [cycles]  saturation "
+          "[flits/cycle/module]  bisection links")
+    for topology in topologies:
+        model = AnalyticNocModel(topology)
+        print(f"  {topology.name:25s} {model.zero_load_latency():14.1f} "
+              f"{model.saturation_rate():22.2f} {bisection_links(topology):12d}")
+
+    print("\n  latency vs injection rate [cycles]:")
+    rates = [0.01, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
+    header = "  rate    " + "".join(f"{t.name:>18s}" for t in topologies)
+    print(header)
+    models = [AnalyticNocModel(t) for t in topologies]
+    for rate in rates:
+        cells = []
+        for model in models:
+            latency = model.mean_latency(rate)
+            cells.append(f"{latency:18.1f}" if np.isfinite(latency)
+                         else f"{'saturated':>18s}")
+        print(f"  {rate:5.2f}" + "".join(cells))
+
+
+def compare_512_modules() -> None:
+    """Fig. 8(b): the latency gap widens when scaling to 512 modules."""
+    print("\n512-module scaling (Fig. 8b):")
+    for topology in (Mesh2D(32, 16), Mesh3D(8, 8, 8)):
+        model = AnalyticNocModel(topology)
+        print(f"  {topology.name:25s} zero-load {model.zero_load_latency():6.1f} "
+              f"cycles, saturation {model.saturation_rate():5.2f}")
+
+
+def validate_with_simulator() -> None:
+    """Cross-check the analytic model with the cycle-level simulator."""
+    topology = Mesh3D(4, 4, 4)
+    model = AnalyticNocModel(topology)
+    simulator = NocSimulator(topology)
+    rate = 0.2
+    simulated = simulator.run(rate, n_cycles=4_000, warmup_cycles=1_000, rng=0)
+    print("\nAnalytic model vs cycle-level simulation (4x4x4 3D mesh, "
+          f"injection {rate}):")
+    print(f"  analytic latency   {model.mean_latency(rate):6.2f} cycles")
+    print(f"  simulated latency  {simulated.mean_latency_cycles:6.2f} cycles "
+          f"({simulated.delivered_packets} packets)")
+
+
+def main() -> None:
+    compare_64_modules()
+    compare_512_modules()
+    validate_with_simulator()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""1-bit oversampling receiver study (Section III of the paper).
+
+Reproduces the Fig. 5 / Fig. 6 story: compares the information rate of
+4-ASK with 1-bit quantisation and 5-fold oversampling for the different
+ISI filter designs, and shows a Viterbi sequence detector actually
+recovering the symbols the information-rate analysis promises.
+
+Run with:  python examples/one_bit_receiver.py
+"""
+
+import numpy as np
+
+from repro.phy import (
+    OversampledOneBitChannel,
+    SymbolBySymbolDetector,
+    ViterbiSequenceDetector,
+    ask_awgn_information_rate,
+    one_bit_no_oversampling_rate,
+    rectangular_pulse,
+    sequence_information_rate,
+    sequence_optimized_pulse,
+    suboptimal_unique_detection_pulse,
+    symbolwise_information_rate,
+    symbolwise_optimized_pulse,
+    unique_detection_fraction,
+)
+
+
+def information_rate_table() -> None:
+    """Fig. 6: information rate versus SNR for the different designs."""
+    snrs = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0]
+    print("Information rates [bit/channel use] for 4-ASK (Fig. 6):")
+    print("  SNR   noQuant  1bitNoOS  rect1bitOS  seqDesign  symbolwise  subopt")
+    for snr in snrs:
+        row = (
+            ask_awgn_information_rate(snr),
+            one_bit_no_oversampling_rate(snr),
+            sequence_information_rate(rectangular_pulse(5), snr,
+                                      n_symbols=6_000, rng=0),
+            sequence_information_rate(sequence_optimized_pulse(), snr,
+                                      n_symbols=6_000, rng=0),
+            symbolwise_information_rate(symbolwise_optimized_pulse(), snr),
+            sequence_information_rate(suboptimal_unique_detection_pulse(), snr,
+                                      n_symbols=6_000, rng=0),
+        )
+        print(f"  {snr:4.0f}" + "".join(f"{value:10.3f}" for value in row))
+
+
+def pulse_inventory() -> None:
+    """Fig. 5: the four ISI designs and their unique-detection property."""
+    print("\nISI filter designs (Fig. 5):")
+    for pulse in (rectangular_pulse(5), symbolwise_optimized_pulse(),
+                  sequence_optimized_pulse(),
+                  suboptimal_unique_detection_pulse()):
+        fraction = unique_detection_fraction(pulse)
+        taps = np.round(pulse.taps, 2)
+        print(f"  {pulse.name:42s} unique detection {fraction*100:5.1f} %  "
+              f"taps {taps}")
+
+
+def detection_demo() -> None:
+    """Sequence estimation versus symbol-by-symbol detection at 20 dB SNR."""
+    channel = OversampledOneBitChannel(pulse=sequence_optimized_pulse(),
+                                       snr_db=20.0)
+    indices, signs = channel.simulate(20_000, rng=0)
+    viterbi_ser = ViterbiSequenceDetector(channel).symbol_error_rate(indices,
+                                                                     signs)
+    symbolwise_ser = SymbolBySymbolDetector(channel).symbol_error_rate(indices,
+                                                                       signs)
+    print("\nDetector comparison on the sequence-optimised design @ 20 dB:")
+    print(f"  Viterbi sequence estimation SER   {viterbi_ser:.4f}")
+    print(f"  symbol-by-symbol detection SER    {symbolwise_ser:.4f}")
+
+
+def main() -> None:
+    information_rate_table()
+    pulse_inventory()
+    detection_demo()
+
+
+if __name__ == "__main__":
+    main()

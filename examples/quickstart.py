@@ -1,0 +1,57 @@
+"""Quickstart: evaluate one wireless board-to-board link end to end.
+
+Runs in a few seconds and touches all four substrates of the library:
+link budget (Section II of the paper), 1-bit oversampling PHY
+(Section III), the intra-stack NoC (Section IV) and the LDPC-CC FEC
+(Section V).
+
+Run with:  python examples/quickstart.py
+"""
+
+from repro.channel import LinkBudget
+from repro.core import WirelessBoardLink
+from repro.noc import AnalyticNocModel, Mesh3D
+
+
+def main() -> None:
+    # ------------------------------------------------------------------
+    # 1. Link budget (Table I): how much power does the ahead link need?
+    # ------------------------------------------------------------------
+    budget = LinkBudget()
+    print("Table I link budget entries:")
+    for key, value in budget.table_entries().items():
+        print(f"  {key:32s} {value:8.2f}")
+    target_snr_db = 20.0
+    for distance, butler in ((0.1, False), (0.3, True)):
+        power = budget.required_tx_power_dbm(target_snr_db, distance, butler)
+        print(f"  required TX power @ {distance*1e3:.0f} mm for "
+              f"{target_snr_db:.0f} dB SNR: {float(power):6.2f} dBm"
+              f"{' (Butler worst case)' if butler else ''}")
+
+    # ------------------------------------------------------------------
+    # 2. Full link: channel + 1-bit oversampling PHY + LDPC-CC FEC.
+    # ------------------------------------------------------------------
+    link = WirelessBoardLink(distance_m=0.1)
+    report = link.evaluate(tx_power_dbm=10.0, n_symbols=5_000)
+    print("\nAhead link at 10 dBm transmit power:")
+    print(f"  received SNR             {report.snr_db:6.1f} dB")
+    print(f"  achievable rate          {report.information_rate_bpcu:6.2f} bpcu "
+          "(1-bit, 5x oversampling, 4-ASK)")
+    print(f"  net data rate            {report.data_rate_gbps:6.1f} Gbit/s "
+          "(dual polarisation, rate-1/2 LDPC-CC)")
+    print(f"  FEC structural latency   {report.coding_latency_information_bits:6.0f} "
+          "information bits")
+    print(f"  link closes              {report.closes}")
+
+    # ------------------------------------------------------------------
+    # 3. Inside the chip-stack: the 3D-mesh NiCS.
+    # ------------------------------------------------------------------
+    noc = AnalyticNocModel(Mesh3D(4, 4, 4))
+    print("\n4x4x4 3D-mesh NiCS (64 modules):")
+    print(f"  zero-load latency        {noc.zero_load_latency():6.1f} cycles")
+    print(f"  saturation throughput    {noc.saturation_rate():6.2f} "
+          "flits/cycle/module")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""repro — reproduction of "Wireless Interconnect for Board and Chip Level".
+
+The library is organised as four substrates plus an integration layer:
+
+* :mod:`repro.channel` — 200+ GHz board-to-board channel models, synthetic
+  measurement campaign and link budget (Section II of the paper).
+* :mod:`repro.phy` — bandwidth- and energy-efficient multi-gigabit/s
+  communication with 1-bit oversampling receivers (Section III).
+* :mod:`repro.noc` — 3D Network-in-Chip-Stack topologies, analytic queueing
+  latency model and cycle-level simulator (Section IV).
+* :mod:`repro.coding` — low-latency LDPC convolutional codes with window
+  decoding (Section V).
+* :mod:`repro.core` — the end-to-end wireless interconnect system composing
+  all of the above.
+"""
+
+from repro import channel, coding, core, noc, phy, utils
+
+__version__ = "1.0.0"
+
+__all__ = ["channel", "coding", "core", "noc", "phy", "utils", "__version__"]

@@ -1,0 +1,72 @@
+"""Board-to-board wireless channel models (Section II of the paper).
+
+The subpackage covers everything between the transmit amplifier of one
+board and the detector input of the other board:
+
+* :mod:`repro.channel.pathloss` — free-space and log-distance pathloss.
+* :mod:`repro.channel.antenna` — horn antennas, 4x4 arrays, Butler matrix
+  and polarisation losses.
+* :mod:`repro.channel.geometry` — the two-parallel-board node geometry that
+  yields the paper's "ahead" (100 mm) and "diagonal" (300 mm) links.
+* :mod:`repro.channel.measurement` — a synthetic vector network analyser
+  that replaces the R&S ZVA24 measurement campaign.
+* :mod:`repro.channel.impulse_response` — frequency sweep to delay-domain
+  conversion and reflection analysis (Figs. 2 and 3).
+* :mod:`repro.channel.fitting` — pathloss-exponent estimation (Fig. 1).
+* :mod:`repro.channel.link_budget` — Table I and the required-transmit-power
+  curves of Fig. 4.
+* :mod:`repro.channel.awgn` — the discrete-time AWGN channel used by the
+  PHY and coding layers.
+"""
+
+from repro.channel.pathloss import (
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+    LogDistancePathLossModel,
+)
+from repro.channel.antenna import (
+    HornAntenna,
+    UniformPlanarArray,
+    ButlerMatrixBeamformer,
+    IdealBeamformer,
+)
+from repro.channel.geometry import BoardToBoardGeometry, WirelessNode
+from repro.channel.measurement import SyntheticVNA, FrequencySweep, Reflector
+from repro.channel.impulse_response import (
+    ImpulseResponse,
+    sweep_to_impulse_response,
+    reflection_margin_db,
+)
+from repro.channel.fitting import fit_path_loss_exponent, PathLossFit
+from repro.channel.link_budget import (
+    LinkBudget,
+    LinkBudgetParameters,
+    PAPER_LINK_BUDGET,
+    required_tx_power_dbm,
+)
+from repro.channel.awgn import AwgnChannel
+
+__all__ = [
+    "free_space_path_loss_db",
+    "log_distance_path_loss_db",
+    "LogDistancePathLossModel",
+    "HornAntenna",
+    "UniformPlanarArray",
+    "ButlerMatrixBeamformer",
+    "IdealBeamformer",
+    "BoardToBoardGeometry",
+    "WirelessNode",
+    "SyntheticVNA",
+    "FrequencySweep",
+    "Reflector",
+    "ImpulseResponse",
+    "sweep_to_impulse_response",
+    "reflection_margin_db",
+    "fit_path_loss_exponent",
+    "PathLossFit",
+    "LinkBudget",
+    "LinkBudgetParameters",
+    "PAPER_LINK_BUDGET",
+    "required_tx_power_dbm",
+    "AwgnChannel",
+]

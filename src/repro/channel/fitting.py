@@ -1,0 +1,125 @@
+"""Pathloss-exponent estimation from (synthetic) measurement sweeps.
+
+Fig. 1 of the paper overlays the measured pathloss-vs-distance points with
+the log-distance model of Eq. (1), reporting a fitted exponent of exactly
+2.000 for the free-space measurement and 2.0454 for the parallel-copper-
+board measurement.  This module implements the least-squares fit in
+log-distance space the authors used to obtain those numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.channel.measurement import FrequencySweep
+from repro.channel.pathloss import LogDistancePathLossModel
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class PathLossFit:
+    """Result of a log-distance pathloss fit.
+
+    Attributes
+    ----------
+    exponent:
+        Fitted pathloss exponent ``n``.
+    reference_loss_db:
+        Fitted pathloss at the reference distance.
+    reference_distance_m:
+        Reference distance the fit is anchored at.
+    rms_error_db:
+        Root-mean-square residual of the fit in dB.
+    frequency_hz:
+        Carrier frequency associated with the data.
+    """
+
+    exponent: float
+    reference_loss_db: float
+    reference_distance_m: float
+    rms_error_db: float
+    frequency_hz: float
+
+    def to_model(self) -> LogDistancePathLossModel:
+        """Convert the fit into a usable pathloss model."""
+        return LogDistancePathLossModel(
+            frequency_hz=self.frequency_hz,
+            exponent=self.exponent,
+            reference_distance_m=self.reference_distance_m,
+            reference_loss_db=self.reference_loss_db,
+        )
+
+
+def fit_path_loss_exponent(distances_m: Sequence[float],
+                           path_losses_db: Sequence[float],
+                           reference_distance_m: float = 0.01,
+                           frequency_hz: float = 232.5e9) -> PathLossFit:
+    """Least-squares fit of the log-distance model to pathloss samples.
+
+    Parameters
+    ----------
+    distances_m, path_losses_db:
+        Paired samples; at least two distinct distances are required.
+    reference_distance_m:
+        Distance ``d0`` the fitted reference loss refers to.
+    frequency_hz:
+        Carrier frequency recorded in the returned fit (not used by the
+        fit itself).
+    """
+    check_positive("reference_distance_m", reference_distance_m)
+    distances = np.asarray(distances_m, dtype=float)
+    losses = np.asarray(path_losses_db, dtype=float)
+    if distances.shape != losses.shape:
+        raise ValueError("distances and path losses must have the same shape")
+    if distances.size < 2:
+        raise ValueError("at least two samples are required for a fit")
+    if np.any(distances <= 0.0):
+        raise ValueError("distances must be strictly positive")
+    if np.allclose(distances, distances[0]):
+        raise ValueError("need at least two distinct distances to fit an exponent")
+    log_ratio = np.log10(distances / reference_distance_m)
+    design = np.column_stack([np.ones_like(log_ratio), 10.0 * log_ratio])
+    coeffs, *_ = np.linalg.lstsq(design, losses, rcond=None)
+    reference_loss_db, exponent = float(coeffs[0]), float(coeffs[1])
+    residuals = losses - design @ coeffs
+    rms_error = float(np.sqrt(np.mean(residuals ** 2)))
+    return PathLossFit(exponent=exponent,
+                       reference_loss_db=reference_loss_db,
+                       reference_distance_m=reference_distance_m,
+                       rms_error_db=rms_error,
+                       frequency_hz=frequency_hz)
+
+
+def fit_from_sweeps(sweeps: Sequence[FrequencySweep],
+                    antenna_gain_db: float,
+                    reference_distance_m: float = 0.01) -> PathLossFit:
+    """Fit the pathloss exponent directly from VNA sweeps.
+
+    The total antenna gain (both horns) is removed from each sweep before
+    fitting, replicating the effective-antenna-gain calibration of the
+    paper's free-space measurement.
+    """
+    if not sweeps:
+        raise ValueError("at least one sweep is required")
+    distances = [sweep.distance_m for sweep in sweeps]
+    losses = [sweep.mean_path_loss_db(remove_antenna_gain_db=antenna_gain_db)
+              for sweep in sweeps]
+    frequency = float(np.mean(sweeps[0].frequencies_hz))
+    return fit_path_loss_exponent(distances, losses,
+                                  reference_distance_m=reference_distance_m,
+                                  frequency_hz=frequency)
+
+
+def pathloss_samples_from_sweeps(sweeps: Sequence[FrequencySweep],
+                                 antenna_gain_db: float
+                                 ) -> Tuple[np.ndarray, np.ndarray]:
+    """Extract (distance, isotropic pathloss) pairs from a sweep series."""
+    distances = np.asarray([sweep.distance_m for sweep in sweeps])
+    losses = np.asarray([
+        sweep.mean_path_loss_db(remove_antenna_gain_db=antenna_gain_db)
+        for sweep in sweeps
+    ])
+    return distances, losses

@@ -1,0 +1,145 @@
+"""Frequency-sweep to impulse-response conversion and echo analysis.
+
+The paper converts the measured S21 sweeps to the delay domain with a
+discrete Fourier transform and inspects the echoes (Figs. 2 and 3),
+concluding that all reflections — even with parallel copper boards — stay
+at least 15 dB below the line-of-sight component.  This module reproduces
+that processing: windowed IDFT, peak extraction and the LoS-to-strongest-
+echo margin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.channel.measurement import FrequencySweep
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ImpulseResponse:
+    """Delay-domain representation of one frequency sweep.
+
+    Attributes
+    ----------
+    delays_s:
+        Delay grid in seconds.
+    magnitude_db:
+        Impulse-response magnitude in dB (20*log10 of the envelope).
+    distance_m:
+        LoS distance of the underlying sweep.
+    scenario:
+        Scenario label copied from the sweep.
+    """
+
+    delays_s: np.ndarray
+    magnitude_db: np.ndarray
+    distance_m: float
+    scenario: str
+
+    @property
+    def los_delay_s(self) -> float:
+        """Delay of the strongest (line-of-sight) component."""
+        return float(self.delays_s[int(np.argmax(self.magnitude_db))])
+
+    @property
+    def los_level_db(self) -> float:
+        """Magnitude of the line-of-sight component in dB."""
+        return float(np.max(self.magnitude_db))
+
+    def peaks(self, min_separation_s: float = 5e-11,
+              threshold_below_los_db: float = 40.0
+              ) -> List[Tuple[float, float]]:
+        """Locate local maxima of the delay profile.
+
+        Returns a list of ``(delay_s, level_db)`` tuples containing the LoS
+        peak and every echo within ``threshold_below_los_db`` of it, with
+        peaks closer than ``min_separation_s`` merged into the stronger one.
+        """
+        check_positive("min_separation_s", min_separation_s)
+        check_positive("threshold_below_los_db", threshold_below_los_db)
+        magnitude = self.magnitude_db
+        candidates: List[Tuple[float, float]] = []
+        for index in range(1, magnitude.size - 1):
+            if magnitude[index] >= magnitude[index - 1] and \
+                    magnitude[index] > magnitude[index + 1]:
+                candidates.append(
+                    (float(self.delays_s[index]), float(magnitude[index]))
+                )
+        floor = self.los_level_db - threshold_below_los_db
+        candidates = [peak for peak in candidates if peak[1] >= floor]
+        candidates.sort(key=lambda peak: peak[1], reverse=True)
+        selected: List[Tuple[float, float]] = []
+        for delay, level in candidates:
+            if all(abs(delay - kept) >= min_separation_s for kept, _ in selected):
+                selected.append((delay, level))
+        selected.sort(key=lambda peak: peak[0])
+        return selected
+
+
+def sweep_to_impulse_response(sweep: FrequencySweep,
+                              window: str = "hann",
+                              zero_padding: int = 4) -> ImpulseResponse:
+    """Convert a frequency sweep into a delay-domain impulse response.
+
+    Parameters
+    ----------
+    sweep:
+        The S21 measurement to transform.
+    window:
+        Spectral window applied before the IDFT ("hann", "hamming",
+        "blackman" or "rect"); windowing keeps sidelobes of the strong LoS
+        component from masking the weak echoes.
+    zero_padding:
+        Delay-domain interpolation factor (>= 1).
+    """
+    if zero_padding < 1:
+        raise ValueError("zero_padding must be at least 1")
+    windows = {
+        "hann": np.hanning,
+        "hamming": np.hamming,
+        "blackman": np.blackman,
+        "rect": np.ones,
+    }
+    if window not in windows:
+        raise ValueError(f"unknown window {window!r}; choose from {sorted(windows)}")
+    taper = windows[window](sweep.n_points)
+    # Normalise the window so the LoS peak level stays comparable between
+    # window choices (coherent gain compensation).
+    taper = taper / np.mean(taper)
+    spectrum = sweep.s21 * taper
+    n_fft = sweep.n_points * zero_padding
+    impulse = np.fft.ifft(spectrum, n=n_fft)
+    frequency_step = sweep.frequencies_hz[1] - sweep.frequencies_hz[0]
+    delays = np.arange(n_fft) / (n_fft * frequency_step)
+    magnitude = np.abs(impulse)
+    floor = np.max(magnitude) * 1e-8
+    magnitude_db = 20.0 * np.log10(np.maximum(magnitude, floor))
+    # Keep only the first half of the (periodic) delay axis: echoes of
+    # interest arrive within a couple of nanoseconds.
+    half = n_fft // 2
+    return ImpulseResponse(delays_s=delays[:half],
+                           magnitude_db=magnitude_db[:half],
+                           distance_m=sweep.distance_m,
+                           scenario=sweep.scenario)
+
+
+def reflection_margin_db(response: ImpulseResponse,
+                         guard_s: float = 8e-11) -> float:
+    """Margin between the LoS component and the strongest echo, in dB.
+
+    ``guard_s`` excludes the immediate neighbourhood of the LoS peak (the
+    window mainlobe) from the echo search.  The paper reports this margin
+    to be at least 15 dB for all measured configurations.
+    """
+    check_positive("guard_s", guard_s)
+    los_delay = response.los_delay_s
+    los_level = response.los_level_db
+    mask = np.abs(response.delays_s - los_delay) > guard_s
+    if not np.any(mask):
+        raise ValueError("guard interval excludes the whole delay axis")
+    strongest_echo = float(np.max(response.magnitude_db[mask]))
+    return los_level - strongest_echo

@@ -1,0 +1,194 @@
+"""Link budget for the wireless board-to-board links (Table I / Fig. 4).
+
+The budget answers: how much transmit power is required to reach a target
+SNR at the receiver, given the pathloss of the link, the antenna array
+gains, and the loss terms of Table I (Butler-matrix inaccuracy,
+polarisation mismatch, implementation loss) on top of the thermal noise
+floor ``k * T * B`` raised by the receiver noise figure?
+
+Table I of the paper:
+
+=====================================  ====  ======
+Parameter                              Unit  Value
+=====================================  ====  ======
+RX noise figure                        dB    10
+Path loss exponent                     --    2
+Path loss, shortest link 0.1 m         dB    59.8
+Path loss, largest link 0.3 m          dB    69.3
+Array gain (per side)                  dB    12
+Butler matrix inaccuracy               dB    5
+Polarization mismatch                  dB    3
+Implementation loss                    dB    5
+RX temperature                         K     323
+=====================================  ====  ======
+
+The signal bandwidth is 25 GHz, chosen so that dual-polarisation
+transmission reaches 100 Gbit/s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Union
+
+import numpy as np
+
+from repro.channel.pathloss import LogDistancePathLossModel
+from repro.utils.constants import (
+    PAPER_CENTER_FREQUENCY_HZ,
+    PAPER_RX_TEMPERATURE_K,
+    PAPER_SIGNAL_BANDWIDTH_HZ,
+)
+from repro.utils.units import thermal_noise_power_dbm
+from repro.utils.validation import check_non_negative, check_positive
+
+ArrayLike = Union[float, np.ndarray]
+
+
+@dataclass(frozen=True)
+class LinkBudgetParameters:
+    """All scalar parameters entering the board-to-board link budget."""
+
+    frequency_hz: float = PAPER_CENTER_FREQUENCY_HZ
+    bandwidth_hz: float = PAPER_SIGNAL_BANDWIDTH_HZ
+    rx_temperature_k: float = PAPER_RX_TEMPERATURE_K
+    rx_noise_figure_db: float = 10.0
+    path_loss_exponent: float = 2.0
+    tx_array_gain_db: float = 12.0
+    rx_array_gain_db: float = 12.0
+    butler_matrix_inaccuracy_db: float = 5.0
+    polarization_mismatch_db: float = 3.0
+    implementation_loss_db: float = 5.0
+    reference_distance_m: float = 0.01
+
+    def __post_init__(self) -> None:
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("bandwidth_hz", self.bandwidth_hz)
+        check_positive("rx_temperature_k", self.rx_temperature_k)
+        check_non_negative("rx_noise_figure_db", self.rx_noise_figure_db)
+        check_positive("path_loss_exponent", self.path_loss_exponent)
+        check_non_negative("tx_array_gain_db", self.tx_array_gain_db)
+        check_non_negative("rx_array_gain_db", self.rx_array_gain_db)
+        check_non_negative("butler_matrix_inaccuracy_db",
+                           self.butler_matrix_inaccuracy_db)
+        check_non_negative("polarization_mismatch_db",
+                           self.polarization_mismatch_db)
+        check_non_negative("implementation_loss_db", self.implementation_loss_db)
+        check_positive("reference_distance_m", self.reference_distance_m)
+
+
+#: Parameters exactly as listed in Table I of the paper.
+PAPER_LINK_BUDGET = LinkBudgetParameters()
+
+
+class LinkBudget:
+    """Link-budget calculator for a wireless board-to-board link.
+
+    Parameters
+    ----------
+    parameters:
+        Scalar budget inputs; defaults to the paper's Table I.
+    path_loss_model:
+        Optional pathloss model; by default a free-space-anchored
+        log-distance model with the exponent from ``parameters`` is used,
+        which reproduces the 59.8 dB / 69.3 dB entries of Table I at 0.1 m
+        and 0.3 m.
+    """
+
+    def __init__(self, parameters: LinkBudgetParameters = PAPER_LINK_BUDGET,
+                 path_loss_model: LogDistancePathLossModel = None) -> None:
+        self.parameters = parameters
+        if path_loss_model is None:
+            path_loss_model = LogDistancePathLossModel(
+                frequency_hz=parameters.frequency_hz,
+                exponent=parameters.path_loss_exponent,
+                reference_distance_m=parameters.reference_distance_m,
+            )
+        self.path_loss_model = path_loss_model
+
+    def path_loss_db(self, distance_m: ArrayLike) -> ArrayLike:
+        """Pathloss of the link at the given distance(s)."""
+        return self.path_loss_model.path_loss_db(distance_m)
+
+    @property
+    def noise_floor_dbm(self) -> float:
+        """Receiver noise power: k*T*B raised by the noise figure, in dBm."""
+        thermal = thermal_noise_power_dbm(self.parameters.bandwidth_hz,
+                                          self.parameters.rx_temperature_k)
+        return float(thermal + self.parameters.rx_noise_figure_db)
+
+    def total_antenna_gain_db(self) -> float:
+        """Combined TX + RX array gain."""
+        return self.parameters.tx_array_gain_db + self.parameters.rx_array_gain_db
+
+    def fixed_losses_db(self, include_butler_mismatch: bool = False) -> float:
+        """Sum of the distance-independent loss terms.
+
+        Polarisation mismatch and implementation loss always apply; the
+        Butler-matrix direction-mismatch penalty is only charged when the
+        beamforming network cannot point exactly at the peer node, which the
+        paper assumes for the worst-case (longest) links only.
+        """
+        losses = (self.parameters.polarization_mismatch_db
+                  + self.parameters.implementation_loss_db)
+        if include_butler_mismatch:
+            losses += self.parameters.butler_matrix_inaccuracy_db
+        return losses
+
+    def received_snr_db(self, tx_power_dbm: ArrayLike, distance_m: ArrayLike,
+                        include_butler_mismatch: bool = False) -> ArrayLike:
+        """SNR at the receiver for a given transmit power and distance."""
+        tx_power = np.asarray(tx_power_dbm, dtype=float)
+        received_dbm = (tx_power
+                        + self.total_antenna_gain_db()
+                        - np.asarray(self.path_loss_db(distance_m), dtype=float)
+                        - self.fixed_losses_db(include_butler_mismatch))
+        return received_dbm - self.noise_floor_dbm
+
+    def required_tx_power_dbm(self, target_snr_db: ArrayLike,
+                              distance_m: ArrayLike,
+                              include_butler_mismatch: bool = False
+                              ) -> ArrayLike:
+        """Transmit power needed to hit a target SNR (Fig. 4 of the paper)."""
+        target = np.asarray(target_snr_db, dtype=float)
+        return (target
+                + self.noise_floor_dbm
+                + np.asarray(self.path_loss_db(distance_m), dtype=float)
+                + self.fixed_losses_db(include_butler_mismatch)
+                - self.total_antenna_gain_db())
+
+    def link_margin_db(self, tx_power_dbm: float, distance_m: float,
+                       target_snr_db: float,
+                       include_butler_mismatch: bool = False) -> float:
+        """Margin (positive = closes) of a link against a target SNR."""
+        achieved = self.received_snr_db(tx_power_dbm, distance_m,
+                                        include_butler_mismatch)
+        return float(achieved - target_snr_db)
+
+    def with_parameters(self, **changes: float) -> "LinkBudget":
+        """Return a new budget with some parameters replaced."""
+        return LinkBudget(replace(self.parameters, **changes))
+
+    def table_entries(self) -> dict:
+        """Reproduce the rows of Table I (including the derived pathlosses)."""
+        return {
+            "rx_noise_figure_db": self.parameters.rx_noise_figure_db,
+            "path_loss_exponent": self.parameters.path_loss_exponent,
+            "path_loss_shortest_link_db": float(self.path_loss_db(0.1)),
+            "path_loss_largest_link_db": float(self.path_loss_db(0.3)),
+            "array_gain_db": self.parameters.tx_array_gain_db,
+            "butler_matrix_inaccuracy_db":
+                self.parameters.butler_matrix_inaccuracy_db,
+            "polarization_mismatch_db": self.parameters.polarization_mismatch_db,
+            "implementation_loss_db": self.parameters.implementation_loss_db,
+            "rx_temperature_k": self.parameters.rx_temperature_k,
+        }
+
+
+def required_tx_power_dbm(target_snr_db: ArrayLike, distance_m: float,
+                          include_butler_mismatch: bool = False,
+                          parameters: LinkBudgetParameters = PAPER_LINK_BUDGET
+                          ) -> ArrayLike:
+    """Convenience wrapper around :meth:`LinkBudget.required_tx_power_dbm`."""
+    return LinkBudget(parameters).required_tx_power_dbm(
+        target_snr_db, distance_m, include_butler_mismatch)

@@ -1,0 +1,70 @@
+"""Low-latency error correction coding (Section V of the paper).
+
+The paper argues that LDPC convolutional codes (LDPC-CC, also known as
+spatially coupled LDPC codes) decoded with a *sliding window decoder*
+combine the low structural latency of convolutional codes with the
+waterfall performance of strong block codes, and demonstrates (Fig. 10)
+that for every latency the (4,8)-regular LDPC-CC outperforms the
+(4,8)-regular LDPC block code it is derived from.
+
+Modules:
+
+* :mod:`repro.coding.protograph` — base matrices, edge spreadings (Eq. 2)
+  and the terminated convolutional protograph of Eq. 3.
+* :mod:`repro.coding.lifting` — lifting a protograph into a binary
+  parity-check matrix with circulant permutations.
+* :mod:`repro.coding.bp` — vectorised sum-product belief propagation.
+* :mod:`repro.coding.codes` — :class:`LdpcBlockCode` and
+  :class:`LdpcConvolutionalCode` (encoder + full BP decoder).
+* :mod:`repro.coding.window_decoder` — the sliding window decoder of Fig. 9.
+* :mod:`repro.coding.latency` — structural latency, Eqs. (4) and (5).
+* :mod:`repro.coding.density_evolution` — Gaussian-approximation density
+  evolution for asymptotic thresholds.
+* :mod:`repro.coding.ber` — Monte-Carlo BER measurement and required-Eb/N0
+  search over the AWGN/BPSK channel.
+"""
+
+from repro.coding.protograph import (
+    EdgeSpreading,
+    Protograph,
+    coupled_protograph,
+    PAPER_BLOCK_PROTOGRAPH,
+    paper_edge_spreading,
+)
+from repro.coding.lifting import lift_protograph
+from repro.coding.bp import BeliefPropagationDecoder, DecodeResult
+from repro.coding.codes import LdpcBlockCode, LdpcConvolutionalCode
+from repro.coding.window_decoder import WindowDecoder, WindowDecodeResult
+from repro.coding.latency import (
+    block_code_structural_latency,
+    window_decoder_structural_latency,
+)
+from repro.coding.density_evolution import (
+    DensityEvolutionResult,
+    gaussian_de_threshold,
+    window_de_threshold,
+)
+from repro.coding.ber import BerPoint, BerSimulator, required_ebn0_db
+
+__all__ = [
+    "Protograph",
+    "EdgeSpreading",
+    "coupled_protograph",
+    "PAPER_BLOCK_PROTOGRAPH",
+    "paper_edge_spreading",
+    "lift_protograph",
+    "BeliefPropagationDecoder",
+    "DecodeResult",
+    "LdpcBlockCode",
+    "LdpcConvolutionalCode",
+    "WindowDecoder",
+    "WindowDecodeResult",
+    "block_code_structural_latency",
+    "window_decoder_structural_latency",
+    "DensityEvolutionResult",
+    "gaussian_de_threshold",
+    "window_de_threshold",
+    "BerPoint",
+    "BerSimulator",
+    "required_ebn0_db",
+]

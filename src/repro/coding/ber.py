@@ -1,0 +1,163 @@
+"""Monte-Carlo bit-error-rate measurement over the AWGN/BPSK channel.
+
+The harness transmits the all-zero codeword (valid for any linear code and
+any symmetric decoder, which belief propagation with symmetric channel LLRs
+is), adds Gaussian noise at a given Eb/N0, decodes with an arbitrary
+decoder callback and counts residual bit errors.  On top of the raw BER
+measurement it provides the required-Eb/N0 search used for Fig. 10: the
+smallest Eb/N0 at which the measured BER falls below a target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.units import db_to_linear
+from repro.utils.validation import check_positive, check_probability
+
+DecoderCallback = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass(frozen=True)
+class BerPoint:
+    """BER measurement at one operating point.
+
+    Attributes
+    ----------
+    ebn0_db:
+        Operating Eb/N0.
+    bit_error_rate:
+        Measured bit error rate (errors / transmitted bits).
+    block_error_rate:
+        Fraction of codewords with at least one residual error.
+    n_bits:
+        Total number of coded bits transmitted.
+    n_bit_errors:
+        Total number of residual bit errors.
+    n_codewords:
+        Number of codewords simulated.
+    """
+
+    ebn0_db: float
+    bit_error_rate: float
+    block_error_rate: float
+    n_bits: int
+    n_bit_errors: int
+    n_codewords: int
+
+
+class BerSimulator:
+    """All-zero-codeword BER simulator for a fixed code/decoder pair.
+
+    Parameters
+    ----------
+    codeword_length:
+        Number of coded bits per transmission.
+    rate:
+        Code rate used in the Eb/N0 to noise-variance conversion
+        (``sigma^2 = 1 / (2 * R * Eb/N0)`` for unit-energy BPSK).
+    decode:
+        Callable mapping a vector of channel LLRs to hard bit decisions.
+    """
+
+    def __init__(self, codeword_length: int, rate: float,
+                 decode: DecoderCallback) -> None:
+        check_positive("codeword_length", codeword_length)
+        if not 0.0 < rate <= 1.0:
+            raise ValueError("rate must lie in (0, 1]")
+        self.codeword_length = int(codeword_length)
+        self.rate = float(rate)
+        self.decode = decode
+
+    def noise_std(self, ebn0_db: float) -> float:
+        """Noise standard deviation at an Eb/N0 operating point."""
+        ebn0 = float(db_to_linear(ebn0_db))
+        return float(np.sqrt(1.0 / (2.0 * self.rate * ebn0)))
+
+    def channel_llrs(self, received: np.ndarray, ebn0_db: float) -> np.ndarray:
+        """LLRs for received BPSK samples (+1 encodes bit 0)."""
+        sigma = self.noise_std(ebn0_db)
+        return 2.0 * np.asarray(received, dtype=float) / sigma ** 2
+
+    def simulate(self, ebn0_db: float, n_codewords: int = 50,
+                 rng: RngLike = None,
+                 max_bit_errors: Optional[int] = None) -> BerPoint:
+        """Measure the BER at one Eb/N0.
+
+        ``max_bit_errors`` allows early stopping once enough errors have
+        been collected (useful inside the required-Eb/N0 search).
+        """
+        check_positive("n_codewords", n_codewords)
+        generator = ensure_rng(rng)
+        sigma = self.noise_std(ebn0_db)
+        total_bits = 0
+        total_errors = 0
+        block_errors = 0
+        codewords_done = 0
+        for _ in range(int(n_codewords)):
+            received = 1.0 + generator.normal(0.0, sigma,
+                                              size=self.codeword_length)
+            llrs = 2.0 * received / sigma ** 2
+            decisions = np.asarray(self.decode(llrs)).reshape(-1)
+            if decisions.size != self.codeword_length:
+                raise ValueError("decoder returned the wrong number of bits")
+            errors = int(np.count_nonzero(decisions))
+            total_errors += errors
+            total_bits += self.codeword_length
+            block_errors += int(errors > 0)
+            codewords_done += 1
+            if max_bit_errors is not None and total_errors >= max_bit_errors:
+                break
+        return BerPoint(ebn0_db=float(ebn0_db),
+                        bit_error_rate=total_errors / total_bits,
+                        block_error_rate=block_errors / codewords_done,
+                        n_bits=total_bits,
+                        n_bit_errors=total_errors,
+                        n_codewords=codewords_done)
+
+    def ber_curve(self, ebn0_grid, n_codewords: int = 50,
+                  rng: RngLike = None) -> list:
+        """Measure the BER over a grid of Eb/N0 values."""
+        generator = ensure_rng(rng)
+        return [self.simulate(float(ebn0), n_codewords=n_codewords,
+                              rng=generator)
+                for ebn0 in ebn0_grid]
+
+
+def required_ebn0_db(simulator: BerSimulator, target_ber: float,
+                     low_db: float = 0.0, high_db: float = 8.0,
+                     tolerance_db: float = 0.1, n_codewords: int = 40,
+                     rng: RngLike = 0) -> float:
+    """Smallest Eb/N0 (within tolerance) whose measured BER meets a target.
+
+    A bisection over Eb/N0; the BER at each probe is measured with
+    ``n_codewords`` codewords, so the resolution of the answer is limited
+    by ``1 / (n_codewords * n)`` — choose the target accordingly (the
+    benchmark uses 1e-3, see EXPERIMENTS.md for the rationale).
+    """
+    check_probability("target_ber", target_ber)
+    if target_ber <= 0.0:
+        raise ValueError("target_ber must be strictly positive")
+    if low_db >= high_db:
+        raise ValueError("low_db must be below high_db")
+    generator = ensure_rng(rng)
+
+    def meets_target(ebn0: float) -> bool:
+        point = simulator.simulate(ebn0, n_codewords=n_codewords,
+                                   rng=generator)
+        return point.bit_error_rate <= target_ber
+
+    if not meets_target(high_db):
+        raise ValueError("the decoder misses the BER target even at high_db")
+    low, high = low_db, high_db
+    while high - low > tolerance_db:
+        mid = 0.5 * (low + high)
+        if meets_target(mid):
+            high = mid
+        else:
+            low = mid
+    return float(high)

@@ -1,0 +1,158 @@
+"""Vectorised sum-product belief-propagation decoding.
+
+The decoder works on any sparse parity-check matrix.  Messages live on the
+edges of the Tanner graph; variable and check updates are fully vectorised
+with numpy using a CSR-like edge layout, so decoding the paper's largest
+windows (a few thousand edges) takes well under a millisecond per
+iteration.
+
+The check-node update is the exact sum-product rule evaluated in the
+sign/log-magnitude domain, which is numerically stable even for the
+saturated (±infinity-like) messages injected by the window decoder for
+already-decided symbols.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+#: Magnitudes of log-likelihood ratios are clipped to this value; large
+#: enough to behave like certainty, small enough to avoid overflow in tanh.
+LLR_CLIP = 30.0
+
+_TANH_FLOOR = 1e-300
+
+
+@dataclass(frozen=True)
+class DecodeResult:
+    """Outcome of a belief-propagation decoding attempt.
+
+    Attributes
+    ----------
+    hard_decisions:
+        Decoded bits (0/1) for every variable node.
+    posterior_llrs:
+        A-posteriori LLRs (positive favours bit 0).
+    converged:
+        True if all parity checks were satisfied before the iteration limit.
+    iterations:
+        Number of iterations actually performed.
+    """
+
+    hard_decisions: np.ndarray
+    posterior_llrs: np.ndarray
+    converged: bool
+    iterations: int
+
+
+class BeliefPropagationDecoder:
+    """Sum-product decoder for a fixed parity-check matrix.
+
+    Parameters
+    ----------
+    parity_check:
+        Sparse (or dense) binary parity-check matrix.
+    max_iterations:
+        Iteration limit; decoding stops early once the syndrome is zero.
+    """
+
+    def __init__(self, parity_check, max_iterations: int = 50) -> None:
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+        matrix = sparse.csr_matrix(parity_check).astype(np.int8)
+        if matrix.nnz == 0:
+            raise ValueError("parity-check matrix has no edges")
+        self.parity_check = matrix
+        self.max_iterations = int(max_iterations)
+        self.n_checks, self.n_variables = matrix.shape
+
+        coo = matrix.tocoo()
+        order = np.lexsort((coo.col, coo.row))
+        self._edge_check = coo.row[order].astype(np.int64)
+        self._edge_variable = coo.col[order].astype(np.int64)
+        self.n_edges = self._edge_check.size
+        # Row (check) segmentation of the edge list.
+        self._check_ptr = np.searchsorted(self._edge_check,
+                                          np.arange(self.n_checks + 1))
+        self._check_degrees = np.diff(self._check_ptr)
+        if np.any(self._check_degrees == 0):
+            # Checks without edges are always satisfied; keep them but note
+            # reduceat needs non-empty segments, so guard below.
+            self._nonempty_checks = np.where(self._check_degrees > 0)[0]
+        else:
+            self._nonempty_checks = None
+
+    # ------------------------------------------------------------------
+    def _check_segments(self) -> np.ndarray:
+        """Start offsets of each (non-empty) check's edge segment."""
+        if self._nonempty_checks is None:
+            return self._check_ptr[:-1]
+        return self._check_ptr[:-1][self._nonempty_checks]
+
+    def _scatter_check_values(self, per_segment: np.ndarray) -> np.ndarray:
+        """Expand per-check values back onto the edges."""
+        per_check = np.zeros(self.n_checks)
+        if self._nonempty_checks is None:
+            per_check[:] = per_segment
+        else:
+            per_check[self._nonempty_checks] = per_segment
+        return per_check[self._edge_check]
+
+    def syndrome_ok(self, hard_decisions: np.ndarray) -> bool:
+        """True if the candidate word satisfies every parity check."""
+        hard_decisions = np.asarray(hard_decisions, dtype=np.int8)
+        syndrome = self.parity_check.dot(hard_decisions) % 2
+        return not np.any(syndrome)
+
+    def decode(self, channel_llrs: np.ndarray) -> DecodeResult:
+        """Run sum-product decoding on a vector of channel LLRs."""
+        channel_llrs = np.asarray(channel_llrs, dtype=float).reshape(-1)
+        if channel_llrs.size != self.n_variables:
+            raise ValueError(
+                f"expected {self.n_variables} channel LLRs, "
+                f"got {channel_llrs.size}")
+        channel_llrs = np.clip(channel_llrs, -LLR_CLIP, LLR_CLIP)
+        check_messages = np.zeros(self.n_edges)
+        segments = self._check_segments()
+        posterior = channel_llrs.copy()
+        iterations_done = 0
+        converged = False
+        for iteration in range(1, self.max_iterations + 1):
+            iterations_done = iteration
+            # ---- variable-node update --------------------------------
+            sums = np.bincount(self._edge_variable, weights=check_messages,
+                               minlength=self.n_variables)
+            variable_messages = (channel_llrs + sums)[self._edge_variable] \
+                - check_messages
+            variable_messages = np.clip(variable_messages, -LLR_CLIP, LLR_CLIP)
+            # ---- check-node update (sign / log-magnitude) -------------
+            tanh_half = np.tanh(variable_messages / 2.0)
+            signs = np.where(tanh_half < 0.0, -1.0, 1.0)
+            magnitudes = np.maximum(np.abs(tanh_half), _TANH_FLOOR)
+            log_magnitudes = np.log(magnitudes)
+            negative = (signs < 0.0).astype(np.int64)
+            neg_counts = np.add.reduceat(negative, segments)
+            log_sums = np.add.reduceat(log_magnitudes, segments)
+            total_neg_on_edges = self._scatter_check_values(neg_counts)
+            total_log_on_edges = self._scatter_check_values(log_sums)
+            excl_neg = total_neg_on_edges - negative
+            excl_log = total_log_on_edges - log_magnitudes
+            excl_sign = np.where(excl_neg % 2 == 1, -1.0, 1.0)
+            excl_magnitude = np.exp(np.minimum(excl_log, 0.0))
+            excl_magnitude = np.clip(excl_magnitude, 0.0, 1.0 - 1e-15)
+            check_messages = 2.0 * np.arctanh(excl_sign * excl_magnitude)
+            check_messages = np.clip(check_messages, -LLR_CLIP, LLR_CLIP)
+            # ---- posterior and stopping rule ---------------------------
+            sums = np.bincount(self._edge_variable, weights=check_messages,
+                               minlength=self.n_variables)
+            posterior = channel_llrs + sums
+            hard = (posterior < 0.0).astype(np.int8)
+            if self.syndrome_ok(hard):
+                converged = True
+                break
+        hard = (posterior < 0.0).astype(np.int8)
+        return DecodeResult(hard_decisions=hard, posterior_llrs=posterior,
+                            converged=converged, iterations=iterations_done)

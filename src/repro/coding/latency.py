@@ -1,0 +1,51 @@
+"""Structural latency of block and window decoding (Eqs. 4 and 5).
+
+The *structural* latency is the number of information bits the decoder must
+wait for before it can start producing the current output — a property of
+the coding scheme itself, independent of implementation technology, and
+therefore a lower bound on the real decoding delay (the framing the paper
+adopts from Hehn & Huber).
+
+* Window decoder over an LDPC-CC (Eq. 4):
+  ``T_WD = W * N * nv * R`` information bits — independent of the
+  termination length ``L``.
+* LDPC block code (Eq. 5): ``T_B = N * nv * R`` information bits, where
+  ``N * nv`` is the block length of the code.
+"""
+
+from __future__ import annotations
+
+from repro.utils.validation import check_positive
+
+
+def window_decoder_structural_latency(window_size: int, lifting_factor: int,
+                                      n_variables: int, rate: float) -> float:
+    """Structural latency of the sliding window decoder, Eq. (4).
+
+    Parameters
+    ----------
+    window_size:
+        Window size ``W`` in coupled blocks.
+    lifting_factor:
+        Lifting factor ``N``.
+    n_variables:
+        Number of protograph variable nodes ``nv`` per block.
+    rate:
+        Code rate ``R`` used to express the latency in information bits.
+    """
+    check_positive("window_size", window_size)
+    check_positive("lifting_factor", lifting_factor)
+    check_positive("n_variables", n_variables)
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("rate must lie in (0, 1]")
+    return float(window_size * lifting_factor * n_variables * rate)
+
+
+def block_code_structural_latency(lifting_factor: int, n_variables: int,
+                                  rate: float) -> float:
+    """Structural latency of an LDPC block code, Eq. (5)."""
+    check_positive("lifting_factor", lifting_factor)
+    check_positive("n_variables", n_variables)
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("rate must lie in (0, 1]")
+    return float(lifting_factor * n_variables * rate)

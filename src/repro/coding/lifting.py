@@ -1,0 +1,108 @@
+"""Lifting a protograph into a binary parity-check matrix.
+
+Every protograph edge bundle (an entry ``b`` of the base matrix) is
+replaced by the sum of ``b`` distinct circulant permutation matrices of
+size ``N x N`` (``N`` is the *lifting factor*).  Using circulants rather
+than arbitrary permutations mirrors the quasi-cyclic structure used for
+hardware-friendly LDPC codes and makes the construction reproducible from
+a seed.
+
+The lifting factor controls the constraint length and therefore the
+strength of the code — the effect the paper demonstrates in Fig. 10 by
+comparing N = 25, 40 and 60.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+from scipy import sparse
+
+from repro.coding.protograph import Protograph
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _circulant_shifts(count: int, lifting_factor: int,
+                      rng: np.random.Generator) -> np.ndarray:
+    """Draw ``count`` distinct circulant shifts out of ``lifting_factor``."""
+    if count > lifting_factor:
+        raise ValueError(
+            "cannot place more parallel edges than the lifting factor allows"
+        )
+    return rng.choice(lifting_factor, size=count, replace=False)
+
+
+def lift_protograph(protograph: Protograph, lifting_factor: int,
+                    rng: RngLike = 0) -> sparse.csr_matrix:
+    """Lift a protograph to a binary parity-check matrix.
+
+    Parameters
+    ----------
+    protograph:
+        The protograph to lift (block or coupled).
+    lifting_factor:
+        Size ``N`` of the circulant permutation blocks.
+    rng:
+        Seed or generator controlling the circulant shifts; the default
+        seed 0 makes codes reproducible across runs.
+
+    Returns
+    -------
+    A sparse CSR matrix of shape
+    ``(n_checks * N, n_variables * N)`` with 0/1 entries.
+    """
+    if lifting_factor < 1:
+        raise ValueError("lifting factor must be at least 1")
+    generator = ensure_rng(rng)
+    base = protograph.base_matrix
+    n_checks, n_variables = base.shape
+    rows = []
+    cols = []
+    identity_rows = np.arange(lifting_factor)
+    for check in range(n_checks):
+        for variable in range(n_variables):
+            count = int(base[check, variable])
+            if count == 0:
+                continue
+            shifts = _circulant_shifts(count, lifting_factor, generator)
+            for shift in shifts:
+                rows.append(check * lifting_factor + identity_rows)
+                cols.append(variable * lifting_factor
+                            + (identity_rows + shift) % lifting_factor)
+    if not rows:
+        raise ValueError("protograph has no edges to lift")
+    row_indices = np.concatenate(rows)
+    col_indices = np.concatenate(cols)
+    data = np.ones(row_indices.size, dtype=np.int8)
+    matrix = sparse.coo_matrix(
+        (data, (row_indices, col_indices)),
+        shape=(n_checks * lifting_factor, n_variables * lifting_factor))
+    # Parallel edges mapped to the same position would cancel over GF(2);
+    # distinct shifts prevent that, so every entry is 0 or 1 by construction.
+    return matrix.tocsr()
+
+
+def matrix_girth_at_least_six(matrix: sparse.csr_matrix,
+                              max_checks: Optional[int] = 2000) -> bool:
+    """Cheap 4-cycle check: returns True if no length-4 cycle was found.
+
+    A 4-cycle exists when two rows share more than one column.  For large
+    matrices only the first ``max_checks`` row pairs (chosen among rows that
+    share at least one column) are inspected, which is sufficient as a
+    smoke test in the unit tests.
+    """
+    csr = matrix.tocsr()
+    n_rows = csr.shape[0]
+    checked = 0
+    for row in range(n_rows):
+        cols_a = set(csr.indices[csr.indptr[row]:csr.indptr[row + 1]])
+        for other in range(row + 1, n_rows):
+            cols_b = csr.indices[csr.indptr[other]:csr.indptr[other + 1]]
+            overlap = sum(1 for col in cols_b if col in cols_a)
+            if overlap > 1:
+                return False
+            checked += 1
+            if max_checks is not None and checked >= max_checks:
+                return True
+    return True

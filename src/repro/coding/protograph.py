@@ -1,0 +1,179 @@
+"""Protographs, edge spreadings and coupled (convolutional) protographs.
+
+The paper restricts itself to protograph-based LDPC codes because they lend
+themselves to low-complexity hardware.  A protograph is a small bipartite
+multigraph described by its bi-adjacency ("base") matrix ``B`` with ``nc``
+check rows and ``nv`` variable columns; entries count parallel edges.
+
+An LDPC convolutional code is obtained by *edge spreading*: the edges of
+``B`` are distributed over component matrices ``B_0 ... B_mcc`` satisfying
+``sum_i B_i = B`` (Eq. 2 of the paper), and the component matrices are
+arranged in the band-diagonal convolutional protograph ``B_[1,L]`` of
+Eq. 3, which couples ``L`` consecutive codeword blocks.
+
+The paper's concrete codes are the (4,8)-regular family:
+``B = [4, 4]`` for the block code and ``B_0 = [2, 2]``,
+``B_1 = B_2 = [1, 1]`` for the convolutional code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Protograph:
+    """A protograph described by its base matrix.
+
+    Attributes
+    ----------
+    base_matrix:
+        Integer matrix of shape ``(nc, nv)``; entry ``(i, j)`` is the number
+        of parallel edges between check ``i`` and variable ``j``.
+    """
+
+    base_matrix: np.ndarray
+
+    def __post_init__(self) -> None:
+        matrix = np.asarray(self.base_matrix, dtype=int)
+        if matrix.ndim != 2 or matrix.size == 0:
+            raise ValueError("base matrix must be a non-empty 2-D array")
+        if np.any(matrix < 0):
+            raise ValueError("base matrix entries must be non-negative")
+        if np.any(matrix.sum(axis=0) == 0):
+            raise ValueError("every variable node needs at least one edge")
+        object.__setattr__(self, "base_matrix", matrix)
+
+    @property
+    def n_checks(self) -> int:
+        """Number of check nodes ``nc``."""
+        return int(self.base_matrix.shape[0])
+
+    @property
+    def n_variables(self) -> int:
+        """Number of variable nodes ``nv``."""
+        return int(self.base_matrix.shape[1])
+
+    @property
+    def design_rate(self) -> float:
+        """Design rate ``1 - nc / nv`` (assuming full-rank checks)."""
+        return 1.0 - self.n_checks / self.n_variables
+
+    @property
+    def n_edges(self) -> int:
+        """Total number of protograph edges."""
+        return int(self.base_matrix.sum())
+
+    def variable_degrees(self) -> np.ndarray:
+        """Degree of each variable node."""
+        return self.base_matrix.sum(axis=0)
+
+    def check_degrees(self) -> np.ndarray:
+        """Degree of each check node."""
+        return self.base_matrix.sum(axis=1)
+
+    def is_regular(self) -> bool:
+        """True if all variable degrees and all check degrees are equal."""
+        return (len(set(self.variable_degrees().tolist())) == 1
+                and len(set(self.check_degrees().tolist())) == 1)
+
+
+@dataclass(frozen=True)
+class EdgeSpreading:
+    """An edge spreading ``B_0 ... B_mcc`` of a protograph (Eq. 2).
+
+    Attributes
+    ----------
+    components:
+        Tuple of integer matrices, all with the shape of the base matrix;
+        their element-wise sum must equal the base matrix.
+    """
+
+    components: Tuple[np.ndarray, ...]
+
+    def __post_init__(self) -> None:
+        if not self.components:
+            raise ValueError("an edge spreading needs at least one component")
+        components = tuple(np.asarray(c, dtype=int) for c in self.components)
+        shape = components[0].shape
+        for component in components:
+            if component.shape != shape:
+                raise ValueError("all component matrices must share one shape")
+            if np.any(component < 0):
+                raise ValueError("component entries must be non-negative")
+        object.__setattr__(self, "components", components)
+
+    @property
+    def memory(self) -> int:
+        """Coupling memory ``mcc`` (number of components minus one)."""
+        return len(self.components) - 1
+
+    @property
+    def base(self) -> Protograph:
+        """The protograph obtained by summing the components (Eq. 2)."""
+        total = np.zeros_like(self.components[0])
+        for component in self.components:
+            total = total + component
+        return Protograph(total)
+
+    def validate_against(self, protograph: Protograph) -> None:
+        """Raise if the spreading does not sum to ``protograph`` (Eq. 2)."""
+        if not np.array_equal(self.base.base_matrix, protograph.base_matrix):
+            raise ValueError(
+                "edge spreading violates Eq. (2): component matrices do not "
+                "sum to the base matrix")
+
+
+def coupled_protograph(spreading: EdgeSpreading, termination_length: int
+                       ) -> Protograph:
+    """Terminated convolutional protograph ``B_[1,L]`` of Eq. 3.
+
+    Parameters
+    ----------
+    spreading:
+        The edge spreading defining the convolutional structure.
+    termination_length:
+        Number of coupled codeword blocks ``L``; must exceed the memory.
+
+    Returns
+    -------
+    A :class:`Protograph` with ``(L + mcc) * nc`` checks and ``L * nv``
+    variables.  The last ``mcc * nc`` check rows are the termination checks
+    responsible for the rate loss the paper mentions.
+    """
+    memory = spreading.memory
+    if termination_length <= memory:
+        raise ValueError("termination length must exceed the coupling memory")
+    n_checks, n_variables = spreading.components[0].shape
+    total_checks = (termination_length + memory) * n_checks
+    total_variables = termination_length * n_variables
+    coupled = np.zeros((total_checks, total_variables), dtype=int)
+    for time in range(termination_length):
+        for delay, component in enumerate(spreading.components):
+            row_start = (time + delay) * n_checks
+            col_start = time * n_variables
+            coupled[row_start:row_start + n_checks,
+                    col_start:col_start + n_variables] += component
+    return Protograph(coupled)
+
+
+def terminated_rate(spreading: EdgeSpreading, termination_length: int) -> float:
+    """Design rate of the terminated LDPC-CC (includes the termination loss)."""
+    coupled = coupled_protograph(spreading, termination_length)
+    return coupled.design_rate
+
+
+#: The paper's (4,8)-regular block protograph: B = [4, 4].
+PAPER_BLOCK_PROTOGRAPH = Protograph(np.array([[4, 4]]))
+
+
+def paper_edge_spreading() -> EdgeSpreading:
+    """The paper's edge spreading: B0 = [2, 2], B1 = B2 = [1, 1] (mcc = 2)."""
+    return EdgeSpreading((
+        np.array([[2, 2]]),
+        np.array([[1, 1]]),
+        np.array([[1, 1]]),
+    ))

@@ -1,0 +1,27 @@
+"""End-to-end wireless interconnect system (the paper's overall proposal).
+
+The paper's vision is a box of boards, each board carrying several 3D
+chip-stacks, with
+
+* 3D Network-in-Chip-Stack meshes *inside* each stack (Section IV),
+* wireless 200+ GHz links *between* boards replacing the backplane
+  (Section II), carried by
+* 1-bit oversampling receivers (Section III) and protected by
+* low-latency LDPC convolutional codes (Section V).
+
+:class:`repro.core.link.WirelessBoardLink` composes the channel, PHY and
+coding layers into a single board-to-board link abstraction;
+:class:`repro.core.system.WirelessInterconnectSystem` assembles many such
+links plus the per-stack NoCs into a system-level model with throughput and
+latency reports.
+"""
+
+from repro.core.link import LinkReport, WirelessBoardLink
+from repro.core.system import SystemReport, WirelessInterconnectSystem
+
+__all__ = [
+    "WirelessBoardLink",
+    "LinkReport",
+    "WirelessInterconnectSystem",
+    "SystemReport",
+]

@@ -1,0 +1,173 @@
+"""A single wireless board-to-board link: channel + PHY + coding.
+
+:class:`WirelessBoardLink` answers the questions a system designer asks of
+one link of the paper's architecture:
+
+* What SNR does a given transmit power buy at this distance (link budget,
+  Section II)?
+* How many bits per channel use does the 1-bit oversampling receiver
+  extract at that SNR (Section III), and what data rate does that yield in
+  the 25 GHz signal bandwidth?
+* What Eb/N0 margin and structural latency does the chosen LDPC-CC window
+  decoder add (Section V)?
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.channel.link_budget import LinkBudget, PAPER_LINK_BUDGET, LinkBudgetParameters
+from repro.coding.density_evolution import window_de_threshold
+from repro.coding.latency import window_decoder_structural_latency
+from repro.coding.protograph import paper_edge_spreading
+from repro.phy.information_rate import sequence_information_rate
+from repro.phy.pulse import Pulse, sequence_optimized_pulse
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LinkReport:
+    """Operating point of one wireless board-to-board link.
+
+    Attributes
+    ----------
+    distance_m:
+        Link distance.
+    tx_power_dbm:
+        Transmit power.
+    snr_db:
+        Received SNR from the link budget.
+    information_rate_bpcu:
+        Achievable rate of the 1-bit oversampling receiver at that SNR,
+        in bits per channel use.
+    data_rate_gbps:
+        Resulting net data rate (dual polarisation, after the code rate).
+    coding_threshold_ebn0_db:
+        Asymptotic Eb/N0 the chosen window decoder needs.
+    coding_latency_information_bits:
+        Structural latency of the window decoder, Eq. (4).
+    closes:
+        True if the received SNR exceeds the coding threshold expressed as
+        SNR (i.e. the link closes with the chosen code).
+    """
+
+    distance_m: float
+    tx_power_dbm: float
+    snr_db: float
+    information_rate_bpcu: float
+    data_rate_gbps: float
+    coding_threshold_ebn0_db: float
+    coding_latency_information_bits: float
+    closes: bool
+
+
+class WirelessBoardLink:
+    """One beam-steered wireless link between two boards.
+
+    Parameters
+    ----------
+    distance_m:
+        Node-to-node distance (0.1 m "ahead" to 0.3 m "diagonal" in the
+        paper).
+    budget_parameters:
+        Link-budget inputs (defaults to Table I).
+    include_butler_mismatch:
+        Charge the worst-case Butler-matrix pointing loss (the paper does
+        so for the longest links only).
+    pulse:
+        ISI design for the 1-bit oversampling receiver.
+    window_size, lifting_factor:
+        LDPC-CC window-decoder configuration (Section V).
+    dual_polarization:
+        The paper reaches 100 Gbit/s by using both polarisations.
+    """
+
+    def __init__(self, distance_m: float,
+                 budget_parameters: LinkBudgetParameters = PAPER_LINK_BUDGET,
+                 include_butler_mismatch: bool = False,
+                 pulse: Optional[Pulse] = None,
+                 window_size: int = 6, lifting_factor: int = 40,
+                 dual_polarization: bool = True) -> None:
+        check_positive("distance_m", distance_m)
+        check_positive("window_size", window_size)
+        check_positive("lifting_factor", lifting_factor)
+        self.distance_m = float(distance_m)
+        self.budget = LinkBudget(budget_parameters)
+        self.include_butler_mismatch = bool(include_butler_mismatch)
+        self.pulse = (pulse if pulse is not None else sequence_optimized_pulse())
+        self.window_size = int(window_size)
+        self.lifting_factor = int(lifting_factor)
+        self.dual_polarization = bool(dual_polarization)
+        self._spreading = paper_edge_spreading()
+        self._code_rate = self._spreading.base.design_rate
+        self._coding_threshold_db: Optional[float] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def code_rate(self) -> float:
+        """Design rate of the LDPC-CC protecting the link."""
+        return self._code_rate
+
+    def coding_threshold_ebn0_db(self) -> float:
+        """Asymptotic Eb/N0 required by the window decoder (cached)."""
+        if self._coding_threshold_db is None:
+            self._coding_threshold_db = window_de_threshold(
+                self._spreading, self.window_size, rate=self._code_rate)
+        return self._coding_threshold_db
+
+    def received_snr_db(self, tx_power_dbm: float) -> float:
+        """Received SNR for a transmit power (Section II link budget)."""
+        return float(self.budget.received_snr_db(
+            tx_power_dbm, self.distance_m, self.include_butler_mismatch))
+
+    def required_tx_power_dbm(self, target_snr_db: float) -> float:
+        """Transmit power needed for a target SNR (the Fig. 4 question)."""
+        return float(self.budget.required_tx_power_dbm(
+            target_snr_db, self.distance_m, self.include_butler_mismatch))
+
+    def information_rate_bpcu(self, snr_db: float,
+                              n_symbols: int = 10_000) -> float:
+        """Achievable rate of the 1-bit oversampling receiver at an SNR."""
+        return sequence_information_rate(self.pulse, snr_db,
+                                         n_symbols=n_symbols, rng=0)
+
+    def data_rate_gbps(self, snr_db: float, n_symbols: int = 10_000) -> float:
+        """Net data rate in Gbit/s at an SNR.
+
+        Symbol rate equals the signal bandwidth (25 GHz in Table I); the
+        achievable rate in bits per channel use is multiplied by the symbol
+        rate, the code rate and, if enabled, the two polarisations.
+        """
+        rate_bpcu = self.information_rate_bpcu(snr_db, n_symbols=n_symbols)
+        symbol_rate = self.budget.parameters.bandwidth_hz
+        polarisations = 2.0 if self.dual_polarization else 1.0
+        return float(rate_bpcu * symbol_rate * self._code_rate
+                     * polarisations / 1e9)
+
+    def evaluate(self, tx_power_dbm: float,
+                 n_symbols: int = 10_000) -> LinkReport:
+        """Full link report at a given transmit power."""
+        snr_db = self.received_snr_db(tx_power_dbm)
+        information_rate = self.information_rate_bpcu(snr_db,
+                                                      n_symbols=n_symbols)
+        data_rate = self.data_rate_gbps(snr_db, n_symbols=n_symbols)
+        threshold = self.coding_threshold_ebn0_db()
+        latency = window_decoder_structural_latency(
+            self.window_size, self.lifting_factor, 2, self._code_rate)
+        # Convert the coding threshold (Eb/N0) to the SNR the modem needs:
+        # SNR = Eb/N0 * R * bits-per-symbol for the 4-ASK carrying 2 bits.
+        bits_per_symbol = 2.0
+        import numpy as np
+
+        required_snr_db = threshold + 10.0 * np.log10(
+            self._code_rate * bits_per_symbol)
+        closes = bool(snr_db >= required_snr_db)
+        return LinkReport(distance_m=self.distance_m,
+                          tx_power_dbm=float(tx_power_dbm),
+                          snr_db=snr_db,
+                          information_rate_bpcu=information_rate,
+                          data_rate_gbps=data_rate,
+                          coding_threshold_ebn0_db=threshold,
+                          coding_latency_information_bits=latency,
+                          closes=closes)

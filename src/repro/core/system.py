@@ -1,0 +1,174 @@
+"""System-level model: boards of 3D chip-stacks with wireless interconnect.
+
+:class:`WirelessInterconnectSystem` assembles the paper's overall proposal:
+a set of parallel boards, each carrying several 3D chip-stacks; inside each
+stack a 3D-mesh Network-in-Chip-Stack; between boards direct wireless links
+(one per facing chip-stack pair) that replace the backplane.  The model
+produces a system report combining
+
+* the intra-stack NoC latency and saturation throughput (Section IV),
+* the board-to-board link budget, achievable PHY rate and resulting
+  aggregate wireless bisection bandwidth (Sections II and III), and
+* the FEC latency contribution (Section V).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.channel.geometry import BoardToBoardGeometry
+from repro.core.link import LinkReport, WirelessBoardLink
+from repro.noc.analytic import AnalyticNocModel, RouterParameters
+from repro.noc.topology import Mesh3D
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class SystemReport:
+    """Summary of an evaluated wireless interconnect system.
+
+    Attributes
+    ----------
+    n_boards:
+        Number of boards in the box.
+    stacks_per_board:
+        Wireless nodes (chip-stacks) per board.
+    modules_per_stack:
+        Processing modules inside each 3D chip-stack.
+    total_modules:
+        Total processing modules in the system.
+    noc_zero_load_latency_cycles:
+        Mean intra-stack NoC latency at low load.
+    noc_saturation_rate:
+        Intra-stack saturation injection rate (flits/cycle/module).
+    link_reports:
+        One report per board-to-board link class (ahead, diagonal, ...).
+    aggregate_wireless_rate_gbps:
+        Sum of the data rates of all board-to-board links between one pair
+        of adjacent boards (the wireless "bisection" replacing the
+        backplane).
+    fec_latency_information_bits:
+        Structural latency of the link FEC.
+    """
+
+    n_boards: int
+    stacks_per_board: int
+    modules_per_stack: int
+    total_modules: int
+    noc_zero_load_latency_cycles: float
+    noc_saturation_rate: float
+    link_reports: List[LinkReport]
+    aggregate_wireless_rate_gbps: float
+    fec_latency_information_bits: float
+
+
+class WirelessInterconnectSystem:
+    """The paper's box-of-boards system with wireless board-to-board links.
+
+    Parameters
+    ----------
+    n_boards:
+        Number of boards stacked in the box (the paper suggests 4-5 boards
+        per litre).
+    stack_mesh_shape:
+        Shape of the 3D mesh inside each chip-stack, e.g. ``(4, 4, 4)``.
+    geometry:
+        Board-to-board geometry; its node grid defines how many wireless
+        links connect adjacent boards.
+    tx_power_dbm:
+        Transmit power of each wireless node.
+    router:
+        NoC router timing parameters.
+    """
+
+    def __init__(self, n_boards: int = 4,
+                 stack_mesh_shape: tuple = (4, 4, 4),
+                 geometry: Optional[BoardToBoardGeometry] = None,
+                 tx_power_dbm: float = 10.0,
+                 router: RouterParameters = RouterParameters(),
+                 window_size: int = 6, lifting_factor: int = 40) -> None:
+        if n_boards < 2:
+            raise ValueError("a wireless interconnect needs at least 2 boards")
+        check_positive("window_size", window_size)
+        self.n_boards = int(n_boards)
+        self.stack_mesh_shape = tuple(int(v) for v in stack_mesh_shape)
+        if len(self.stack_mesh_shape) != 3:
+            raise ValueError("stack_mesh_shape must have three dimensions")
+        self.geometry = geometry or BoardToBoardGeometry.paper_geometry()
+        self.tx_power_dbm = float(tx_power_dbm)
+        self.router = router
+        self.window_size = int(window_size)
+        self.lifting_factor = int(lifting_factor)
+        self.stack_topology = Mesh3D(*self.stack_mesh_shape)
+        self._noc_model: Optional[AnalyticNocModel] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def stacks_per_board(self) -> int:
+        """Number of chip-stacks (wireless nodes) on each board."""
+        return len(self.geometry.nodes_on_board(0))
+
+    @property
+    def modules_per_stack(self) -> int:
+        """Processing modules inside one chip-stack."""
+        return self.stack_topology.n_modules
+
+    @property
+    def total_modules(self) -> int:
+        """Total processing modules in the box."""
+        return self.n_boards * self.stacks_per_board * self.modules_per_stack
+
+    def noc_model(self) -> AnalyticNocModel:
+        """Analytic model of the intra-stack 3D-mesh NoC (cached)."""
+        if self._noc_model is None:
+            self._noc_model = AnalyticNocModel(self.stack_topology,
+                                               router=self.router)
+        return self._noc_model
+
+    def board_links(self) -> List[WirelessBoardLink]:
+        """One link object per distinct cross-board node-pair distance.
+
+        Links are grouped by distance (ahead, diagonal, ...); the Butler
+        matrix mismatch penalty is charged to the longest link class only,
+        following the paper's worst-case assumption.
+        """
+        distances = np.unique(np.round(self.geometry.link_distances_m(), 6))
+        longest = distances[-1]
+        links = []
+        for distance in distances:
+            links.append(WirelessBoardLink(
+                distance_m=float(distance),
+                include_butler_mismatch=bool(np.isclose(distance, longest)),
+                window_size=self.window_size,
+                lifting_factor=self.lifting_factor))
+        return links
+
+    def evaluate(self, n_symbols: int = 5_000) -> SystemReport:
+        """Produce the full system report."""
+        noc = self.noc_model()
+        links = self.board_links()
+        reports = [link.evaluate(self.tx_power_dbm, n_symbols=n_symbols)
+                   for link in links]
+        # Aggregate wireless rate between two adjacent boards: every
+        # cross-board node pair runs one link whose rate depends on its
+        # distance class.
+        distance_list = np.round(self.geometry.link_distances_m(), 6)
+        rate_by_distance = {round(report.distance_m, 6): report.data_rate_gbps
+                            for report in reports}
+        aggregate = float(sum(rate_by_distance[round(d, 6)]
+                              for d in distance_list))
+        fec_latency = reports[0].coding_latency_information_bits if reports else 0.0
+        return SystemReport(
+            n_boards=self.n_boards,
+            stacks_per_board=self.stacks_per_board,
+            modules_per_stack=self.modules_per_stack,
+            total_modules=self.total_modules,
+            noc_zero_load_latency_cycles=noc.zero_load_latency(),
+            noc_saturation_rate=noc.saturation_rate(),
+            link_reports=reports,
+            aggregate_wireless_rate_gbps=aggregate,
+            fec_latency_information_bits=fec_latency,
+        )

@@ -1,0 +1,68 @@
+"""3D Network-in-Chip-Stack (NiCS) topologies and performance models (Section IV).
+
+The paper compares a classical 2D mesh, a concentrated ("star") mesh and a
+3D mesh under uniform Poisson traffic using a queueing-theory performance
+model, concluding that the 3D mesh combines low latency with the highest
+saturation throughput and scales best to many-core systems (Fig. 8).
+
+Modules:
+
+* :mod:`repro.noc.topology` — grid topologies with optional concentration:
+  2D mesh, star-mesh (concentrated 2D mesh), 3D mesh and ciliated 3D mesh.
+* :mod:`repro.noc.routing` — dimension-ordered (XY/XYZ) and shortest-path
+  routing.
+* :mod:`repro.noc.traffic` — uniform, hotspot, transpose and neighbour
+  traffic patterns with Poisson arrivals.
+* :mod:`repro.noc.analytic` — the queueing-theory latency/throughput model
+  used for Fig. 8.
+* :mod:`repro.noc.simulator` — a cycle-level flit simulator used to
+  validate the analytic model.
+* :mod:`repro.noc.metrics` — hop counts, bisection bandwidth, saturation
+  detection.
+"""
+
+from repro.noc.topology import (
+    CiliatedMesh3D,
+    GridTopology,
+    Mesh2D,
+    Mesh3D,
+    StarMesh,
+)
+from repro.noc.routing import DimensionOrderedRouting, ShortestPathRouting
+from repro.noc.traffic import (
+    HotspotTraffic,
+    NeighborTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+)
+from repro.noc.analytic import AnalyticNocModel, LatencyResult, RouterParameters
+from repro.noc.simulator import NocSimulator, SimulationResult
+from repro.noc.metrics import (
+    average_hop_count,
+    bisection_links,
+    saturation_injection_rate,
+    zero_load_latency,
+)
+
+__all__ = [
+    "GridTopology",
+    "Mesh2D",
+    "Mesh3D",
+    "StarMesh",
+    "CiliatedMesh3D",
+    "DimensionOrderedRouting",
+    "ShortestPathRouting",
+    "UniformTraffic",
+    "HotspotTraffic",
+    "TransposeTraffic",
+    "NeighborTraffic",
+    "AnalyticNocModel",
+    "RouterParameters",
+    "LatencyResult",
+    "NocSimulator",
+    "SimulationResult",
+    "average_hop_count",
+    "bisection_links",
+    "saturation_injection_rate",
+    "zero_load_latency",
+]

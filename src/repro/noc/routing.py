@@ -1,0 +1,98 @@
+"""Routing algorithms for the grid topologies.
+
+Dimension-ordered routing (XY for 2D, XYZ for 3D) is the deterministic,
+deadlock-free workhorse used for all the paper's results; a shortest-path
+router (networkx-based) is provided as an alternative for irregular
+extensions and as a cross-check in tests.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import networkx as nx
+
+from repro.noc.topology import GridTopology
+
+Link = Tuple[int, int]
+
+
+class DimensionOrderedRouting:
+    """Deterministic dimension-ordered (XY/XYZ) routing.
+
+    Packets correct their coordinate one axis at a time, in ascending axis
+    order.  On a mesh this is minimal and deadlock-free, and it is the
+    routing the queueing model of the paper assumes.
+    """
+
+    def __init__(self, topology: GridTopology) -> None:
+        self.topology = topology
+
+    def router_path(self, source_router: int, destination_router: int
+                    ) -> List[int]:
+        """Sequence of routers visited, including source and destination."""
+        topology = self.topology
+        current = list(topology.router_coordinate(source_router))
+        destination = topology.router_coordinate(destination_router)
+        path = [source_router]
+        for axis in range(topology.n_dimensions):
+            step = 1 if destination[axis] > current[axis] else -1
+            while current[axis] != destination[axis]:
+                current[axis] += step
+                path.append(topology.coordinate_to_router(current))
+        return path
+
+    def links_on_path(self, source_router: int, destination_router: int
+                      ) -> List[Link]:
+        """Unidirectional channels traversed between two routers."""
+        path = self.router_path(source_router, destination_router)
+        return list(zip(path[:-1], path[1:]))
+
+    def module_path(self, source_module: int, destination_module: int
+                    ) -> List[int]:
+        """Router path between the routers of two modules."""
+        return self.router_path(
+            self.topology.router_of_module(source_module),
+            self.topology.router_of_module(destination_module))
+
+    def hop_count(self, source_router: int, destination_router: int) -> int:
+        """Number of router-to-router channels traversed."""
+        return self.topology.router_distance(source_router, destination_router)
+
+
+class ShortestPathRouting:
+    """Shortest-path routing on the router graph (networkx BFS).
+
+    On a plain mesh this coincides with dimension-ordered routing in hop
+    count (though not necessarily in the exact path); it exists mainly for
+    irregular/heterogeneous extensions of the topologies.
+    """
+
+    def __init__(self, topology: GridTopology) -> None:
+        self.topology = topology
+        self._paths = dict(nx.all_pairs_shortest_path(topology.graph))
+
+    def router_path(self, source_router: int, destination_router: int
+                    ) -> List[int]:
+        """Sequence of routers visited, including source and destination."""
+        try:
+            return list(self._paths[source_router][destination_router])
+        except KeyError as error:
+            raise ValueError("router index out of range or unreachable") from error
+
+    def links_on_path(self, source_router: int, destination_router: int
+                      ) -> List[Link]:
+        """Unidirectional channels traversed between two routers."""
+        path = self.router_path(source_router, destination_router)
+        return list(zip(path[:-1], path[1:]))
+
+    def module_path(self, source_module: int, destination_module: int
+                    ) -> List[int]:
+        """Router path between the routers of two modules."""
+        return self.router_path(
+            self.topology.router_of_module(source_module),
+            self.topology.router_of_module(destination_module))
+
+    def hop_count(self, source_router: int, destination_router: int) -> int:
+        """Number of router-to-router channels traversed."""
+        return len(self.router_path(source_router, destination_router)) - 1

@@ -1,0 +1,192 @@
+"""Cycle-level flit simulator for the NoC topologies.
+
+The analytic queueing model (:mod:`repro.noc.analytic`) produces the
+paper's Fig. 8 curves in milliseconds; this simulator provides an
+independent cross-check of those numbers: output-queued routers with
+dimension-ordered routing, single-flit packets, per-module Poisson
+injection, one flit per cycle per channel and a fixed pipeline delay per
+traversed router.  It is deliberately simple (infinite buffers, no virtual
+channels) because the analytic model it validates makes the same
+assumptions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, List, Tuple
+
+import numpy as np
+
+from repro.noc.routing import DimensionOrderedRouting
+from repro.noc.topology import GridTopology
+from repro.noc.traffic import UniformTraffic, _TrafficPattern
+from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run.
+
+    Attributes
+    ----------
+    injection_rate:
+        Offered load per module in flits/cycle/module.
+    mean_latency_cycles:
+        Mean latency of packets delivered after the warm-up period.
+    delivered_packets:
+        Number of packets the latency average is based on.
+    offered_packets:
+        Number of packets injected after the warm-up period.
+    accepted_throughput:
+        Delivered flits per cycle per module (measured after warm-up).
+    saturated:
+        Heuristic flag: the network failed to deliver most of the offered
+        traffic within the simulated horizon.
+    """
+
+    injection_rate: float
+    mean_latency_cycles: float
+    delivered_packets: int
+    offered_packets: int
+    accepted_throughput: float
+    saturated: bool
+
+
+@dataclass
+class _Packet:
+    source_module: int
+    destination_module: int
+    creation_cycle: int
+    measured: bool
+
+
+class NocSimulator:
+    """Discrete-time NoC simulator with output-queued routers.
+
+    Parameters
+    ----------
+    topology:
+        Any grid topology.
+    pipeline_latency_cycles:
+        Cycles a flit spends in every traversed router before it can
+        compete for an output channel (2 in the paper calibration).
+    traffic_class:
+        Pattern used to pick packet destinations (default uniform).
+    """
+
+    def __init__(self, topology: GridTopology,
+                 pipeline_latency_cycles: int = 2,
+                 traffic_class=UniformTraffic, **traffic_kwargs) -> None:
+        if pipeline_latency_cycles < 0:
+            raise ValueError("pipeline_latency_cycles must be non-negative")
+        self.topology = topology
+        self.routing = DimensionOrderedRouting(topology)
+        self.pipeline_latency_cycles = int(pipeline_latency_cycles)
+        self.traffic_class = traffic_class
+        self.traffic_kwargs = traffic_kwargs
+
+    def _destination_distribution(self, injection_rate: float) -> np.ndarray:
+        pattern: _TrafficPattern = self.traffic_class(
+            self.topology, injection_rate, **self.traffic_kwargs)
+        rates = pattern.rate_matrix()
+        row_sums = rates.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            probabilities = np.where(row_sums > 0.0, rates / row_sums, 0.0)
+        return probabilities
+
+    def run(self, injection_rate: float, n_cycles: int = 5_000,
+            warmup_cycles: int = 1_000, rng: RngLike = None
+            ) -> SimulationResult:
+        """Simulate the network at one injection rate.
+
+        Packets created during the warm-up period are routed but excluded
+        from the latency statistics.
+        """
+        check_non_negative("injection_rate", injection_rate)
+        check_positive("n_cycles", n_cycles)
+        if warmup_cycles < 0 or warmup_cycles >= n_cycles:
+            raise ValueError("warmup_cycles must lie in [0, n_cycles)")
+        generator = ensure_rng(rng)
+        topology = self.topology
+        destination_probs = self._destination_distribution(max(injection_rate,
+                                                               1e-9))
+
+        # Per-channel FIFO queues.  A queue entry is (ready_cycle, packet,
+        # remaining_router_path).
+        link_queues: Dict[Tuple[int, int], Deque] = {
+            link: deque() for link in topology.links()}
+        ejection_queues: Dict[int, Deque] = {
+            router: deque() for router in range(topology.n_routers)}
+
+        latencies: List[int] = []
+        offered_measured = 0
+        delivered_measured = 0
+
+        for cycle in range(n_cycles):
+            # --- injection ------------------------------------------------
+            if injection_rate > 0.0:
+                arrivals = generator.poisson(injection_rate,
+                                             size=topology.n_modules)
+                for module in np.nonzero(arrivals)[0]:
+                    for _ in range(int(arrivals[module])):
+                        destination = int(generator.choice(
+                            topology.n_modules, p=destination_probs[module]))
+                        packet = _Packet(module, destination, cycle,
+                                         measured=cycle >= warmup_cycles)
+                        if packet.measured:
+                            offered_measured += 1
+                        source_router = topology.router_of_module(module)
+                        destination_router = topology.router_of_module(destination)
+                        path = self.routing.router_path(source_router,
+                                                        destination_router)
+                        ready = cycle + self.pipeline_latency_cycles
+                        self._enqueue(link_queues, ejection_queues, packet,
+                                      path, ready)
+
+            # --- channel service (one flit per channel per cycle) ---------
+            for link, queue in link_queues.items():
+                if queue and queue[0][0] <= cycle:
+                    ready, packet, remaining_path = queue.popleft()
+                    arrival = cycle + self.pipeline_latency_cycles
+                    self._enqueue(link_queues, ejection_queues, packet,
+                                  remaining_path, arrival)
+            for router, queue in ejection_queues.items():
+                if queue and queue[0][0] <= cycle:
+                    ready, packet, _ = queue.popleft()
+                    if packet.measured:
+                        delivered_measured += 1
+                        latencies.append(cycle - packet.creation_cycle + 1)
+
+        mean_latency = float(np.mean(latencies)) if latencies else float("nan")
+        measured_cycles = n_cycles - warmup_cycles
+        throughput = delivered_measured / (measured_cycles * topology.n_modules)
+        saturated = bool(offered_measured > 0
+                         and delivered_measured < 0.8 * offered_measured)
+        return SimulationResult(injection_rate=float(injection_rate),
+                                mean_latency_cycles=mean_latency,
+                                delivered_packets=delivered_measured,
+                                offered_packets=offered_measured,
+                                accepted_throughput=float(throughput),
+                                saturated=saturated)
+
+    @staticmethod
+    def _enqueue(link_queues: Dict[Tuple[int, int], Deque],
+                 ejection_queues: Dict[int, Deque], packet: _Packet,
+                 router_path: List[int], ready_cycle: int) -> None:
+        """Place a packet in the queue of its next channel."""
+        if len(router_path) <= 1:
+            ejection_queues[router_path[0]].append((ready_cycle, packet, None))
+            return
+        link = (router_path[0], router_path[1])
+        link_queues[link].append((ready_cycle, packet, router_path[1:]))
+
+    def latency_sweep(self, injection_rates, n_cycles: int = 5_000,
+                      warmup_cycles: int = 1_000, rng: RngLike = None
+                      ) -> List[SimulationResult]:
+        """Run the simulator at several injection rates."""
+        generator = ensure_rng(rng)
+        return [self.run(rate, n_cycles=n_cycles, warmup_cycles=warmup_cycles,
+                         rng=generator)
+                for rate in injection_rates]

@@ -1,0 +1,138 @@
+"""Traffic patterns for the NoC performance models.
+
+The paper evaluates the topologies under *global uniform traffic with
+Poisson arrival streams*; hotspot, transpose and nearest-neighbour patterns
+are provided in addition because they are the standard stress patterns for
+concentrated and 3D topologies (used in the ablation benches).
+
+A traffic pattern is fully described by its rate matrix
+``rates[s, d]`` (flits/cycle sent from module ``s`` to module ``d``); all
+patterns are parameterised by the per-module injection rate in
+flits/cycle/module, matching the x-axis of Fig. 8.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.noc.topology import GridTopology
+from repro.utils.validation import check_non_negative, check_probability
+
+
+class _TrafficPattern:
+    """Common interface: a rate matrix plus metadata."""
+
+    name = "traffic"
+
+    def __init__(self, topology: GridTopology, injection_rate: float) -> None:
+        check_non_negative("injection_rate", injection_rate)
+        self.topology = topology
+        self.injection_rate = float(injection_rate)
+
+    def rate_matrix(self) -> np.ndarray:
+        """Per-pair rates in flits/cycle, shape ``(n_modules, n_modules)``."""
+        raise NotImplementedError
+
+    def total_offered_load(self) -> float:
+        """Sum of all pair rates (flits/cycle injected network-wide)."""
+        return float(self.rate_matrix().sum())
+
+
+class UniformTraffic(_TrafficPattern):
+    """Global uniform random traffic (the paper's Fig. 8 workload).
+
+    Every module sends ``injection_rate`` flits/cycle, spread uniformly
+    over all *other* modules.
+    """
+
+    name = "uniform"
+
+    def rate_matrix(self) -> np.ndarray:
+        n = self.topology.n_modules
+        if n == 1:
+            return np.zeros((1, 1))
+        rates = np.full((n, n), self.injection_rate / (n - 1))
+        np.fill_diagonal(rates, 0.0)
+        return rates
+
+
+class HotspotTraffic(_TrafficPattern):
+    """Uniform traffic with a fraction of all traffic directed to hotspots.
+
+    ``hotspot_fraction`` of each module's traffic goes to the hotspot
+    modules (split evenly); the remainder is uniform.  Models shared-memory
+    controllers or I/O interfaces.
+    """
+
+    name = "hotspot"
+
+    def __init__(self, topology: GridTopology, injection_rate: float,
+                 hotspot_modules: Optional[list] = None,
+                 hotspot_fraction: float = 0.2) -> None:
+        super().__init__(topology, injection_rate)
+        check_probability("hotspot_fraction", hotspot_fraction)
+        if hotspot_modules is None:
+            hotspot_modules = [0]
+        hotspot_modules = [int(m) for m in hotspot_modules]
+        for module in hotspot_modules:
+            if not 0 <= module < topology.n_modules:
+                raise ValueError("hotspot module index out of range")
+        if not hotspot_modules:
+            raise ValueError("at least one hotspot module is required")
+        self.hotspot_modules = hotspot_modules
+        self.hotspot_fraction = float(hotspot_fraction)
+
+    def rate_matrix(self) -> np.ndarray:
+        n = self.topology.n_modules
+        uniform = UniformTraffic(self.topology,
+                                 self.injection_rate * (1.0 - self.hotspot_fraction))
+        rates = uniform.rate_matrix()
+        per_hotspot = (self.injection_rate * self.hotspot_fraction
+                       / len(self.hotspot_modules))
+        for hotspot in self.hotspot_modules:
+            rates[:, hotspot] += per_hotspot
+        np.fill_diagonal(rates, 0.0)
+        return rates
+
+
+class TransposeTraffic(_TrafficPattern):
+    """Matrix-transpose permutation traffic.
+
+    Module ``i`` sends all its traffic to module ``(i * k) mod (n - 1)``
+    style transpose partner; for square meshes this reduces to the familiar
+    (x, y) -> (y, x) pattern.  A worst case for dimension-ordered routing.
+    """
+
+    name = "transpose"
+
+    def rate_matrix(self) -> np.ndarray:
+        n = self.topology.n_modules
+        rates = np.zeros((n, n))
+        if n == 1:
+            return rates
+        for module in range(n):
+            partner = (n - 1) - module
+            if partner != module:
+                rates[module, partner] = self.injection_rate
+        return rates
+
+
+class NeighborTraffic(_TrafficPattern):
+    """Nearest-neighbour traffic: each module talks to the adjacent module.
+
+    Friendly to meshes and to concentration: most traffic stays local.
+    """
+
+    name = "neighbor"
+
+    def rate_matrix(self) -> np.ndarray:
+        n = self.topology.n_modules
+        rates = np.zeros((n, n))
+        if n == 1:
+            return rates
+        for module in range(n):
+            partner = (module + 1) % n
+            rates[module, partner] = self.injection_rate
+        return rates

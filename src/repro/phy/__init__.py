@@ -1,0 +1,73 @@
+"""Bandwidth- and energy-efficient multi-gigabit/s PHY (Section III).
+
+The paper's key idea: at 100 Gbit/s-class data rates the analog-to-digital
+converter dominates the receiver power budget, so the resolution should be
+pushed all the way down to one bit.  The resulting loss in spectral
+efficiency is recovered by oversampling the 1-bit output (5x in the paper)
+and by *deliberately designing inter-symbol interference* so the 1-bit
+samples become informative about the 4-ASK amplitude.  Sequence estimation
+over the resulting finite-state channel then recovers close to the full
+2 bit/channel-use of 4-ASK.
+
+Modules:
+
+* :mod:`repro.phy.modulation` — ASK constellations.
+* :mod:`repro.phy.pulse` — oversampled pulse/ISI filter representation and
+  the canonical designs of Fig. 5.
+* :mod:`repro.phy.quantizer` — 1-bit and multi-bit quantisers.
+* :mod:`repro.phy.channel_model` — the oversampled 1-bit AWGN channel with
+  its finite-state (trellis) description.
+* :mod:`repro.phy.information_rate` — achievable-rate computations behind
+  Fig. 6.
+* :mod:`repro.phy.receiver` — symbol-by-symbol and Viterbi sequence
+  detectors.
+* :mod:`repro.phy.filter_design` — ISI filter optimisation strategies.
+"""
+
+from repro.phy.modulation import AskConstellation
+from repro.phy.pulse import (
+    Pulse,
+    rectangular_pulse,
+    raised_cosine_tail_pulse,
+    ramp_pulse,
+    sequence_optimized_pulse,
+    suboptimal_unique_detection_pulse,
+    symbolwise_optimized_pulse,
+)
+from repro.phy.quantizer import OneBitQuantizer, UniformQuantizer
+from repro.phy.channel_model import OversampledOneBitChannel
+from repro.phy.information_rate import (
+    ask_awgn_information_rate,
+    one_bit_no_oversampling_rate,
+    sequence_information_rate,
+    symbolwise_information_rate,
+)
+from repro.phy.receiver import SymbolBySymbolDetector, ViterbiSequenceDetector
+from repro.phy.filter_design import (
+    FilterDesignResult,
+    optimize_pulse,
+    unique_detection_fraction,
+)
+
+__all__ = [
+    "AskConstellation",
+    "Pulse",
+    "rectangular_pulse",
+    "raised_cosine_tail_pulse",
+    "ramp_pulse",
+    "sequence_optimized_pulse",
+    "suboptimal_unique_detection_pulse",
+    "symbolwise_optimized_pulse",
+    "OneBitQuantizer",
+    "UniformQuantizer",
+    "OversampledOneBitChannel",
+    "ask_awgn_information_rate",
+    "one_bit_no_oversampling_rate",
+    "sequence_information_rate",
+    "symbolwise_information_rate",
+    "SymbolBySymbolDetector",
+    "ViterbiSequenceDetector",
+    "FilterDesignResult",
+    "optimize_pulse",
+    "unique_detection_fraction",
+]

@@ -1,0 +1,119 @@
+"""Amplitude-shift-keying constellations.
+
+The paper's Section III studies regular 4-ASK.  The constellation here is
+the usual equally spaced, zero-mean amplitude grid, normalised to unit
+average symbol energy, with a Gray bit mapping for the bit-level
+interfaces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_rng
+
+
+def _gray_code(order: int) -> np.ndarray:
+    indices = np.arange(order)
+    return indices ^ (indices >> 1)
+
+
+@dataclass(frozen=True)
+class AskConstellation:
+    """Equally spaced M-ASK constellation with unit average energy.
+
+    Attributes
+    ----------
+    order:
+        Number of amplitude levels (must be a power of two >= 2);
+        the paper uses ``order=4``.
+    """
+
+    order: int = 4
+    _levels: np.ndarray = field(init=False, repr=False, default=None)
+
+    def __post_init__(self) -> None:
+        if self.order < 2 or (self.order & (self.order - 1)) != 0:
+            raise ValueError("constellation order must be a power of two >= 2")
+        raw = 2.0 * np.arange(self.order) - (self.order - 1)
+        normalised = raw / np.sqrt(np.mean(raw ** 2))
+        object.__setattr__(self, "_levels", normalised)
+
+    @property
+    def levels(self) -> np.ndarray:
+        """Amplitude levels sorted ascending, unit average energy."""
+        return self._levels.copy()
+
+    @property
+    def bits_per_symbol(self) -> int:
+        """Number of bits carried by one symbol."""
+        return int(np.log2(self.order))
+
+    @property
+    def average_energy(self) -> float:
+        """Average symbol energy (1.0 by construction)."""
+        return float(np.mean(self._levels ** 2))
+
+    @property
+    def minimum_distance(self) -> float:
+        """Distance between adjacent amplitude levels."""
+        return float(self._levels[1] - self._levels[0])
+
+    def indices_to_symbols(self, indices: np.ndarray) -> np.ndarray:
+        """Map level indices (0..order-1) to amplitudes."""
+        indices = np.asarray(indices)
+        if np.any((indices < 0) | (indices >= self.order)):
+            raise ValueError("symbol index out of range")
+        return self._levels[indices]
+
+    def symbols_to_indices(self, symbols: np.ndarray) -> np.ndarray:
+        """Map (possibly noisy) amplitudes to the nearest level index."""
+        symbols = np.asarray(symbols, dtype=float)
+        distances = np.abs(symbols[..., None] - self._levels[None, :])
+        return np.argmin(distances, axis=-1)
+
+    def bits_to_indices(self, bits: np.ndarray) -> np.ndarray:
+        """Pack Gray-coded bits (shape ``(..., bits_per_symbol)``) to indices."""
+        bits = np.asarray(bits)
+        if bits.shape[-1] != self.bits_per_symbol:
+            raise ValueError(
+                f"last axis must have {self.bits_per_symbol} bits"
+            )
+        weights = 1 << np.arange(self.bits_per_symbol - 1, -1, -1)
+        gray_values = (bits * weights).sum(axis=-1)
+        gray_to_index = np.argsort(_gray_code(self.order))
+        return gray_to_index[gray_values]
+
+    def indices_to_bits(self, indices: np.ndarray) -> np.ndarray:
+        """Unpack level indices into Gray-coded bits."""
+        indices = np.asarray(indices)
+        gray_values = _gray_code(self.order)[indices]
+        shifts = np.arange(self.bits_per_symbol - 1, -1, -1)
+        return ((gray_values[..., None] >> shifts) & 1).astype(np.int8)
+
+    def random_indices(self, n_symbols: int, rng: RngLike = None) -> np.ndarray:
+        """Draw uniformly distributed symbol indices."""
+        if n_symbols < 0:
+            raise ValueError("n_symbols must be non-negative")
+        generator = ensure_rng(rng)
+        return generator.integers(0, self.order, size=n_symbols)
+
+    def random_symbols(self, n_symbols: int, rng: RngLike = None) -> np.ndarray:
+        """Draw uniformly distributed symbol amplitudes."""
+        return self.indices_to_symbols(self.random_indices(n_symbols, rng))
+
+    def all_sequences(self, length: int) -> np.ndarray:
+        """Enumerate every index sequence of the given length.
+
+        Returns an array of shape ``(order**length, length)``; used by the
+        exact information-rate and unique-detection computations.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        if length == 0:
+            return np.zeros((1, 0), dtype=int)
+        grids = np.meshgrid(*([np.arange(self.order)] * length), indexing="ij")
+        return np.stack([grid.reshape(-1) for grid in grids], axis=1)

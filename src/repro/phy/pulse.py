@@ -1,0 +1,238 @@
+"""Oversampled transmit/ISI pulse representation and the Fig. 5 designs.
+
+A :class:`Pulse` describes the combined impulse response of transmit
+filter, channel and receive filter, sampled at ``oversampling`` samples per
+symbol and spanning an integer number of symbol periods.  The paper's core
+trick is that this response is a *design variable*: by letting it overlap
+into the next symbol (controlled inter-symbol interference) the 1-bit
+oversampled receiver can distinguish all four 4-ASK amplitudes, which a
+plain rectangular pulse cannot.
+
+The factory functions at the bottom provide the four designs shown in
+Fig. 5 of the paper:
+
+* :func:`rectangular_pulse` — Fig. 5(a), the ISI-free reference,
+* :func:`symbolwise_optimized_pulse` — Fig. 5(b), ISI optimised for
+  symbol-by-symbol detection at 25 dB SNR,
+* :func:`sequence_optimized_pulse` — Fig. 5(c), ISI optimised for sequence
+  detection at 25 dB SNR,
+* :func:`suboptimal_unique_detection_pulse` — Fig. 5(d), the noise-agnostic
+  design based only on the unique-detection property.
+
+The shipped coefficient sets for (b) and (c) were obtained with
+:func:`repro.phy.filter_design.optimize_pulse` (documented in
+EXPERIMENTS.md); the optimiser remains available to re-derive or improve
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class Pulse:
+    """A finite pulse sampled at ``oversampling`` samples per symbol.
+
+    Attributes
+    ----------
+    taps:
+        Pulse samples; the length must be a multiple of ``oversampling``.
+        ``taps[s * oversampling + m]`` is the contribution of a symbol to
+        the ``m``-th sample of the ``s``-th symbol period after its own.
+    oversampling:
+        Number of samples per symbol period (the paper uses 5).
+    name:
+        Label used in benchmark tables.
+    """
+
+    taps: np.ndarray
+    oversampling: int
+    name: str = "pulse"
+
+    def __post_init__(self) -> None:
+        taps = np.asarray(self.taps, dtype=float).reshape(-1)
+        if self.oversampling < 1:
+            raise ValueError("oversampling must be at least 1")
+        if taps.size == 0 or taps.size % self.oversampling != 0:
+            raise ValueError(
+                "number of taps must be a positive multiple of the "
+                "oversampling factor"
+            )
+        if not np.any(taps != 0.0):
+            raise ValueError("pulse must not be identically zero")
+        object.__setattr__(self, "taps", taps)
+
+    @property
+    def span_symbols(self) -> int:
+        """Number of symbol periods the pulse extends over."""
+        return self.taps.size // self.oversampling
+
+    @property
+    def memory(self) -> int:
+        """Channel memory in symbols (span minus one)."""
+        return self.span_symbols - 1
+
+    @property
+    def tap_matrix(self) -> np.ndarray:
+        """Taps reshaped to ``(span_symbols, oversampling)``.
+
+        Row ``s`` holds the contribution of a symbol to the sample phases of
+        the ``s``-th symbol period after its transmission.
+        """
+        return self.taps.reshape(self.span_symbols, self.oversampling)
+
+    @property
+    def average_power_per_sample(self) -> float:
+        """Average transmit power per sample for unit-energy i.i.d. symbols."""
+        return float(np.sum(self.taps ** 2) / self.oversampling)
+
+    def normalized(self) -> "Pulse":
+        """Return a copy scaled to unit average power per sample.
+
+        All information-rate comparisons in the paper are at equal transmit
+        power, so every design is normalised before use.
+        """
+        scale = 1.0 / np.sqrt(self.average_power_per_sample)
+        return Pulse(taps=self.taps * scale, oversampling=self.oversampling,
+                     name=self.name)
+
+    def delay_axis(self) -> np.ndarray:
+        """Sample instants in units of the symbol period (as in Fig. 5)."""
+        return np.arange(self.taps.size) / self.oversampling
+
+    def waveform(self, symbols: np.ndarray) -> np.ndarray:
+        """Noiseless oversampled transmit waveform for a symbol sequence.
+
+        Returns ``len(symbols) * oversampling`` samples; the contribution of
+        each symbol to periods beyond the last transmitted symbol is
+        truncated (steady-state analysis uses long sequences anyway).
+        """
+        symbols = np.asarray(symbols, dtype=float).reshape(-1)
+        upsampled = np.zeros(symbols.size * self.oversampling)
+        upsampled[:: self.oversampling] = symbols
+        full = np.convolve(upsampled, self.taps)
+        return full[: symbols.size * self.oversampling]
+
+    def sample_means(self, symbol_window: np.ndarray) -> np.ndarray:
+        """Noiseless samples of one symbol period for a window of symbols.
+
+        ``symbol_window`` must contain ``span_symbols`` amplitudes ordered
+        from the *current* symbol backwards in time, i.e.
+        ``[a_k, a_{k-1}, ..., a_{k-memory}]``.  Returns the
+        ``oversampling`` noiseless sample values of period ``k``.
+        """
+        window = np.asarray(symbol_window, dtype=float).reshape(-1)
+        if window.size != self.span_symbols:
+            raise ValueError(
+                f"expected {self.span_symbols} symbols, got {window.size}"
+            )
+        return window @ self.tap_matrix
+
+
+def rectangular_pulse(oversampling: int = 5) -> Pulse:
+    """Fig. 5(a): rectangular pulse confined to one symbol period (no ISI)."""
+    taps = np.ones(oversampling)
+    return Pulse(taps=taps, oversampling=oversampling,
+                 name="rectangular (no ISI)").normalized()
+
+
+def ramp_pulse(oversampling: int = 5, span_symbols: int = 2) -> Pulse:
+    """Linearly decaying pulse spanning several symbol periods.
+
+    A simple smooth ISI pulse used in tests and as an optimiser seed.
+    """
+    if span_symbols < 1:
+        raise ValueError("span_symbols must be at least 1")
+    n_taps = oversampling * span_symbols
+    taps = np.linspace(1.0, 0.0, n_taps, endpoint=False)
+    return Pulse(taps=taps, oversampling=oversampling,
+                 name="linear ramp").normalized()
+
+
+def raised_cosine_tail_pulse(oversampling: int = 5,
+                             tail_fraction: float = 0.5) -> Pulse:
+    """Smooth pulse whose raised-cosine tail leaks into the next symbol.
+
+    ``tail_fraction`` controls how much energy overlaps the following
+    symbol period (0 gives the rectangular pulse back).
+    """
+    if not 0.0 <= tail_fraction <= 1.0:
+        raise ValueError("tail_fraction must lie in [0, 1]")
+    main = np.ones(oversampling)
+    phase = np.linspace(0.0, np.pi, oversampling, endpoint=False)
+    tail = tail_fraction * 0.5 * (1.0 + np.cos(phase))
+    taps = np.concatenate([main, tail])
+    return Pulse(taps=taps, oversampling=oversampling,
+                 name="raised-cosine tail").normalized()
+
+
+def suboptimal_unique_detection_pulse(oversampling: int = 5) -> Pulse:
+    """Fig. 5(d): noise-agnostic design based on unique detection only.
+
+    The tail taps are chosen so that, in the noise-free case, the sign of
+    every oversampled sample compares the current 4-ASK amplitude against a
+    different threshold generated by the previous symbol (the ISI acts as a
+    deterministic, data-dependent dither).  The resulting mapping from
+    symbol sequences to sign patterns is injective, which is the design
+    criterion the paper states for this filter: it needs no knowledge of the
+    noise statistics.
+    """
+    if oversampling != 5:
+        raise ValueError(
+            "the shipped unique-detection design is defined for 5-fold "
+            "oversampling; use optimize_pulse for other factors"
+        )
+    main = np.array([1.0, 1.0, 1.0, 0.7, 0.7])
+    # Tail-to-main ratios 0, ±2/3, ±2 place the data-dependent thresholds in
+    # all three gaps of the 4-ASK grid for every previous-symbol value.
+    ratios = np.array([0.0, 2.0 / 3.0, -2.0 / 3.0, 2.0, -2.0])
+    tail = main * ratios
+    taps = np.concatenate([main, tail])
+    return Pulse(taps=taps, oversampling=5,
+                 name="suboptimal unique-detection design").normalized()
+
+
+def symbolwise_optimized_pulse(oversampling: int = 5) -> Pulse:
+    """Fig. 5(b): ISI optimised for symbol-by-symbol detection at 25 dB SNR.
+
+    Shipped result of ``optimize_pulse(objective="symbolwise",
+    snr_db=25)``.  The tail is milder than the sequence design because the
+    receiver treats the ISI as an unknown dither rather than exploiting it.
+    """
+    if oversampling != 5:
+        raise ValueError(
+            "the shipped symbolwise design is defined for 5-fold "
+            "oversampling; use optimize_pulse for other factors"
+        )
+    taps = np.array([
+        0.9502, 1.1310, 0.2180, 0.9274, 0.7100,
+        -0.7258, 0.0103, 0.0411, 0.7528, -0.5578,
+    ])
+    return Pulse(taps=taps, oversampling=5,
+                 name="optimal ISI, symbol-by-symbol detection").normalized()
+
+
+def sequence_optimized_pulse(oversampling: int = 5) -> Pulse:
+    """Fig. 5(c): ISI optimised for sequence detection at 25 dB SNR.
+
+    Shipped result of ``optimize_pulse(objective="sequence", snr_db=25)``.
+    The stronger, sign-alternating tail creates well-separated data-
+    dependent thresholds that a trellis-based sequence estimator can
+    exploit, pushing the information rate towards the full 2 bit/channel
+    use of 4-ASK.
+    """
+    if oversampling != 5:
+        raise ValueError(
+            "the shipped sequence design is defined for 5-fold "
+            "oversampling; use optimize_pulse for other factors"
+        )
+    taps = np.array([
+        0.8413, 0.6568, 0.8020, 0.5909, 0.5648,
+        0.0828, 0.3878, -0.5080, 0.9836, -1.0801,
+    ])
+    return Pulse(taps=taps, oversampling=5,
+                 name="optimal ISI, sequence detection").normalized()

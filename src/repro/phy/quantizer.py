@@ -1,0 +1,82 @@
+"""Receiver-side quantisers.
+
+The paper's receiver uses a single comparator (1-bit quantiser) per sample
+because the analog-to-digital converter dominates the power budget at
+multi-gigabit/s speeds.  A uniform multi-bit quantiser is provided as well
+so the energy/rate trade-off can be explored (ablation benches).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class OneBitQuantizer:
+    """Sign quantiser with an optional threshold.
+
+    Output convention: +1 for samples above the threshold, -1 otherwise
+    (ties quantise to -1, which has vanishing probability for continuous
+    noise).
+    """
+
+    threshold: float = 0.0
+
+    def __call__(self, samples: np.ndarray) -> np.ndarray:
+        """Quantise samples to ±1."""
+        samples = np.asarray(samples, dtype=float)
+        return np.where(samples > self.threshold, 1, -1).astype(np.int8)
+
+    @property
+    def bits(self) -> int:
+        """Resolution in bits."""
+        return 1
+
+    @property
+    def n_levels(self) -> int:
+        """Number of output levels."""
+        return 2
+
+
+@dataclass(frozen=True)
+class UniformQuantizer:
+    """Mid-rise uniform quantiser with ``bits`` of resolution.
+
+    The quantiser clips at ``±full_scale`` and returns reconstruction
+    levels (not indices), so its output can be fed to the same detectors as
+    the unquantised signal.
+    """
+
+    bits: int = 4
+    full_scale: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.bits < 1:
+            raise ValueError("bits must be at least 1")
+        if self.full_scale <= 0.0:
+            raise ValueError("full_scale must be strictly positive")
+
+    @property
+    def n_levels(self) -> int:
+        """Number of output levels."""
+        return 2 ** self.bits
+
+    @property
+    def step(self) -> float:
+        """Quantisation step size."""
+        return 2.0 * self.full_scale / self.n_levels
+
+    def __call__(self, samples: np.ndarray) -> np.ndarray:
+        """Quantise samples to the nearest reconstruction level."""
+        samples = np.asarray(samples, dtype=float)
+        clipped = np.clip(samples, -self.full_scale,
+                          self.full_scale - self.step / 2.0)
+        indices = np.floor((clipped + self.full_scale) / self.step)
+        return -self.full_scale + (indices + 0.5) * self.step
+
+    def levels(self) -> np.ndarray:
+        """All reconstruction levels, ascending."""
+        indices = np.arange(self.n_levels)
+        return -self.full_scale + (indices + 0.5) * self.step

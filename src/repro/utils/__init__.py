@@ -1,0 +1,56 @@
+"""Shared utilities: unit conversions, physical constants, RNG and validation.
+
+These helpers are deliberately tiny and dependency-free (numpy only) so that
+every other subpackage can rely on a single canonical implementation of
+dB/linear conversion, thermal-noise computation and input validation.
+"""
+
+from repro.utils.constants import (
+    BOLTZMANN_J_PER_K,
+    SPEED_OF_LIGHT_M_PER_S,
+    STANDARD_TEMPERATURE_K,
+)
+from repro.utils.units import (
+    db_to_linear,
+    linear_to_db,
+    dbm_to_watt,
+    watt_to_dbm,
+    power_to_db,
+    db_to_power,
+    wavelength,
+    thermal_noise_power_dbm,
+    thermal_noise_power_watt,
+    ebn0_db_to_snr_db,
+    snr_db_to_ebn0_db,
+)
+from repro.utils.rng import ensure_rng
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_in_range,
+    check_power_of_two,
+)
+
+__all__ = [
+    "BOLTZMANN_J_PER_K",
+    "SPEED_OF_LIGHT_M_PER_S",
+    "STANDARD_TEMPERATURE_K",
+    "db_to_linear",
+    "linear_to_db",
+    "dbm_to_watt",
+    "watt_to_dbm",
+    "power_to_db",
+    "db_to_power",
+    "wavelength",
+    "thermal_noise_power_dbm",
+    "thermal_noise_power_watt",
+    "ebn0_db_to_snr_db",
+    "snr_db_to_ebn0_db",
+    "ensure_rng",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_in_range",
+    "check_power_of_two",
+]

@@ -1,0 +1,29 @@
+"""Physical constants used across the library.
+
+Values follow CODATA 2018; the precision here is far beyond what any of the
+link-budget or coding computations require, but keeping the exact values
+avoids surprising rounding when results are compared against hand
+calculations.
+"""
+
+#: Boltzmann constant in joule per kelvin.
+BOLTZMANN_J_PER_K = 1.380649e-23
+
+#: Speed of light in vacuum in metre per second.
+SPEED_OF_LIGHT_M_PER_S = 299_792_458.0
+
+#: Standard reference temperature (290 K) used for noise-figure definitions.
+STANDARD_TEMPERATURE_K = 290.0
+
+#: Centre frequency of the measured board-to-board band in the paper (Hz).
+PAPER_CENTER_FREQUENCY_HZ = 232.5e9
+
+#: Lower and upper edge of the measured band (Hz).
+PAPER_BAND_START_HZ = 220e9
+PAPER_BAND_STOP_HZ = 245e9
+
+#: Signal bandwidth assumed for the 100 Gbit/s link-budget in the paper (Hz).
+PAPER_SIGNAL_BANDWIDTH_HZ = 25e9
+
+#: Receiver temperature assumed in Table I of the paper (kelvin).
+PAPER_RX_TEMPERATURE_K = 323.0

@@ -1,0 +1,35 @@
+"""Random-number-generator plumbing.
+
+Every stochastic entry point in the library accepts either ``None`` (fresh
+generator), an integer seed, or an existing :class:`numpy.random.Generator`.
+``ensure_rng`` normalises those three cases so call sites stay one-liners.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RngLike = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(rng: RngLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for any accepted input.
+
+    Parameters
+    ----------
+    rng:
+        ``None`` for a non-deterministic generator, an ``int`` seed for a
+        reproducible one, or an existing generator which is returned as-is.
+    """
+    if rng is None:
+        return np.random.default_rng()
+    if isinstance(rng, np.random.Generator):
+        return rng
+    if isinstance(rng, (int, np.integer)):
+        return np.random.default_rng(int(rng))
+    raise TypeError(
+        "rng must be None, an integer seed or a numpy.random.Generator, "
+        f"got {type(rng).__name__}"
+    )

@@ -1,0 +1,123 @@
+"""Unit conversions for RF link-budget and communications computations.
+
+All functions accept scalars or numpy arrays and return the same shape.
+Power quantities use the conventional 10*log10 mapping; amplitude
+quantities are never handled implicitly (callers must square first).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.utils.constants import BOLTZMANN_J_PER_K, SPEED_OF_LIGHT_M_PER_S
+
+ArrayLike = Union[float, np.ndarray]
+
+
+def db_to_linear(value_db: ArrayLike) -> ArrayLike:
+    """Convert a power ratio from decibel to linear scale."""
+    return np.power(10.0, np.asarray(value_db, dtype=float) / 10.0)
+
+
+def linear_to_db(value_linear: ArrayLike) -> ArrayLike:
+    """Convert a linear power ratio to decibel.
+
+    Raises
+    ------
+    ValueError
+        If any value is not strictly positive (log of zero/negative power
+        is almost always a bug upstream, so we fail loudly).
+    """
+    value = np.asarray(value_linear, dtype=float)
+    if np.any(value <= 0.0):
+        raise ValueError("linear power ratio must be strictly positive")
+    return 10.0 * np.log10(value)
+
+
+# Aliases that read better in link-budget code.
+db_to_power = db_to_linear
+power_to_db = linear_to_db
+
+
+def dbm_to_watt(power_dbm: ArrayLike) -> ArrayLike:
+    """Convert a power level from dBm to watt."""
+    return np.power(10.0, (np.asarray(power_dbm, dtype=float) - 30.0) / 10.0)
+
+
+def watt_to_dbm(power_watt: ArrayLike) -> ArrayLike:
+    """Convert a power level from watt to dBm."""
+    power = np.asarray(power_watt, dtype=float)
+    if np.any(power <= 0.0):
+        raise ValueError("power in watt must be strictly positive")
+    return 10.0 * np.log10(power) + 30.0
+
+
+def wavelength(frequency_hz: ArrayLike) -> ArrayLike:
+    """Free-space wavelength in metres for a carrier frequency in Hz."""
+    frequency = np.asarray(frequency_hz, dtype=float)
+    if np.any(frequency <= 0.0):
+        raise ValueError("frequency must be strictly positive")
+    return SPEED_OF_LIGHT_M_PER_S / frequency
+
+
+def thermal_noise_power_watt(bandwidth_hz: ArrayLike,
+                             temperature_k: ArrayLike) -> ArrayLike:
+    """Thermal noise power k*T*B in watt."""
+    bandwidth = np.asarray(bandwidth_hz, dtype=float)
+    temperature = np.asarray(temperature_k, dtype=float)
+    if np.any(bandwidth <= 0.0):
+        raise ValueError("bandwidth must be strictly positive")
+    if np.any(temperature <= 0.0):
+        raise ValueError("temperature must be strictly positive")
+    return BOLTZMANN_J_PER_K * temperature * bandwidth
+
+
+def thermal_noise_power_dbm(bandwidth_hz: ArrayLike,
+                            temperature_k: ArrayLike) -> ArrayLike:
+    """Thermal noise power k*T*B expressed in dBm."""
+    return watt_to_dbm(thermal_noise_power_watt(bandwidth_hz, temperature_k))
+
+
+def ebn0_db_to_snr_db(ebn0_db: ArrayLike, rate: float,
+                      bits_per_symbol: float = 1.0,
+                      oversampling: float = 1.0) -> ArrayLike:
+    """Convert Eb/N0 (dB) to symbol SNR (dB).
+
+    Parameters
+    ----------
+    ebn0_db:
+        Energy-per-information-bit to noise spectral density ratio in dB.
+    rate:
+        Code rate (information bits per coded bit).
+    bits_per_symbol:
+        Coded bits carried per channel symbol (1 for BPSK, 2 for 4-ASK).
+    oversampling:
+        Noise-bandwidth expansion when the receiver samples faster than the
+        symbol rate; SNR per sample shrinks by this factor.
+    """
+    if rate <= 0.0 or rate > 1.0:
+        raise ValueError("code rate must be in (0, 1]")
+    if bits_per_symbol <= 0.0:
+        raise ValueError("bits_per_symbol must be positive")
+    if oversampling < 1.0:
+        raise ValueError("oversampling factor must be >= 1")
+    ebn0 = np.asarray(ebn0_db, dtype=float)
+    factor = rate * bits_per_symbol / oversampling
+    return ebn0 + 10.0 * np.log10(factor)
+
+
+def snr_db_to_ebn0_db(snr_db: ArrayLike, rate: float,
+                      bits_per_symbol: float = 1.0,
+                      oversampling: float = 1.0) -> ArrayLike:
+    """Inverse of :func:`ebn0_db_to_snr_db`."""
+    if rate <= 0.0 or rate > 1.0:
+        raise ValueError("code rate must be in (0, 1]")
+    if bits_per_symbol <= 0.0:
+        raise ValueError("bits_per_symbol must be positive")
+    if oversampling < 1.0:
+        raise ValueError("oversampling factor must be >= 1")
+    snr = np.asarray(snr_db, dtype=float)
+    factor = rate * bits_per_symbol / oversampling
+    return snr - 10.0 * np.log10(factor)

@@ -1,0 +1,57 @@
+"""Small argument-validation helpers shared across the library.
+
+Each helper raises ``ValueError`` with a message that names the offending
+parameter, which keeps the validation blocks at the top of public functions
+short and uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def check_positive(name: str, value: float) -> float:
+    """Ensure ``value`` is strictly positive and return it."""
+    if not value > 0:
+        raise ValueError(f"{name} must be strictly positive, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Ensure ``value`` is >= 0 and return it."""
+    if value < 0:
+        raise ValueError(f"{name} must be non-negative, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Ensure ``value`` lies in the closed interval [0, 1] and return it."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must lie in [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(name: str, value: float, low: float, high: float) -> float:
+    """Ensure ``low <= value <= high`` and return ``value``."""
+    if not low <= value <= high:
+        raise ValueError(
+            f"{name} must lie in [{low}, {high}], got {value!r}"
+        )
+    return value
+
+
+def check_power_of_two(name: str, value: int) -> int:
+    """Ensure ``value`` is a positive power of two and return it."""
+    if value <= 0 or (value & (value - 1)) != 0:
+        raise ValueError(f"{name} must be a positive power of two, got {value!r}")
+    return value
+
+
+def check_choice(name: str, value: str, choices: Iterable[str]) -> str:
+    """Ensure ``value`` is one of ``choices`` and return it."""
+    allowed = tuple(choices)
+    if value not in allowed:
+        raise ValueError(
+            f"{name} must be one of {allowed}, got {value!r}"
+        )
+    return value

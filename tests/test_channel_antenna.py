@@ -1,0 +1,113 @@
+"""Unit tests for repro.channel.antenna."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.antenna import (
+    ButlerMatrixBeamformer,
+    HornAntenna,
+    IdealBeamformer,
+    UniformPlanarArray,
+)
+
+
+class TestHornAntenna:
+    def test_default_gain_matches_paper(self):
+        assert HornAntenna().gain_db == pytest.approx(9.5)
+
+    def test_boresight_gain(self):
+        horn = HornAntenna(gain_db=10.0)
+        assert float(horn.gain_toward_db(0.0)) == pytest.approx(10.0)
+
+    def test_half_power_beamwidth(self):
+        horn = HornAntenna(gain_db=10.0, half_power_beamwidth_deg=60.0)
+        assert float(horn.gain_toward_db(30.0)) == pytest.approx(7.0, abs=0.05)
+
+    def test_gain_decreases_off_boresight(self):
+        horn = HornAntenna()
+        angles = np.array([0.0, 20.0, 40.0, 60.0])
+        gains = horn.gain_toward_db(angles)
+        assert np.all(np.diff(gains) < 0)
+
+    def test_behind_antenna_heavily_attenuated(self):
+        horn = HornAntenna(gain_db=10.0)
+        assert float(horn.gain_toward_db(120.0)) <= -30.0 + 10.0
+
+    def test_rejects_invalid_beamwidth(self):
+        with pytest.raises(ValueError):
+            HornAntenna(half_power_beamwidth_deg=0.0)
+
+
+class TestUniformPlanarArray:
+    def test_4x4_array_gain_is_12db(self):
+        # Table I: array gain 12 dB for the 4x4 array.
+        array = UniformPlanarArray(n_rows=4, n_cols=4)
+        assert array.array_gain_db == pytest.approx(12.04, abs=0.05)
+
+    def test_element_count(self):
+        assert UniformPlanarArray(n_rows=4, n_cols=4).n_elements == 16
+
+    def test_aperture_fits_2mm_at_232ghz(self):
+        # The paper: a 4x4 array fits in 2 mm x 2 mm real estate at >200 GHz.
+        array = UniformPlanarArray()
+        assert array.aperture_edge_mm(232.5e9) < 3.0
+
+    def test_matched_filter_achieves_array_gain(self):
+        array = UniformPlanarArray()
+        steering = array.steering_vector(azimuth_deg=30.0, elevation_deg=20.0)
+        gain = array.beamforming_gain_db(steering, 30.0, 20.0)
+        assert gain == pytest.approx(array.array_gain_db, abs=1e-6)
+
+    def test_mismatched_weights_lose_gain(self):
+        array = UniformPlanarArray()
+        boresight_weights = array.steering_vector(0.0, 0.0)
+        gain = array.beamforming_gain_db(boresight_weights, 45.0, 40.0)
+        assert gain < array.array_gain_db
+
+    def test_rejects_wrong_weight_count(self):
+        array = UniformPlanarArray()
+        with pytest.raises(ValueError):
+            array.beamforming_gain_db(np.ones(5), 0.0, 0.0)
+
+    def test_rejects_zero_weights(self):
+        array = UniformPlanarArray()
+        with pytest.raises(ValueError):
+            array.beamforming_gain_db(np.zeros(16), 0.0, 0.0)
+
+    def test_rejects_empty_array(self):
+        with pytest.raises(ValueError):
+            UniformPlanarArray(n_rows=0, n_cols=4)
+
+    @given(st.integers(min_value=1, max_value=8),
+           st.integers(min_value=1, max_value=8))
+    def test_array_gain_formula(self, rows, cols):
+        array = UniformPlanarArray(n_rows=rows, n_cols=cols)
+        assert array.array_gain_db == pytest.approx(
+            10.0 * np.log10(rows * cols))
+
+
+class TestBeamformers:
+    def test_ideal_beamformer_no_pointing_loss(self):
+        beamformer = IdealBeamformer()
+        assert beamformer.pointing_loss_db == 0.0
+        assert beamformer.gain_db == pytest.approx(12.04, abs=0.05)
+
+    def test_butler_matrix_worst_case_matches_table_i(self):
+        butler = ButlerMatrixBeamformer()
+        assert butler.pointing_loss_db == pytest.approx(5.0)
+
+    def test_butler_matrix_aligned_beam_equals_ideal(self):
+        butler = ButlerMatrixBeamformer()
+        ideal = IdealBeamformer()
+        assert butler.gain_with_mismatch_db(0.0) == pytest.approx(ideal.gain_db)
+
+    def test_butler_matrix_partial_mismatch(self):
+        butler = ButlerMatrixBeamformer()
+        half = butler.gain_with_mismatch_db(0.5)
+        worst = butler.gain_with_mismatch_db(1.0)
+        assert worst < half < butler.gain_db
+
+    def test_butler_matrix_rejects_invalid_mismatch(self):
+        with pytest.raises(ValueError):
+            ButlerMatrixBeamformer().gain_with_mismatch_db(1.5)

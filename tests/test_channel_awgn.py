@@ -1,0 +1,83 @@
+"""Unit tests for repro.channel.awgn."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.awgn import AwgnChannel
+
+
+class TestAwgnChannel:
+    def test_noise_variance_from_snr(self):
+        channel = AwgnChannel(snr_db=10.0, signal_power=1.0)
+        assert channel.noise_variance == pytest.approx(0.1)
+
+    def test_noise_variance_scales_with_signal_power(self):
+        channel = AwgnChannel(snr_db=10.0, signal_power=4.0)
+        assert channel.noise_variance == pytest.approx(0.4)
+
+    def test_transmit_preserves_shape(self):
+        channel = AwgnChannel(snr_db=20.0, rng=0)
+        signal = np.ones((3, 5))
+        assert channel.transmit(signal).shape == (3, 5)
+
+    def test_empirical_noise_variance(self):
+        channel = AwgnChannel(snr_db=5.0, rng=1)
+        signal = np.zeros(200_000)
+        noise = channel.transmit(signal)
+        assert np.var(noise) == pytest.approx(channel.noise_variance, rel=0.02)
+
+    def test_high_snr_barely_perturbs(self):
+        channel = AwgnChannel(snr_db=60.0, rng=2)
+        signal = np.ones(1000)
+        received = channel.transmit(signal)
+        assert np.max(np.abs(received - signal)) < 0.05
+
+    def test_reproducible_with_seed(self):
+        a = AwgnChannel(snr_db=3.0, rng=7).transmit(np.zeros(16))
+        b = AwgnChannel(snr_db=3.0, rng=7).transmit(np.zeros(16))
+        np.testing.assert_allclose(a, b)
+
+    def test_llr_sign_matches_symbol(self):
+        channel = AwgnChannel(snr_db=15.0, rng=3)
+        symbols = np.array([1.0, -1.0, 1.0, -1.0] * 100)
+        llrs = channel.llr_bpsk(channel.transmit(symbols))
+        # At 15 dB SNR almost every LLR should match the transmitted sign.
+        agreement = np.mean(np.sign(llrs) == np.sign(symbols))
+        assert agreement > 0.99
+
+    def test_llr_scale(self):
+        channel = AwgnChannel(snr_db=0.0)
+        received = np.array([0.5])
+        assert channel.llr_bpsk(received)[0] == pytest.approx(
+            2.0 * 0.5 / channel.noise_variance)
+
+    def test_rejects_invalid_signal_power(self):
+        with pytest.raises(ValueError):
+            AwgnChannel(snr_db=10.0, signal_power=0.0)
+
+
+class TestFromEbn0:
+    def test_rate_half_bpsk_relation(self):
+        # sigma^2 = 1/(2*R*Eb/N0): at Eb/N0 = 0 dB, R = 1/2 -> sigma^2 = 1.
+        channel = AwgnChannel.from_ebn0(0.0, rate=0.5)
+        assert channel.noise_variance == pytest.approx(1.0)
+
+    def test_rate_one_bpsk_relation(self):
+        channel = AwgnChannel.from_ebn0(3.0, rate=1.0)
+        expected = 1.0 / (2.0 * 10 ** 0.3)
+        assert channel.noise_variance == pytest.approx(expected, rel=1e-6)
+
+    def test_rejects_invalid_rate(self):
+        with pytest.raises(ValueError):
+            AwgnChannel.from_ebn0(0.0, rate=0.0)
+        with pytest.raises(ValueError):
+            AwgnChannel.from_ebn0(0.0, rate=1.2)
+
+    @given(st.floats(min_value=-2.0, max_value=10.0),
+           st.floats(min_value=0.2, max_value=1.0))
+    @settings(max_examples=25)
+    def test_higher_ebn0_means_less_noise(self, ebn0, rate):
+        low = AwgnChannel.from_ebn0(ebn0, rate=rate)
+        high = AwgnChannel.from_ebn0(ebn0 + 1.0, rate=rate)
+        assert high.noise_variance < low.noise_variance

@@ -1,0 +1,95 @@
+"""Unit tests for repro.channel.fitting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.channel.fitting import (
+    fit_from_sweeps,
+    fit_path_loss_exponent,
+    pathloss_samples_from_sweeps,
+)
+from repro.channel.measurement import SyntheticVNA
+from repro.channel.pathloss import log_distance_path_loss_db
+
+
+class TestFitPathLossExponent:
+    def test_recovers_known_exponent_exactly(self):
+        distances = np.linspace(0.02, 0.2, 12)
+        losses = log_distance_path_loss_db(distances, 40.0, 0.01, 2.3)
+        fit = fit_path_loss_exponent(distances, losses)
+        assert fit.exponent == pytest.approx(2.3, abs=1e-9)
+        assert fit.reference_loss_db == pytest.approx(40.0, abs=1e-9)
+        assert fit.rms_error_db == pytest.approx(0.0, abs=1e-9)
+
+    def test_noisy_data_recovers_exponent_approximately(self):
+        rng = np.random.default_rng(0)
+        distances = np.linspace(0.02, 0.2, 40)
+        losses = log_distance_path_loss_db(distances, 40.0, 0.01, 2.0)
+        losses = losses + rng.normal(0.0, 0.5, size=losses.shape)
+        fit = fit_path_loss_exponent(distances, losses)
+        assert fit.exponent == pytest.approx(2.0, abs=0.15)
+        assert fit.rms_error_db < 1.0
+
+    def test_to_model_round_trip(self):
+        distances = np.linspace(0.02, 0.2, 12)
+        losses = log_distance_path_loss_db(distances, 40.0, 0.01, 2.1)
+        model = fit_path_loss_exponent(distances, losses).to_model()
+        np.testing.assert_allclose(model.path_loss_db(distances), losses,
+                                   atol=1e-9)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            fit_path_loss_exponent([0.1], [50.0])
+        with pytest.raises(ValueError):
+            fit_path_loss_exponent([0.1, 0.2], [50.0, 55.0, 60.0])
+        with pytest.raises(ValueError):
+            fit_path_loss_exponent([0.1, -0.2], [50.0, 55.0])
+        with pytest.raises(ValueError):
+            fit_path_loss_exponent([0.1, 0.1], [50.0, 50.0])
+
+    @given(st.floats(min_value=1.5, max_value=3.5),
+           st.floats(min_value=30.0, max_value=60.0))
+    @settings(max_examples=25)
+    def test_fit_is_exact_on_model_data(self, exponent, reference_loss):
+        distances = np.logspace(np.log10(0.02), np.log10(0.3), 8)
+        losses = log_distance_path_loss_db(distances, reference_loss, 0.01,
+                                           exponent)
+        fit = fit_path_loss_exponent(distances, losses)
+        assert fit.exponent == pytest.approx(exponent, abs=1e-8)
+
+
+class TestFitFromSweeps:
+    def test_freespace_exponent_close_to_2(self):
+        # Fig. 1: the computed free-space exponent is n = 2.000.
+        vna = SyntheticVNA(n_points=512, rng=1)
+        sweeps = vna.distance_sweep(np.linspace(0.02, 0.2, 10), "freespace")
+        fit = fit_from_sweeps(sweeps, antenna_gain_db=2 * 9.5)
+        assert fit.exponent == pytest.approx(2.000, abs=0.01)
+
+    def test_copper_board_exponent_close_to_paper(self):
+        # Fig. 1: parallel copper boards give n = 2.0454.
+        vna = SyntheticVNA(n_points=512, rng=1)
+        sweeps = [vna.measure_parallel_copper_boards(float(d))
+                  for d in np.linspace(0.05, 0.2, 10)]
+        fit = fit_from_sweeps(sweeps, antenna_gain_db=2 * 9.5)
+        assert fit.exponent == pytest.approx(2.0454, abs=0.02)
+
+    def test_reference_loss_matches_friis_anchor(self):
+        vna = SyntheticVNA(n_points=512, rng=1)
+        sweeps = vna.distance_sweep(np.linspace(0.02, 0.2, 10), "freespace")
+        fit = fit_from_sweeps(sweeps, antenna_gain_db=2 * 9.5)
+        # Free-space pathloss at the 1 cm reference distance is ~39.8 dB.
+        assert fit.reference_loss_db == pytest.approx(39.8, abs=0.5)
+
+    def test_samples_extraction(self):
+        vna = SyntheticVNA(n_points=256, rng=1)
+        sweeps = vna.distance_sweep([0.05, 0.1, 0.15], "freespace")
+        distances, losses = pathloss_samples_from_sweeps(sweeps, 2 * 9.5)
+        assert distances.shape == (3,)
+        assert losses.shape == (3,)
+        assert np.all(np.diff(losses) > 0)
+
+    def test_empty_sweep_list_rejected(self):
+        with pytest.raises(ValueError):
+            fit_from_sweeps([], antenna_gain_db=19.0)

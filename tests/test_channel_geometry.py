@@ -1,0 +1,100 @@
+"""Unit tests for repro.channel.geometry."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.geometry import (
+    BoardToBoardGeometry,
+    PAPER_AHEAD_LINK_M,
+    PAPER_DIAGONAL_LINK_M,
+    WirelessNode,
+)
+
+
+class TestWirelessNode:
+    def test_distance_between_opposite_nodes(self):
+        a = WirelessNode(board=0, position_m=(0.0, 0.0, 0.0))
+        b = WirelessNode(board=1, position_m=(0.0, 0.0, 0.1))
+        assert a.distance_to(b) == pytest.approx(0.1)
+
+    def test_distance_is_symmetric(self):
+        a = WirelessNode(board=0, position_m=(0.01, 0.02, 0.0))
+        b = WirelessNode(board=1, position_m=(0.05, 0.09, 0.1))
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    def test_ahead_link_has_zero_angle(self):
+        a = WirelessNode(board=0, position_m=(0.05, 0.05, 0.0))
+        b = WirelessNode(board=1, position_m=(0.05, 0.05, 0.1))
+        assert a.off_boresight_angle_deg(b) == pytest.approx(0.0)
+
+    def test_diagonal_link_angle(self):
+        a = WirelessNode(board=0, position_m=(0.0, 0.0, 0.0))
+        b = WirelessNode(board=1, position_m=(0.1, 0.0, 0.1))
+        assert a.off_boresight_angle_deg(b) == pytest.approx(45.0)
+
+    def test_colocated_nodes_raise(self):
+        a = WirelessNode(board=0, position_m=(0.0, 0.0, 0.0))
+        b = WirelessNode(board=1, position_m=(0.0, 0.0, 0.0))
+        with pytest.raises(ValueError):
+            a.off_boresight_angle_deg(b)
+
+
+class TestBoardToBoardGeometry:
+    def test_paper_geometry_ahead_link(self):
+        geometry = BoardToBoardGeometry.paper_geometry()
+        assert geometry.ahead_link_distance_m == pytest.approx(PAPER_AHEAD_LINK_M)
+
+    def test_node_count(self):
+        geometry = BoardToBoardGeometry(nodes_per_edge=3)
+        assert len(geometry.nodes) == 2 * 9
+        assert len(geometry.nodes_on_board(0)) == 9
+        assert len(geometry.nodes_on_board(1)) == 9
+
+    def test_cross_board_link_count(self):
+        geometry = BoardToBoardGeometry(nodes_per_edge=2)
+        links = list(geometry.cross_board_links())
+        assert len(links) == 4 * 4
+        for tx, rx in links:
+            assert tx.board == 0
+            assert rx.board == 1
+
+    def test_diagonal_longer_than_ahead(self):
+        geometry = BoardToBoardGeometry.paper_geometry()
+        assert geometry.diagonal_link_distance_m > geometry.ahead_link_distance_m
+
+    def test_diagonal_link_geometry(self):
+        geometry = BoardToBoardGeometry(board_size_m=0.1, board_separation_m=0.1,
+                                        nodes_per_edge=2)
+        expected = np.sqrt(0.1 ** 2 + 0.1 ** 2 + 0.1 ** 2)
+        assert geometry.diagonal_link_distance_m == pytest.approx(expected)
+
+    def test_single_node_per_board(self):
+        geometry = BoardToBoardGeometry(nodes_per_edge=1, board_separation_m=0.05)
+        assert geometry.ahead_link_distance_m == pytest.approx(0.05)
+        assert geometry.diagonal_link_distance_m == pytest.approx(0.05)
+
+    def test_invalid_board_index_rejected(self):
+        geometry = BoardToBoardGeometry.paper_geometry()
+        with pytest.raises(ValueError):
+            geometry.nodes_on_board(2)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            BoardToBoardGeometry(board_size_m=0.0)
+        with pytest.raises(ValueError):
+            BoardToBoardGeometry(nodes_per_edge=0)
+
+    def test_paper_constants(self):
+        assert PAPER_AHEAD_LINK_M == pytest.approx(0.1)
+        assert PAPER_DIAGONAL_LINK_M == pytest.approx(0.3)
+
+    @given(st.floats(min_value=0.05, max_value=0.3),
+           st.floats(min_value=0.05, max_value=0.3),
+           st.integers(min_value=1, max_value=4))
+    def test_ahead_link_equals_board_separation(self, size, separation, nodes):
+        geometry = BoardToBoardGeometry(board_size_m=size,
+                                        board_separation_m=separation,
+                                        nodes_per_edge=nodes)
+        assert geometry.ahead_link_distance_m == pytest.approx(separation)
+        assert geometry.diagonal_link_distance_m >= separation - 1e-12

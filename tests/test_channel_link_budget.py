@@ -1,0 +1,121 @@
+"""Unit tests for repro.channel.link_budget (Table I, Fig. 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.link_budget import (
+    LinkBudget,
+    LinkBudgetParameters,
+    PAPER_LINK_BUDGET,
+    required_tx_power_dbm,
+)
+
+
+class TestTableI:
+    def test_default_parameters_match_table_i(self):
+        p = PAPER_LINK_BUDGET
+        assert p.rx_noise_figure_db == 10.0
+        assert p.path_loss_exponent == 2.0
+        assert p.tx_array_gain_db == 12.0
+        assert p.rx_array_gain_db == 12.0
+        assert p.butler_matrix_inaccuracy_db == 5.0
+        assert p.polarization_mismatch_db == 3.0
+        assert p.implementation_loss_db == 5.0
+        assert p.rx_temperature_k == 323.0
+        assert p.bandwidth_hz == 25e9
+
+    def test_derived_pathloss_entries(self):
+        table = LinkBudget().table_entries()
+        assert table["path_loss_shortest_link_db"] == pytest.approx(59.8, abs=0.1)
+        assert table["path_loss_largest_link_db"] == pytest.approx(69.3, abs=0.1)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            LinkBudgetParameters(bandwidth_hz=0.0)
+        with pytest.raises(ValueError):
+            LinkBudgetParameters(rx_noise_figure_db=-1.0)
+        with pytest.raises(ValueError):
+            LinkBudgetParameters(rx_temperature_k=-300.0)
+
+
+class TestNoiseFloor:
+    def test_noise_floor_value(self):
+        # k*T*B at 323 K over 25 GHz is about -69.5 dBm; +10 dB noise figure.
+        budget = LinkBudget()
+        assert budget.noise_floor_dbm == pytest.approx(-59.5, abs=0.3)
+
+    def test_noise_floor_scales_with_bandwidth(self):
+        narrow = LinkBudget().with_parameters(bandwidth_hz=2.5e9)
+        assert LinkBudget().noise_floor_dbm - narrow.noise_floor_dbm == \
+            pytest.approx(10.0, abs=0.01)
+
+
+class TestRequiredTxPower:
+    def test_monotonic_in_snr(self):
+        budget = LinkBudget()
+        snrs = np.linspace(0.0, 35.0, 36)
+        powers = budget.required_tx_power_dbm(snrs, 0.1)
+        assert np.all(np.diff(powers) > 0)
+        # Slope is exactly 1 dB per dB of SNR.
+        np.testing.assert_allclose(np.diff(powers), 1.0, atol=1e-9)
+
+    def test_longest_link_needs_more_power(self):
+        budget = LinkBudget()
+        short = budget.required_tx_power_dbm(20.0, 0.1)
+        long = budget.required_tx_power_dbm(20.0, 0.3)
+        # 9.5 dB more pathloss for 0.3 m vs 0.1 m.
+        assert float(long - short) == pytest.approx(9.54, abs=0.05)
+
+    def test_butler_mismatch_costs_5db(self):
+        budget = LinkBudget()
+        without = budget.required_tx_power_dbm(20.0, 0.3, False)
+        with_mismatch = budget.required_tx_power_dbm(20.0, 0.3, True)
+        assert float(with_mismatch - without) == pytest.approx(5.0)
+
+    def test_fig4_shortest_link_anchor(self):
+        # Fig. 4: the shortest-link curve passes roughly through
+        # (SNR=20 dB, PTX≈4 dBm) with the Table I budget.
+        budget = LinkBudget()
+        power = float(budget.required_tx_power_dbm(20.0, 0.1))
+        assert power == pytest.approx(4.3, abs=1.0)
+
+    def test_fig4_worst_case_reaches_tens_of_dbm(self):
+        # Fig. 4 tops out near 40 dBm at SNR = 35 dB for the Butler-matrix
+        # worst case; our budget should land in the same region.
+        budget = LinkBudget()
+        power = float(budget.required_tx_power_dbm(35.0, 0.3, True))
+        assert 30.0 <= power <= 45.0
+
+    def test_convenience_wrapper_matches_class(self):
+        direct = required_tx_power_dbm(15.0, 0.1)
+        via_class = LinkBudget().required_tx_power_dbm(15.0, 0.1)
+        assert float(direct) == pytest.approx(float(via_class))
+
+    @given(st.floats(min_value=0.0, max_value=35.0),
+           st.floats(min_value=0.05, max_value=0.5))
+    def test_round_trip_with_received_snr(self, snr, distance):
+        budget = LinkBudget()
+        power = budget.required_tx_power_dbm(snr, distance)
+        achieved = budget.received_snr_db(power, distance)
+        assert float(achieved) == pytest.approx(snr, abs=1e-9)
+
+
+class TestLinkMargin:
+    def test_margin_positive_when_power_sufficient(self):
+        budget = LinkBudget()
+        needed = float(budget.required_tx_power_dbm(20.0, 0.1))
+        assert budget.link_margin_db(needed + 3.0, 0.1, 20.0) == pytest.approx(3.0)
+
+    def test_margin_negative_when_power_insufficient(self):
+        budget = LinkBudget()
+        needed = float(budget.required_tx_power_dbm(20.0, 0.3, True))
+        assert budget.link_margin_db(needed - 2.0, 0.3, 20.0, True) == \
+            pytest.approx(-2.0)
+
+    def test_with_parameters_returns_new_budget(self):
+        base = LinkBudget()
+        modified = base.with_parameters(rx_noise_figure_db=6.0)
+        assert modified.parameters.rx_noise_figure_db == 6.0
+        assert base.parameters.rx_noise_figure_db == 10.0
+        assert modified.noise_floor_dbm < base.noise_floor_dbm

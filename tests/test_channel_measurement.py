@@ -1,0 +1,163 @@
+"""Unit tests for repro.channel.measurement and impulse_response."""
+
+import numpy as np
+import pytest
+
+from repro.channel.impulse_response import (
+    reflection_margin_db,
+    sweep_to_impulse_response,
+)
+from repro.channel.measurement import (
+    COPPER_BOARD_EXCESS_LOSS_DB_PER_M,
+    Reflector,
+    SyntheticVNA,
+    copper_board_reflectors,
+    freespace_reflectors,
+)
+from repro.utils.constants import SPEED_OF_LIGHT_M_PER_S
+
+
+class TestReflectorInventory:
+    def test_freespace_reflectors_are_weak(self):
+        for reflector in freespace_reflectors():
+            assert reflector.level_below_los_db >= 20.0
+
+    def test_copper_board_adds_reflectors(self):
+        assert len(copper_board_reflectors()) > len(freespace_reflectors())
+
+    def test_copper_board_strongest_echo_at_15db(self):
+        # The paper's headline: reflections at least 15 dB below LoS.
+        margins = [r.level_below_los_db for r in copper_board_reflectors()]
+        assert min(margins) == pytest.approx(15.0)
+
+    def test_reflector_validation(self):
+        with pytest.raises(ValueError):
+            Reflector("bad", excess_path_m=0.0, level_below_los_db=10.0)
+        with pytest.raises(ValueError):
+            Reflector("bad", excess_path_m=0.1, level_below_los_db=0.0)
+
+
+class TestSyntheticVNA:
+    def test_default_band_matches_paper(self):
+        vna = SyntheticVNA()
+        frequencies = vna.frequencies_hz
+        assert frequencies[0] == pytest.approx(220e9)
+        assert frequencies[-1] == pytest.approx(245e9)
+        assert frequencies.size == 4096
+
+    def test_sweep_shape(self):
+        vna = SyntheticVNA(n_points=512, rng=0)
+        sweep = vna.measure_freespace(0.1)
+        assert sweep.n_points == 512
+        assert sweep.s21.shape == (512,)
+        assert sweep.scenario == "freespace"
+
+    def test_pathloss_recovered_from_sweep(self):
+        vna = SyntheticVNA(rng=0)
+        sweep = vna.measure_freespace(0.1)
+        recovered = sweep.mean_path_loss_db(remove_antenna_gain_db=2 * 9.5)
+        assert recovered == pytest.approx(59.8, abs=0.5)
+
+    def test_s21_decreases_with_distance(self):
+        vna = SyntheticVNA(rng=0)
+        near = vna.measure_freespace(0.05)
+        far = vna.measure_freespace(0.2)
+        assert near.mean_path_loss_db() < far.mean_path_loss_db()
+
+    def test_copper_scenario_has_more_loss(self):
+        vna = SyntheticVNA(rng=0)
+        distance = 0.15
+        free = vna.measure_freespace(distance)
+        copper = vna.measure_parallel_copper_boards(distance)
+        assert copper.mean_path_loss_db() > free.mean_path_loss_db()
+
+    def test_distance_sweep_scenarios(self):
+        vna = SyntheticVNA(n_points=256, rng=0)
+        sweeps = vna.distance_sweep([0.05, 0.1], "parallel copper boards")
+        assert len(sweeps) == 2
+        assert all(s.scenario == "parallel copper boards" for s in sweeps)
+        with pytest.raises(ValueError):
+            vna.distance_sweep([0.05], "underwater")
+
+    def test_measurement_is_reproducible_with_seed(self):
+        a = SyntheticVNA(n_points=256, rng=3).measure_freespace(0.1)
+        b = SyntheticVNA(n_points=256, rng=3).measure_freespace(0.1)
+        np.testing.assert_allclose(a.s21, b.s21)
+
+    def test_rejects_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            SyntheticVNA(start_frequency_hz=245e9, stop_frequency_hz=220e9)
+        with pytest.raises(ValueError):
+            SyntheticVNA(n_points=1)
+        with pytest.raises(ValueError):
+            SyntheticVNA().measure(0.0)
+        with pytest.raises(ValueError):
+            SyntheticVNA().measure(0.1, excess_loss_db_per_m=-1.0)
+
+    def test_excess_loss_constant_is_small(self):
+        # The copper-board excess loss is a small correction, not a new
+        # propagation regime.
+        assert 0.0 < COPPER_BOARD_EXCESS_LOSS_DB_PER_M < 5.0
+
+
+class TestImpulseResponse:
+    def test_los_delay_matches_distance(self):
+        vna = SyntheticVNA(rng=0)
+        distance = 0.05
+        response = sweep_to_impulse_response(vna.measure_freespace(distance))
+        expected_delay = distance / SPEED_OF_LIGHT_M_PER_S
+        assert response.los_delay_s == pytest.approx(expected_delay, rel=0.05)
+
+    def test_los_delay_for_150mm_link(self):
+        vna = SyntheticVNA(rng=0)
+        response = sweep_to_impulse_response(
+            vna.measure_parallel_copper_boards(0.15))
+        assert response.los_delay_s == pytest.approx(0.5e-9, rel=0.05)
+
+    def test_reflection_margin_freespace_exceeds_20db(self):
+        vna = SyntheticVNA(rng=0)
+        response = sweep_to_impulse_response(vna.measure_freespace(0.05))
+        assert reflection_margin_db(response) >= 20.0
+
+    def test_reflection_margin_copper_is_at_least_15db(self):
+        # Paper conclusion: reflections always >= 15 dB below the LoS path.
+        vna = SyntheticVNA(rng=0)
+        for distance in (0.05, 0.10, 0.15):
+            response = sweep_to_impulse_response(
+                vna.measure_parallel_copper_boards(distance))
+            assert reflection_margin_db(response) >= 14.0
+
+    def test_copper_margin_smaller_than_freespace(self):
+        vna = SyntheticVNA(rng=0)
+        free = sweep_to_impulse_response(vna.measure_freespace(0.05))
+        copper = sweep_to_impulse_response(
+            vna.measure_parallel_copper_boards(0.05))
+        assert reflection_margin_db(copper) < reflection_margin_db(free)
+
+    def test_peaks_include_copper_echo(self):
+        vna = SyntheticVNA(rng=0)
+        response = sweep_to_impulse_response(
+            vna.measure_parallel_copper_boards(0.05))
+        peaks = response.peaks(threshold_below_los_db=20.0)
+        # LoS plus at least the strong copper-board echo.
+        assert len(peaks) >= 2
+        delays = [delay for delay, _ in peaks]
+        assert delays == sorted(delays)
+
+    def test_window_options(self):
+        vna = SyntheticVNA(n_points=512, rng=0)
+        sweep = vna.measure_freespace(0.08)
+        for window in ("hann", "hamming", "blackman", "rect"):
+            response = sweep_to_impulse_response(sweep, window=window)
+            assert response.los_level_db == pytest.approx(
+                sweep_to_impulse_response(sweep).los_level_db, abs=6.0)
+        with pytest.raises(ValueError):
+            sweep_to_impulse_response(sweep, window="kaiser")
+        with pytest.raises(ValueError):
+            sweep_to_impulse_response(sweep, zero_padding=0)
+
+    def test_guard_validation(self):
+        vna = SyntheticVNA(n_points=256, rng=0)
+        response = sweep_to_impulse_response(vna.measure_freespace(0.05))
+        with pytest.raises(ValueError):
+            reflection_margin_db(response, guard_s=1.0)

@@ -1,0 +1,119 @@
+"""Unit tests for repro.channel.pathloss."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.channel.pathloss import (
+    LogDistancePathLossModel,
+    PAPER_COPPER_BOARD_EXPONENT,
+    PAPER_FREESPACE_EXPONENT,
+    free_space_path_loss_db,
+    log_distance_path_loss_db,
+)
+
+CENTER_FREQUENCY_HZ = 232.5e9
+
+
+class TestFreeSpacePathLoss:
+    def test_table_i_shortest_link(self):
+        # Table I: 59.8 dB at 0.1 m and 232.5 GHz.
+        assert free_space_path_loss_db(0.1, CENTER_FREQUENCY_HZ) == \
+            pytest.approx(59.8, abs=0.1)
+
+    def test_table_i_largest_link(self):
+        # Table I: 69.3 dB at 0.3 m.
+        assert free_space_path_loss_db(0.3, CENTER_FREQUENCY_HZ) == \
+            pytest.approx(69.3, abs=0.1)
+
+    def test_doubling_distance_adds_6db(self):
+        near = free_space_path_loss_db(0.05, CENTER_FREQUENCY_HZ)
+        far = free_space_path_loss_db(0.10, CENTER_FREQUENCY_HZ)
+        assert far - near == pytest.approx(6.02, abs=0.01)
+
+    def test_doubling_frequency_adds_6db(self):
+        low = free_space_path_loss_db(0.1, 100e9)
+        high = free_space_path_loss_db(0.1, 200e9)
+        assert high - low == pytest.approx(6.02, abs=0.01)
+
+    def test_array_distances(self):
+        distances = np.array([0.05, 0.1, 0.2])
+        losses = free_space_path_loss_db(distances, CENTER_FREQUENCY_HZ)
+        assert losses.shape == distances.shape
+        assert np.all(np.diff(losses) > 0)
+
+    def test_rejects_nonpositive_distance(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.0, CENTER_FREQUENCY_HZ)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            free_space_path_loss_db(0.1, 0.0)
+
+
+class TestLogDistancePathLoss:
+    def test_reference_distance_returns_reference_loss(self):
+        assert log_distance_path_loss_db(0.01, 40.0, 0.01, 2.0) == \
+            pytest.approx(40.0)
+
+    def test_exponent_two_matches_friis_shape(self):
+        reference = float(free_space_path_loss_db(0.01, CENTER_FREQUENCY_HZ))
+        model_loss = log_distance_path_loss_db(0.1, reference, 0.01, 2.0)
+        friis_loss = free_space_path_loss_db(0.1, CENTER_FREQUENCY_HZ)
+        assert model_loss == pytest.approx(friis_loss, abs=1e-9)
+
+    def test_higher_exponent_means_more_loss(self):
+        low = log_distance_path_loss_db(0.2, 40.0, 0.01, 2.0)
+        high = log_distance_path_loss_db(0.2, 40.0, 0.01, 3.0)
+        assert high > low
+
+    @given(st.floats(min_value=0.02, max_value=1.0),
+           st.floats(min_value=1.5, max_value=4.0))
+    def test_monotonic_in_distance(self, distance, exponent):
+        nearer = log_distance_path_loss_db(distance, 40.0, 0.01, exponent)
+        farther = log_distance_path_loss_db(distance * 1.5, 40.0, 0.01, exponent)
+        assert farther > nearer
+
+
+class TestLogDistanceModel:
+    def test_free_space_factory_uses_paper_exponent(self):
+        model = LogDistancePathLossModel.free_space(CENTER_FREQUENCY_HZ)
+        assert model.exponent == PAPER_FREESPACE_EXPONENT
+
+    def test_copper_board_factory_uses_paper_exponent(self):
+        model = LogDistancePathLossModel.parallel_copper_boards(CENTER_FREQUENCY_HZ)
+        assert model.exponent == PAPER_COPPER_BOARD_EXPONENT
+
+    def test_default_reference_anchored_on_friis(self):
+        model = LogDistancePathLossModel.free_space(CENTER_FREQUENCY_HZ)
+        expected = free_space_path_loss_db(model.reference_distance_m,
+                                           CENTER_FREQUENCY_HZ)
+        assert model.reference_loss_db == pytest.approx(float(expected))
+
+    def test_table_i_values_through_model(self):
+        model = LogDistancePathLossModel.free_space(CENTER_FREQUENCY_HZ)
+        assert float(model.path_loss_db(0.1)) == pytest.approx(59.8, abs=0.1)
+        assert float(model.path_loss_db(0.3)) == pytest.approx(69.3, abs=0.1)
+
+    def test_path_gain_is_inverse_of_loss(self):
+        model = LogDistancePathLossModel.free_space(CENTER_FREQUENCY_HZ)
+        loss_db = float(model.path_loss_db(0.15))
+        gain = float(model.path_gain_linear(0.15))
+        assert gain == pytest.approx(10 ** (-loss_db / 10.0))
+
+    def test_with_antenna_gain_shifts_curve_down(self):
+        model = LogDistancePathLossModel.free_space(CENTER_FREQUENCY_HZ)
+        shifted = model.with_antenna_gain_db(2 * 12.0)
+        difference = float(model.path_loss_db(0.2)) - float(shifted.path_loss_db(0.2))
+        assert difference == pytest.approx(24.0)
+
+    def test_copper_exponent_slightly_above_freespace(self):
+        free = LogDistancePathLossModel.free_space(CENTER_FREQUENCY_HZ)
+        copper = LogDistancePathLossModel.parallel_copper_boards(CENTER_FREQUENCY_HZ)
+        assert float(copper.path_loss_db(0.2)) > float(free.path_loss_db(0.2))
+
+    def test_rejects_invalid_construction(self):
+        with pytest.raises(ValueError):
+            LogDistancePathLossModel(frequency_hz=-1.0)
+        with pytest.raises(ValueError):
+            LogDistancePathLossModel(frequency_hz=1e9, exponent=0.0)

@@ -1,0 +1,178 @@
+"""Unit tests for repro.coding.bp, repro.coding.codes and latency formulas."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.coding.bp import BeliefPropagationDecoder
+from repro.coding.codes import LdpcBlockCode, LdpcConvolutionalCode
+from repro.coding.latency import (
+    block_code_structural_latency,
+    window_decoder_structural_latency,
+)
+from repro.coding.protograph import PAPER_BLOCK_PROTOGRAPH, paper_edge_spreading
+
+
+@pytest.fixture(scope="module")
+def block_code():
+    return LdpcBlockCode(PAPER_BLOCK_PROTOGRAPH, lifting_factor=40, rng=0)
+
+
+@pytest.fixture(scope="module")
+def convolutional_code():
+    return LdpcConvolutionalCode(paper_edge_spreading(), lifting_factor=25,
+                                 termination_length=10, rng=0)
+
+
+class TestBeliefPropagation:
+    def test_single_parity_check_decoding(self):
+        # H = [1 1 1]: valid codewords have even weight.
+        decoder = BeliefPropagationDecoder(np.array([[1, 1, 1]]))
+        llrs = np.array([5.0, 5.0, -0.1])
+        result = decoder.decode(llrs)
+        # The weak negative bit is flipped to satisfy the parity check.
+        np.testing.assert_array_equal(result.hard_decisions, [0, 0, 0])
+        assert result.converged
+
+    def test_repetition_code(self):
+        parity = np.array([[1, 1, 0], [0, 1, 1]])
+        decoder = BeliefPropagationDecoder(parity)
+        result = decoder.decode(np.array([-2.0, 0.5, -3.0]))
+        np.testing.assert_array_equal(result.hard_decisions, [1, 1, 1])
+
+    def test_no_noise_is_fixed_point(self, block_code):
+        llrs = np.full(block_code.n, 8.0)
+        result = block_code.decode(llrs)
+        assert result.converged
+        assert result.iterations == 1
+        assert not np.any(result.hard_decisions)
+
+    def test_wrong_llr_length_rejected(self, block_code):
+        with pytest.raises(ValueError):
+            block_code.decode(np.zeros(block_code.n + 1))
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            BeliefPropagationDecoder(np.zeros((2, 3)))
+        with pytest.raises(ValueError):
+            BeliefPropagationDecoder(np.array([[1, 1]]), max_iterations=0)
+
+    def test_decoder_corrects_a_few_flips_at_high_snr(self, block_code):
+        rng = np.random.default_rng(0)
+        llrs = np.full(block_code.n, 6.0)
+        flip = rng.choice(block_code.n, size=3, replace=False)
+        llrs[flip] = -2.0
+        result = block_code.decode(llrs)
+        assert result.converged
+        assert not np.any(result.hard_decisions)
+
+
+class TestEncoder:
+    def test_rate_close_to_half(self, block_code):
+        # Rank deficiencies of the lifted matrix make k slightly exceed n/2.
+        assert 0.5 <= block_code.rate <= 0.6
+        assert block_code.design_rate == pytest.approx(0.5)
+
+    def test_encode_produces_valid_codewords(self, block_code):
+        rng = np.random.default_rng(1)
+        for _ in range(5):
+            message = rng.integers(0, 2, block_code.k)
+            codeword = block_code.encode(message)
+            assert block_code.is_codeword(codeword)
+
+    def test_encode_is_systematic(self, block_code):
+        rng = np.random.default_rng(2)
+        message = rng.integers(0, 2, block_code.k)
+        codeword = block_code.encode(message)
+        np.testing.assert_array_equal(block_code.extract_message(codeword),
+                                      message)
+
+    def test_encode_decode_round_trip(self, block_code):
+        rng = np.random.default_rng(3)
+        message = rng.integers(0, 2, block_code.k)
+        codeword = block_code.encode(message)
+        llrs = (1.0 - 2.0 * codeword) * 6.0
+        result = block_code.decode(llrs)
+        np.testing.assert_array_equal(result.hard_decisions, codeword)
+
+    def test_encoder_validation(self, block_code):
+        with pytest.raises(ValueError):
+            block_code.encode(np.zeros(block_code.k + 1, dtype=int))
+        with pytest.raises(ValueError):
+            block_code.is_codeword(np.zeros(3, dtype=int))
+        with pytest.raises(ValueError):
+            block_code.extract_message(np.zeros(3, dtype=int))
+
+    def test_all_zero_word_is_a_codeword(self, convolutional_code):
+        assert convolutional_code.is_codeword(
+            np.zeros(convolutional_code.n, dtype=int))
+
+    @given(st.integers(min_value=0, max_value=2 ** 16 - 1))
+    @settings(max_examples=15, deadline=None)
+    def test_linear_code_closure(self, block_code, seed):
+        rng = np.random.default_rng(seed)
+        a = block_code.encode(rng.integers(0, 2, block_code.k))
+        b = block_code.encode(rng.integers(0, 2, block_code.k))
+        assert block_code.is_codeword((a + b) % 2)
+
+
+class TestConvolutionalCodeStructure:
+    def test_dimensions(self, convolutional_code):
+        code = convolutional_code
+        assert code.memory == 2
+        assert code.block_length == 50
+        assert code.check_block_length == 25
+        assert code.n == 10 * 50
+        assert code.n_variable_blocks == 10
+
+    def test_rates(self, convolutional_code):
+        code = convolutional_code
+        assert code.design_rate == pytest.approx(0.5)
+        assert code.terminated_rate == pytest.approx(1.0 - 12.0 / 20.0)
+
+    def test_block_ranges(self, convolutional_code):
+        code = convolutional_code
+        assert code.variable_range_of_block(0) == (0, 50)
+        assert code.variable_range_of_block(9) == (450, 500)
+        assert code.check_range_of_block_row(11) == (275, 300)
+        with pytest.raises(ValueError):
+            code.variable_range_of_block(10)
+        with pytest.raises(ValueError):
+            code.check_range_of_block_row(12)
+
+    def test_full_bp_decoding_at_high_snr(self, convolutional_code):
+        llrs = np.full(convolutional_code.n, 7.0)
+        result = convolutional_code.decode(llrs)
+        assert result.converged
+        assert not np.any(result.hard_decisions)
+
+
+class TestStructuralLatency:
+    def test_paper_example_values(self):
+        # Paper: at Eb/N0 = 3 dB, the LDPC-CC with window decoding needs
+        # T_WD = 200 information bits (e.g. W = 5, N = 40) while the block
+        # code needs T_B = 400 (N = 400-bit blocks, i.e. N = 400 / nv / ...).
+        assert window_decoder_structural_latency(5, 40, 2, 0.5) == 200.0
+        assert block_code_structural_latency(400, 2, 0.5) == 400.0
+
+    def test_eq4_scales_linearly_in_w_and_n(self):
+        base = window_decoder_structural_latency(3, 25, 2, 0.5)
+        assert window_decoder_structural_latency(6, 25, 2, 0.5) == 2 * base
+        assert window_decoder_structural_latency(3, 50, 2, 0.5) == 2 * base
+
+    def test_eq5(self):
+        assert block_code_structural_latency(25, 2, 0.5) == 25.0
+        assert block_code_structural_latency(60, 2, 0.5) == 60.0
+
+    def test_window_latency_independent_of_termination_length(self):
+        # Eq. (4) does not involve L.
+        assert window_decoder_structural_latency(4, 40, 2, 0.5) == \
+            window_decoder_structural_latency(4, 40, 2, 0.5)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_decoder_structural_latency(0, 40, 2, 0.5)
+        with pytest.raises(ValueError):
+            window_decoder_structural_latency(4, 40, 2, 1.5)
+        with pytest.raises(ValueError):
+            block_code_structural_latency(40, 2, 0.0)

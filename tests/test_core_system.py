@@ -1,0 +1,133 @@
+"""Integration tests for the repro.core layer (whole-system composition)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    LinkReport,
+    SystemReport,
+    WirelessBoardLink,
+    WirelessInterconnectSystem,
+)
+from repro.channel.geometry import BoardToBoardGeometry
+
+N_SYMBOLS = 2_000  # keep the PHY Monte Carlo cheap inside the test suite
+
+
+class TestWirelessBoardLink:
+    def test_report_fields(self):
+        link = WirelessBoardLink(distance_m=0.1)
+        report = link.evaluate(10.0, n_symbols=N_SYMBOLS)
+        assert isinstance(report, LinkReport)
+        assert report.distance_m == pytest.approx(0.1)
+        assert 0.0 <= report.information_rate_bpcu <= 2.0
+        assert report.data_rate_gbps > 0.0
+        assert report.coding_latency_information_bits == pytest.approx(240.0)
+
+    def test_link_budget_consistency(self):
+        link = WirelessBoardLink(distance_m=0.1)
+        snr = link.received_snr_db(10.0)
+        assert link.required_tx_power_dbm(snr) == pytest.approx(10.0, abs=1e-9)
+
+    def test_longer_link_needs_more_power(self):
+        ahead = WirelessBoardLink(distance_m=0.1)
+        diagonal = WirelessBoardLink(distance_m=0.3,
+                                     include_butler_mismatch=True)
+        assert diagonal.required_tx_power_dbm(20.0) > \
+            ahead.required_tx_power_dbm(20.0) + 10.0
+
+    def test_high_power_link_closes(self):
+        link = WirelessBoardLink(distance_m=0.1)
+        report = link.evaluate(15.0, n_symbols=N_SYMBOLS)
+        assert report.closes
+        assert report.information_rate_bpcu > 1.5
+
+    def test_starved_link_does_not_close(self):
+        link = WirelessBoardLink(distance_m=0.3, include_butler_mismatch=True)
+        report = link.evaluate(-25.0, n_symbols=N_SYMBOLS)
+        assert not report.closes
+        assert report.information_rate_bpcu < 1.0
+
+    def test_data_rate_scales_with_polarisations(self):
+        dual = WirelessBoardLink(distance_m=0.1, dual_polarization=True)
+        single = WirelessBoardLink(distance_m=0.1, dual_polarization=False)
+        snr = 25.0
+        assert dual.data_rate_gbps(snr, n_symbols=N_SYMBOLS) == pytest.approx(
+            2.0 * single.data_rate_gbps(snr, n_symbols=N_SYMBOLS), rel=1e-6)
+
+    def test_coding_threshold_cached_and_sane(self):
+        link = WirelessBoardLink(distance_m=0.1, window_size=6)
+        first = link.coding_threshold_ebn0_db()
+        second = link.coding_threshold_ebn0_db()
+        assert first == second
+        assert 0.0 < first < 2.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WirelessBoardLink(distance_m=0.0)
+        with pytest.raises(ValueError):
+            WirelessBoardLink(distance_m=0.1, window_size=0)
+
+
+class TestWirelessInterconnectSystem:
+    def test_report_composition(self):
+        system = WirelessInterconnectSystem(n_boards=4,
+                                            stack_mesh_shape=(2, 2, 2),
+                                            tx_power_dbm=15.0)
+        report = system.evaluate(n_symbols=N_SYMBOLS)
+        assert isinstance(report, SystemReport)
+        assert report.n_boards == 4
+        assert report.modules_per_stack == 8
+        assert report.total_modules == 4 * report.stacks_per_board * 8
+        assert report.aggregate_wireless_rate_gbps > 0.0
+        assert len(report.link_reports) >= 2
+
+    def test_paper_scale_module_count(self):
+        system = WirelessInterconnectSystem(n_boards=4,
+                                            stack_mesh_shape=(4, 4, 4))
+        # 4 boards x 4 stacks x 64 modules = 1024 modules in the box.
+        assert system.total_modules == 1024
+
+    def test_noc_metrics_match_standalone_model(self):
+        from repro.noc import AnalyticNocModel, Mesh3D
+
+        system = WirelessInterconnectSystem(stack_mesh_shape=(3, 3, 3))
+        report = system.evaluate(n_symbols=N_SYMBOLS)
+        standalone = AnalyticNocModel(Mesh3D(3, 3, 3))
+        assert report.noc_zero_load_latency_cycles == pytest.approx(
+            standalone.zero_load_latency())
+        assert report.noc_saturation_rate == pytest.approx(
+            standalone.saturation_rate())
+
+    def test_butler_penalty_applied_to_longest_link_only(self):
+        system = WirelessInterconnectSystem(stack_mesh_shape=(2, 2, 2))
+        links = system.board_links()
+        distances = [link.distance_m for link in links]
+        assert distances == sorted(distances)
+        assert not links[0].include_butler_mismatch
+        assert links[-1].include_butler_mismatch
+
+    def test_more_power_more_aggregate_rate(self):
+        low = WirelessInterconnectSystem(stack_mesh_shape=(2, 2, 2),
+                                         tx_power_dbm=-10.0)
+        high = WirelessInterconnectSystem(stack_mesh_shape=(2, 2, 2),
+                                          tx_power_dbm=15.0)
+        assert high.evaluate(n_symbols=N_SYMBOLS).aggregate_wireless_rate_gbps > \
+            low.evaluate(n_symbols=N_SYMBOLS).aggregate_wireless_rate_gbps
+
+    def test_custom_geometry(self):
+        geometry = BoardToBoardGeometry(board_size_m=0.1,
+                                        board_separation_m=0.05,
+                                        nodes_per_edge=1)
+        system = WirelessInterconnectSystem(geometry=geometry,
+                                            stack_mesh_shape=(2, 2, 2))
+        assert system.stacks_per_board == 1
+        report = system.evaluate(n_symbols=N_SYMBOLS)
+        assert len(report.link_reports) == 1
+        assert report.link_reports[0].distance_m == pytest.approx(0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WirelessInterconnectSystem(n_boards=1)
+        with pytest.raises(ValueError):
+            WirelessInterconnectSystem(stack_mesh_shape=(2, 2))

@@ -1,0 +1,170 @@
+"""Unit tests for repro.noc.routing and repro.noc.traffic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.routing import DimensionOrderedRouting, ShortestPathRouting
+from repro.noc.topology import Mesh2D, Mesh3D, StarMesh
+from repro.noc.traffic import (
+    HotspotTraffic,
+    NeighborTraffic,
+    TransposeTraffic,
+    UniformTraffic,
+)
+
+
+class TestDimensionOrderedRouting:
+    def test_path_endpoints(self):
+        topology = Mesh2D(4, 4)
+        routing = DimensionOrderedRouting(topology)
+        path = routing.router_path(0, 15)
+        assert path[0] == 0
+        assert path[-1] == 15
+
+    def test_path_is_minimal(self):
+        topology = Mesh3D(4, 4, 4)
+        routing = DimensionOrderedRouting(topology)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            a, b = rng.integers(0, topology.n_routers, size=2)
+            path = routing.router_path(int(a), int(b))
+            assert len(path) - 1 == topology.router_distance(int(a), int(b))
+
+    def test_consecutive_routers_are_adjacent(self):
+        topology = Mesh3D(3, 3, 3)
+        routing = DimensionOrderedRouting(topology)
+        path = routing.router_path(0, topology.n_routers - 1)
+        for upstream, downstream in zip(path[:-1], path[1:]):
+            assert topology.router_distance(upstream, downstream) == 1
+
+    def test_x_before_y(self):
+        topology = Mesh2D(4, 4)
+        routing = DimensionOrderedRouting(topology)
+        source = topology.coordinate_to_router((0, 0))
+        destination = topology.coordinate_to_router((2, 2))
+        path = routing.router_path(source, destination)
+        coordinates = [topology.router_coordinate(r) for r in path]
+        # The y coordinate must not change until x has reached its target.
+        x_done = False
+        for (x, y) in coordinates:
+            if y != 0:
+                x_done = True
+                assert x == 2
+            if x_done:
+                assert x == 2
+
+    def test_self_path(self):
+        topology = Mesh2D(4, 4)
+        routing = DimensionOrderedRouting(topology)
+        assert routing.router_path(5, 5) == [5]
+        assert routing.links_on_path(5, 5) == []
+
+    def test_module_path_uses_module_routers(self):
+        topology = StarMesh(4, 4, concentration=4)
+        routing = DimensionOrderedRouting(topology)
+        # Modules 0 and 3 share router 0.
+        assert routing.module_path(0, 3) == [0]
+        path = routing.module_path(0, 63)
+        assert path[0] == 0
+        assert path[-1] == 15
+
+    def test_links_on_path_length(self):
+        topology = Mesh2D(5, 5)
+        routing = DimensionOrderedRouting(topology)
+        links = routing.links_on_path(0, 24)
+        assert len(links) == topology.router_distance(0, 24)
+
+    def test_hop_count_matches_distance(self):
+        topology = Mesh3D(3, 4, 2)
+        routing = DimensionOrderedRouting(topology)
+        assert routing.hop_count(0, topology.n_routers - 1) == \
+            topology.diameter()
+
+
+class TestShortestPathRouting:
+    def test_same_hop_count_as_dimension_ordered(self):
+        topology = Mesh3D(3, 3, 3)
+        dor = DimensionOrderedRouting(topology)
+        spf = ShortestPathRouting(topology)
+        rng = np.random.default_rng(2)
+        for _ in range(20):
+            a, b = rng.integers(0, topology.n_routers, size=2)
+            assert dor.hop_count(int(a), int(b)) == spf.hop_count(int(a), int(b))
+
+    def test_invalid_router_rejected(self):
+        topology = Mesh2D(3, 3)
+        routing = ShortestPathRouting(topology)
+        with pytest.raises(ValueError):
+            routing.router_path(0, 99)
+
+    def test_module_path(self):
+        topology = StarMesh(2, 2, concentration=2)
+        routing = ShortestPathRouting(topology)
+        path = routing.module_path(0, 7)
+        assert path[0] == 0
+        assert path[-1] == 3
+
+
+class TestTrafficPatterns:
+    def test_uniform_row_sums_equal_injection_rate(self):
+        topology = Mesh2D(4, 4)
+        traffic = UniformTraffic(topology, 0.3)
+        rates = traffic.rate_matrix()
+        np.testing.assert_allclose(rates.sum(axis=1), 0.3)
+        assert np.all(np.diag(rates) == 0.0)
+
+    def test_uniform_total_offered_load(self):
+        topology = Mesh2D(4, 4)
+        traffic = UniformTraffic(topology, 0.25)
+        assert traffic.total_offered_load() == pytest.approx(0.25 * 16)
+
+    def test_uniform_single_module(self):
+        topology = Mesh2D(1, 1)
+        assert UniformTraffic(topology, 0.5).rate_matrix().sum() == 0.0
+
+    def test_hotspot_concentrates_traffic(self):
+        topology = Mesh2D(4, 4)
+        traffic = HotspotTraffic(topology, 0.3, hotspot_modules=[5],
+                                 hotspot_fraction=0.5)
+        rates = traffic.rate_matrix()
+        column_loads = rates.sum(axis=0)
+        assert column_loads[5] == column_loads.max()
+        np.testing.assert_allclose(rates.sum(axis=1),
+                                   np.where(np.arange(16) == 5,
+                                            rates.sum(axis=1)[5], 0.3),
+                                   atol=1e-12)
+
+    def test_hotspot_validation(self):
+        topology = Mesh2D(4, 4)
+        with pytest.raises(ValueError):
+            HotspotTraffic(topology, 0.3, hotspot_modules=[99])
+        with pytest.raises(ValueError):
+            HotspotTraffic(topology, 0.3, hotspot_fraction=1.5)
+        with pytest.raises(ValueError):
+            HotspotTraffic(topology, 0.3, hotspot_modules=[])
+
+    def test_transpose_is_permutation(self):
+        topology = Mesh2D(4, 4)
+        rates = TransposeTraffic(topology, 0.2).rate_matrix()
+        row_nonzero = (rates > 0).sum(axis=1)
+        assert np.all(row_nonzero <= 1)
+        assert rates.max() == pytest.approx(0.2)
+
+    def test_neighbor_traffic_is_local(self):
+        topology = Mesh2D(4, 4)
+        rates = NeighborTraffic(topology, 0.2).rate_matrix()
+        assert np.count_nonzero(rates) == 16
+        np.testing.assert_allclose(rates.sum(axis=1), 0.2)
+
+    def test_negative_injection_rejected(self):
+        with pytest.raises(ValueError):
+            UniformTraffic(Mesh2D(2, 2), -0.1)
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=20)
+    def test_uniform_scales_linearly(self, rate):
+        topology = Mesh2D(3, 3)
+        base = UniformTraffic(topology, 1.0).rate_matrix()
+        scaled = UniformTraffic(topology, rate).rate_matrix()
+        np.testing.assert_allclose(scaled, rate * base, atol=1e-12)

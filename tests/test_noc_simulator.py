@@ -1,0 +1,109 @@
+"""Unit and integration tests for repro.noc.simulator."""
+
+import numpy as np
+import pytest
+
+from repro.noc.analytic import AnalyticNocModel
+from repro.noc.simulator import NocSimulator, SimulationResult
+from repro.noc.topology import Mesh2D, Mesh3D, StarMesh
+from repro.noc.traffic import NeighborTraffic
+
+
+class TestSimulatorBasics:
+    def test_result_fields(self):
+        simulator = NocSimulator(Mesh2D(4, 4))
+        result = simulator.run(0.05, n_cycles=1_000, warmup_cycles=200, rng=0)
+        assert isinstance(result, SimulationResult)
+        assert result.injection_rate == pytest.approx(0.05)
+        assert result.delivered_packets > 0
+        assert result.offered_packets >= result.delivered_packets
+        assert not result.saturated
+
+    def test_zero_injection(self):
+        simulator = NocSimulator(Mesh2D(3, 3))
+        result = simulator.run(0.0, n_cycles=500, warmup_cycles=100, rng=0)
+        assert result.delivered_packets == 0
+        assert np.isnan(result.mean_latency_cycles)
+
+    def test_reproducible_with_seed(self):
+        simulator = NocSimulator(Mesh2D(4, 4))
+        a = simulator.run(0.1, n_cycles=1_000, warmup_cycles=200, rng=42)
+        b = simulator.run(0.1, n_cycles=1_000, warmup_cycles=200, rng=42)
+        assert a.mean_latency_cycles == pytest.approx(b.mean_latency_cycles)
+        assert a.delivered_packets == b.delivered_packets
+
+    def test_parameter_validation(self):
+        simulator = NocSimulator(Mesh2D(3, 3))
+        with pytest.raises(ValueError):
+            simulator.run(-0.1)
+        with pytest.raises(ValueError):
+            simulator.run(0.1, n_cycles=0)
+        with pytest.raises(ValueError):
+            simulator.run(0.1, n_cycles=100, warmup_cycles=100)
+        with pytest.raises(ValueError):
+            NocSimulator(Mesh2D(3, 3), pipeline_latency_cycles=-1)
+
+    def test_accepted_throughput_tracks_offered_load_below_saturation(self):
+        simulator = NocSimulator(Mesh2D(4, 4))
+        result = simulator.run(0.1, n_cycles=3_000, warmup_cycles=500, rng=1)
+        assert result.accepted_throughput == pytest.approx(0.1, abs=0.02)
+
+    def test_latency_sweep(self):
+        simulator = NocSimulator(Mesh2D(3, 3))
+        results = simulator.latency_sweep([0.05, 0.1], n_cycles=800,
+                                          warmup_cycles=200, rng=2)
+        assert len(results) == 2
+        assert results[0].injection_rate < results[1].injection_rate
+
+
+class TestSimulatorAgainstAnalyticModel:
+    """Integration: the cycle-level simulator validates the queueing model."""
+
+    @pytest.mark.parametrize("topology_factory", [
+        lambda: Mesh2D(4, 4),
+        lambda: StarMesh(3, 3, concentration=2),
+        lambda: Mesh3D(3, 3, 2),
+    ])
+    def test_low_load_latency_agreement(self, topology_factory):
+        topology = topology_factory()
+        simulator = NocSimulator(topology)
+        model = AnalyticNocModel(topology)
+        simulated = simulator.run(0.05, n_cycles=4_000, warmup_cycles=1_000,
+                                  rng=3)
+        analytic = model.mean_latency(0.05)
+        assert simulated.mean_latency_cycles == pytest.approx(analytic,
+                                                              rel=0.25)
+
+    def test_latency_increases_with_load_in_simulation(self):
+        topology = Mesh2D(4, 4)
+        simulator = NocSimulator(topology)
+        low = simulator.run(0.05, n_cycles=4_000, warmup_cycles=1_000, rng=4)
+        high = simulator.run(0.3, n_cycles=4_000, warmup_cycles=1_000, rng=4)
+        assert high.mean_latency_cycles > low.mean_latency_cycles
+
+    def test_simulator_detects_saturation_above_analytic_limit(self):
+        topology = Mesh2D(4, 4)
+        model = AnalyticNocModel(topology)
+        simulator = NocSimulator(topology)
+        overload = 1.6 * model.saturation_rate()
+        result = simulator.run(overload, n_cycles=3_000, warmup_cycles=500,
+                               rng=5)
+        # Either the saturation flag trips or latency explodes well past the
+        # zero-load value.
+        assert result.saturated or \
+            result.mean_latency_cycles > 4.0 * model.zero_load_latency()
+
+    def test_local_traffic_keeps_latency_low(self):
+        topology = Mesh2D(4, 4)
+        simulator = NocSimulator(topology, traffic_class=NeighborTraffic)
+        result = simulator.run(0.4, n_cycles=3_000, warmup_cycles=500, rng=6)
+        assert result.mean_latency_cycles < 12.0
+
+    def test_3d_mesh_latency_below_2d_mesh_in_simulation(self):
+        # The headline qualitative claim of Fig. 8(a), checked by simulation
+        # rather than the analytic model.
+        mesh2d = NocSimulator(Mesh2D(4, 4)).run(0.1, n_cycles=3_000,
+                                                warmup_cycles=500, rng=7)
+        mesh3d = NocSimulator(Mesh3D(2, 2, 4)).run(0.1, n_cycles=3_000,
+                                                   warmup_cycles=500, rng=7)
+        assert mesh3d.mean_latency_cycles < mesh2d.mean_latency_cycles

@@ -1,0 +1,155 @@
+"""Unit tests for repro.noc.topology."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.noc.topology import (
+    CiliatedMesh3D,
+    GridTopology,
+    Mesh2D,
+    Mesh3D,
+    StarMesh,
+)
+
+
+class TestConstruction:
+    def test_paper_64_module_configurations(self):
+        # Fig. 8(a): 8x8 2D mesh vs 4x4x4 star-mesh vs 4x4x4 3D mesh,
+        # all with 64 modules.
+        assert Mesh2D(8, 8).n_modules == 64
+        assert StarMesh(4, 4, concentration=4).n_modules == 64
+        assert Mesh3D(4, 4, 4).n_modules == 64
+
+    def test_paper_512_module_configurations(self):
+        # Fig. 8(b): 32x16 2D mesh vs 8x8x8 3D mesh, 512 modules each.
+        assert Mesh2D(32, 16).n_modules == 512
+        assert Mesh3D(8, 8, 8).n_modules == 512
+
+    def test_router_counts(self):
+        assert Mesh2D(8, 8).n_routers == 64
+        assert StarMesh(4, 4, concentration=4).n_routers == 16
+        assert Mesh3D(4, 4, 4).n_routers == 64
+
+    def test_link_counts(self):
+        # 2D mesh k x k: 2*k*(k-1) bidirectional = 4*k*(k-1) unidirectional.
+        assert Mesh2D(8, 8).n_links == 4 * 8 * 7
+        # 3D mesh k^3: 3 * k^2 * (k-1) bidirectional links.
+        assert Mesh3D(4, 4, 4).n_links == 2 * 3 * 16 * 3
+
+    def test_ciliated_mesh(self):
+        topology = CiliatedMesh3D(4, 4, 2, concentration=2)
+        assert topology.n_routers == 32
+        assert topology.n_modules == 64
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            GridTopology((0, 4))
+        with pytest.raises(ValueError):
+            GridTopology((4, 4), concentration=0)
+        with pytest.raises(ValueError):
+            GridTopology(())
+
+
+class TestCoordinates:
+    def test_round_trip(self):
+        topology = Mesh3D(3, 4, 5)
+        for router in range(topology.n_routers):
+            coordinate = topology.router_coordinate(router)
+            assert topology.coordinate_to_router(coordinate) == router
+
+    def test_coordinate_bounds(self):
+        topology = Mesh2D(4, 4)
+        with pytest.raises(ValueError):
+            topology.router_coordinate(16)
+        with pytest.raises(ValueError):
+            topology.coordinate_to_router((4, 0))
+        with pytest.raises(ValueError):
+            topology.coordinate_to_router((1, 1, 1))
+
+    def test_distance_is_manhattan(self):
+        topology = Mesh3D(4, 4, 4)
+        a = topology.coordinate_to_router((0, 0, 0))
+        b = topology.coordinate_to_router((3, 2, 1))
+        assert topology.router_distance(a, b) == 6
+
+    def test_diameter(self):
+        assert Mesh2D(8, 8).diameter() == 14
+        assert Mesh3D(4, 4, 4).diameter() == 9
+        assert StarMesh(4, 4).diameter() == 6
+
+    @given(st.integers(min_value=2, max_value=5),
+           st.integers(min_value=2, max_value=5))
+    @settings(max_examples=20)
+    def test_distance_symmetry(self, nx_routers, ny_routers):
+        topology = Mesh2D(nx_routers, ny_routers)
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            a, b = rng.integers(0, topology.n_routers, size=2)
+            assert topology.router_distance(int(a), int(b)) == \
+                topology.router_distance(int(b), int(a))
+
+
+class TestModuleMapping:
+    def test_one_module_per_router_identity(self):
+        topology = Mesh2D(4, 4)
+        for module in range(topology.n_modules):
+            assert topology.router_of_module(module) == module
+
+    def test_concentration_grouping(self):
+        topology = StarMesh(4, 4, concentration=4)
+        assert topology.router_of_module(0) == 0
+        assert topology.router_of_module(3) == 0
+        assert topology.router_of_module(4) == 1
+        assert topology.modules_of_router(0) == [0, 1, 2, 3]
+
+    def test_module_index_bounds(self):
+        topology = StarMesh(4, 4, concentration=4)
+        with pytest.raises(ValueError):
+            topology.router_of_module(64)
+        with pytest.raises(ValueError):
+            topology.modules_of_router(16)
+
+    def test_every_module_has_exactly_one_router(self):
+        topology = CiliatedMesh3D(2, 2, 2, concentration=3)
+        seen = []
+        for router in range(topology.n_routers):
+            seen.extend(topology.modules_of_router(router))
+        assert sorted(seen) == list(range(topology.n_modules))
+
+
+class TestGraph:
+    def test_graph_is_connected(self):
+        import networkx as nx
+
+        for topology in (Mesh2D(5, 3), Mesh3D(3, 3, 3), StarMesh(4, 4)):
+            assert nx.is_strongly_connected(topology.graph)
+
+    def test_links_are_bidirectional(self):
+        topology = Mesh3D(3, 3, 2)
+        links = set(topology.links())
+        for upstream, downstream in links:
+            assert (downstream, upstream) in links
+
+    def test_neighbors_are_adjacent(self):
+        topology = Mesh2D(4, 4)
+        for router in range(topology.n_routers):
+            for neighbor in topology.neighbors(router):
+                assert topology.router_distance(router, neighbor) == 1
+
+    def test_corner_degree(self):
+        topology = Mesh2D(4, 4)
+        corner = topology.coordinate_to_router((0, 0))
+        assert len(topology.neighbors(corner)) == 2
+        centre = topology.coordinate_to_router((1, 1))
+        assert len(topology.neighbors(centre)) == 4
+
+    def test_describe_contents(self):
+        info = Mesh3D(4, 4, 4).describe()
+        assert info["routers"] == 64
+        assert info["modules"] == 64
+        assert info["diameter"] == 9
+
+    def test_max_wire_length_validation(self):
+        with pytest.raises(ValueError):
+            Mesh3D(2, 2, 2).max_wire_length(router_pitch=0.0)

@@ -1,0 +1,144 @@
+"""Unit tests for repro.phy.information_rate (the Fig. 6 quantities)."""
+
+import numpy as np
+import pytest
+
+from repro.phy.information_rate import (
+    ask_awgn_information_rate,
+    one_bit_no_oversampling_rate,
+    sequence_information_rate,
+    symbolwise_information_rate,
+)
+from repro.phy.modulation import AskConstellation
+from repro.phy.pulse import (
+    rectangular_pulse,
+    sequence_optimized_pulse,
+    suboptimal_unique_detection_pulse,
+    symbolwise_optimized_pulse,
+)
+
+N_SYMBOLS = 6_000
+
+
+class TestUnquantizedReference:
+    def test_saturates_at_two_bits(self):
+        assert ask_awgn_information_rate(35.0) == pytest.approx(2.0, abs=1e-3)
+
+    def test_low_snr_small_rate(self):
+        assert ask_awgn_information_rate(-10.0) < 0.2
+
+    def test_monotonic_in_snr(self):
+        rates = [ask_awgn_information_rate(snr) for snr in (-5, 0, 5, 10, 15, 20)]
+        assert all(b > a for a, b in zip(rates, rates[1:]))
+
+    def test_binary_constellation_saturates_at_one(self):
+        rate = ask_awgn_information_rate(30.0, AskConstellation(2))
+        assert rate == pytest.approx(1.0, abs=1e-3)
+
+    def test_quadrature_validation(self):
+        with pytest.raises(ValueError):
+            ask_awgn_information_rate(10.0, n_quadrature=1)
+
+    def test_awgn_capacity_upper_bound(self):
+        # Uniform 4-ASK cannot beat 0.5*log2(1+SNR).
+        for snr in (0.0, 10.0, 20.0):
+            shannon = 0.5 * np.log2(1.0 + 10 ** (snr / 10.0))
+            assert ask_awgn_information_rate(snr) <= shannon + 1e-9
+
+
+class TestOneBitNoOversampling:
+    def test_saturates_at_one_bit(self):
+        assert one_bit_no_oversampling_rate(30.0) == pytest.approx(1.0, abs=1e-3)
+
+    def test_below_unquantized(self):
+        for snr in (-5.0, 0.0, 10.0, 20.0):
+            assert one_bit_no_oversampling_rate(snr) <= \
+                ask_awgn_information_rate(snr) + 1e-9
+
+    def test_monotonic_in_snr(self):
+        rates = [one_bit_no_oversampling_rate(snr) for snr in (-5, 0, 5, 10, 20)]
+        assert all(b >= a for a, b in zip(rates, rates[1:]))
+
+
+class TestSymbolwiseRate:
+    def test_rect_pulse_oversampling_beats_no_oversampling_at_moderate_snr(self):
+        # Fig. 6: "Rect 1Bit-OS" exceeds "1Bit No-OS" at moderate SNR.
+        rate_oversampled = symbolwise_information_rate(rectangular_pulse(5), 10.0)
+        rate_single = one_bit_no_oversampling_rate(10.0)
+        assert rate_oversampled > rate_single + 0.1
+
+    def test_rect_pulse_saturates_at_one_bit(self):
+        # Without ISI all 5 samples agree in the noise-free limit.
+        assert symbolwise_information_rate(rectangular_pulse(5), 35.0) == \
+            pytest.approx(1.0, abs=0.01)
+
+    def test_designed_pulse_exceeds_rect_at_design_snr(self):
+        designed = symbolwise_information_rate(symbolwise_optimized_pulse(), 25.0)
+        rect = symbolwise_information_rate(rectangular_pulse(5), 25.0)
+        assert designed > rect + 0.3
+
+    def test_symbolwise_design_reaches_about_1p5_bits(self):
+        # Fig. 6: the symbolwise-optimised design plateaus around 1.5 bpcu.
+        rate = symbolwise_information_rate(symbolwise_optimized_pulse(), 25.0)
+        assert 1.35 <= rate <= 1.7
+
+    def test_never_exceeds_constellation_entropy(self):
+        for snr in (0.0, 15.0, 30.0):
+            assert symbolwise_information_rate(sequence_optimized_pulse(), snr) \
+                <= 2.0 + 1e-9
+
+    def test_memoryless_pulse_matches_sequence_rate(self):
+        # Without ISI the symbolwise and sequence rates coincide.
+        symbolwise = symbolwise_information_rate(rectangular_pulse(5), 10.0)
+        sequence = sequence_information_rate(rectangular_pulse(5), 10.0,
+                                             n_symbols=20_000, rng=0)
+        assert sequence == pytest.approx(symbolwise, abs=0.03)
+
+
+class TestSequenceRate:
+    def test_sequence_design_approaches_two_bits(self):
+        # Fig. 6: the sequence-optimised ISI design recovers nearly the full
+        # 2 bit/channel use of 4-ASK at high SNR.
+        rate = sequence_information_rate(sequence_optimized_pulse(), 30.0,
+                                         n_symbols=N_SYMBOLS, rng=1)
+        assert rate > 1.9
+
+    def test_sequence_beats_symbolwise_on_same_pulse(self):
+        pulse = sequence_optimized_pulse()
+        sequence = sequence_information_rate(pulse, 25.0, n_symbols=N_SYMBOLS,
+                                             rng=1)
+        symbolwise = symbolwise_information_rate(pulse, 25.0)
+        assert sequence > symbolwise
+
+    def test_suboptimal_design_reaches_two_bits_at_high_snr(self):
+        rate = sequence_information_rate(suboptimal_unique_detection_pulse(),
+                                         35.0, n_symbols=N_SYMBOLS, rng=1)
+        assert rate > 1.9
+
+    def test_rect_pulse_sequence_rate_saturates_at_one_bit(self):
+        rate = sequence_information_rate(rectangular_pulse(5), 35.0,
+                                         n_symbols=N_SYMBOLS, rng=1)
+        assert rate == pytest.approx(1.0, abs=0.02)
+
+    def test_bounded_by_unquantized_reference(self):
+        for snr in (0.0, 10.0, 25.0):
+            sequence = sequence_information_rate(sequence_optimized_pulse(), snr,
+                                                 n_symbols=N_SYMBOLS, rng=2)
+            assert sequence <= ask_awgn_information_rate(snr) + 0.05
+
+    def test_estimate_is_reproducible_with_seed(self):
+        a = sequence_information_rate(sequence_optimized_pulse(), 15.0,
+                                      n_symbols=2_000, rng=7)
+        b = sequence_information_rate(sequence_optimized_pulse(), 15.0,
+                                      n_symbols=2_000, rng=7)
+        assert a == pytest.approx(b)
+
+    def test_short_blocks_rejected(self):
+        with pytest.raises(ValueError):
+            sequence_information_rate(rectangular_pulse(5), 10.0, n_symbols=10)
+
+    def test_monotonic_in_snr_for_designed_pulse(self):
+        rates = [sequence_information_rate(sequence_optimized_pulse(), snr,
+                                           n_symbols=N_SYMBOLS, rng=3)
+                 for snr in (5.0, 15.0, 25.0)]
+        assert rates[0] < rates[1] < rates[2]

@@ -1,0 +1,124 @@
+"""Unit tests for repro.phy.modulation."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.modulation import AskConstellation
+
+
+class TestConstellationConstruction:
+    def test_default_is_4ask(self):
+        assert AskConstellation().order == 4
+
+    def test_unit_average_energy(self):
+        for order in (2, 4, 8, 16):
+            constellation = AskConstellation(order)
+            assert constellation.average_energy == pytest.approx(1.0)
+
+    def test_levels_are_symmetric(self):
+        levels = AskConstellation(4).levels
+        np.testing.assert_allclose(levels, -levels[::-1])
+
+    def test_levels_equally_spaced(self):
+        levels = AskConstellation(8).levels
+        np.testing.assert_allclose(np.diff(levels), np.diff(levels)[0])
+
+    def test_4ask_levels(self):
+        # ±1/sqrt(5), ±3/sqrt(5)
+        levels = AskConstellation(4).levels
+        expected = np.array([-3.0, -1.0, 1.0, 3.0]) / np.sqrt(5.0)
+        np.testing.assert_allclose(levels, expected)
+
+    def test_bits_per_symbol(self):
+        assert AskConstellation(4).bits_per_symbol == 2
+        assert AskConstellation(8).bits_per_symbol == 3
+
+    def test_invalid_orders_rejected(self):
+        for order in (0, 1, 3, 6):
+            with pytest.raises(ValueError):
+                AskConstellation(order)
+
+
+class TestMapping:
+    def test_index_symbol_round_trip(self):
+        constellation = AskConstellation(4)
+        indices = np.array([0, 1, 2, 3, 2, 1])
+        symbols = constellation.indices_to_symbols(indices)
+        np.testing.assert_array_equal(
+            constellation.symbols_to_indices(symbols), indices)
+
+    def test_noisy_symbols_snap_to_nearest(self):
+        constellation = AskConstellation(4)
+        symbols = constellation.levels + 0.05
+        np.testing.assert_array_equal(
+            constellation.symbols_to_indices(symbols), [0, 1, 2, 3])
+
+    def test_out_of_range_index_rejected(self):
+        with pytest.raises(ValueError):
+            AskConstellation(4).indices_to_symbols(np.array([4]))
+
+    def test_bit_round_trip(self):
+        constellation = AskConstellation(4)
+        indices = np.arange(4)
+        bits = constellation.indices_to_bits(indices)
+        np.testing.assert_array_equal(constellation.bits_to_indices(bits),
+                                      indices)
+
+    def test_gray_mapping_adjacent_levels_differ_in_one_bit(self):
+        constellation = AskConstellation(8)
+        bits = constellation.indices_to_bits(np.arange(8))
+        for first, second in zip(bits[:-1], bits[1:]):
+            assert int(np.sum(first != second)) == 1
+
+    def test_wrong_bit_width_rejected(self):
+        with pytest.raises(ValueError):
+            AskConstellation(4).bits_to_indices(np.zeros((3, 3), dtype=int))
+
+    @given(st.integers(min_value=1, max_value=3).map(lambda k: 2 ** k))
+    @settings(max_examples=10)
+    def test_bit_round_trip_property(self, order):
+        constellation = AskConstellation(order)
+        indices = np.arange(order)
+        recovered = constellation.bits_to_indices(
+            constellation.indices_to_bits(indices))
+        np.testing.assert_array_equal(recovered, indices)
+
+
+class TestRandomGeneration:
+    def test_random_indices_shape_and_range(self):
+        constellation = AskConstellation(4)
+        indices = constellation.random_indices(1000, rng=0)
+        assert indices.shape == (1000,)
+        assert indices.min() >= 0
+        assert indices.max() <= 3
+
+    def test_random_symbols_use_all_levels(self):
+        constellation = AskConstellation(4)
+        symbols = constellation.random_symbols(2000, rng=0)
+        assert len(np.unique(np.round(symbols, 6))) == 4
+
+    def test_reproducibility(self):
+        constellation = AskConstellation(4)
+        np.testing.assert_array_equal(constellation.random_indices(64, rng=5),
+                                      constellation.random_indices(64, rng=5))
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            AskConstellation(4).random_indices(-1)
+
+
+class TestSequenceEnumeration:
+    def test_all_sequences_count(self):
+        constellation = AskConstellation(4)
+        assert constellation.all_sequences(0).shape == (1, 0)
+        assert constellation.all_sequences(1).shape == (4, 1)
+        assert constellation.all_sequences(3).shape == (64, 3)
+
+    def test_all_sequences_are_unique(self):
+        sequences = AskConstellation(4).all_sequences(2)
+        assert len({tuple(row) for row in sequences}) == 16
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            AskConstellation(4).all_sequences(-1)

@@ -1,0 +1,168 @@
+"""Unit tests for repro.phy.pulse and repro.phy.quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.phy.pulse import (
+    Pulse,
+    raised_cosine_tail_pulse,
+    ramp_pulse,
+    rectangular_pulse,
+    sequence_optimized_pulse,
+    suboptimal_unique_detection_pulse,
+    symbolwise_optimized_pulse,
+)
+from repro.phy.quantizer import OneBitQuantizer, UniformQuantizer
+
+
+class TestPulseBasics:
+    def test_rectangular_pulse_span(self):
+        pulse = rectangular_pulse(5)
+        assert pulse.span_symbols == 1
+        assert pulse.memory == 0
+        assert pulse.oversampling == 5
+
+    def test_normalisation_unit_power(self):
+        for factory in (rectangular_pulse, suboptimal_unique_detection_pulse,
+                        symbolwise_optimized_pulse, sequence_optimized_pulse):
+            pulse = factory(5) if factory is rectangular_pulse else factory()
+            assert pulse.average_power_per_sample == pytest.approx(1.0)
+
+    def test_tap_matrix_shape(self):
+        pulse = sequence_optimized_pulse()
+        assert pulse.tap_matrix.shape == (2, 5)
+        np.testing.assert_allclose(pulse.tap_matrix.reshape(-1), pulse.taps)
+
+    def test_delay_axis_in_symbol_periods(self):
+        pulse = suboptimal_unique_detection_pulse()
+        axis = pulse.delay_axis()
+        assert axis[0] == 0.0
+        assert axis[-1] == pytest.approx(2.0 - 1.0 / 5.0)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Pulse(taps=np.ones(7), oversampling=5)
+        with pytest.raises(ValueError):
+            Pulse(taps=np.zeros(5), oversampling=5)
+        with pytest.raises(ValueError):
+            Pulse(taps=np.ones(5), oversampling=0)
+
+    def test_fig5_designs_span_two_symbols(self):
+        # Fig. 5(b)-(d): the designed ISI overlaps exactly one extra symbol.
+        assert symbolwise_optimized_pulse().span_symbols == 2
+        assert sequence_optimized_pulse().span_symbols == 2
+        assert suboptimal_unique_detection_pulse().span_symbols == 2
+
+    def test_shipped_designs_only_for_5x(self):
+        with pytest.raises(ValueError):
+            symbolwise_optimized_pulse(oversampling=4)
+        with pytest.raises(ValueError):
+            sequence_optimized_pulse(oversampling=3)
+        with pytest.raises(ValueError):
+            suboptimal_unique_detection_pulse(oversampling=2)
+
+
+class TestWaveform:
+    def test_single_symbol_waveform_is_scaled_taps(self):
+        pulse = rectangular_pulse(5)
+        waveform = pulse.waveform(np.array([2.0]))
+        np.testing.assert_allclose(waveform, 2.0 * pulse.taps)
+
+    def test_waveform_length(self):
+        pulse = sequence_optimized_pulse()
+        waveform = pulse.waveform(np.ones(7))
+        assert waveform.shape == (35,)
+
+    def test_superposition(self):
+        pulse = sequence_optimized_pulse()
+        a = pulse.waveform(np.array([1.0, 0.0, 0.0]))
+        b = pulse.waveform(np.array([0.0, -1.0, 0.0]))
+        combined = pulse.waveform(np.array([1.0, -1.0, 0.0]))
+        np.testing.assert_allclose(combined, a + b, atol=1e-12)
+
+    def test_sample_means_match_waveform_steady_state(self):
+        pulse = sequence_optimized_pulse()
+        symbols = np.array([0.5, -1.0, 1.2])
+        waveform = pulse.waveform(symbols)
+        # Third symbol period: window [a_2, a_1].
+        expected = pulse.sample_means(np.array([1.2, -1.0]))
+        np.testing.assert_allclose(waveform[10:15], expected, atol=1e-12)
+
+    def test_sample_means_window_validation(self):
+        with pytest.raises(ValueError):
+            sequence_optimized_pulse().sample_means(np.array([1.0]))
+
+    @given(st.integers(min_value=1, max_value=4),
+           st.integers(min_value=1, max_value=3))
+    @settings(max_examples=20)
+    def test_ramp_pulse_valid_for_any_shape(self, oversampling, span):
+        pulse = ramp_pulse(oversampling, span)
+        assert pulse.span_symbols == span
+        assert pulse.average_power_per_sample == pytest.approx(1.0)
+
+
+class TestFactories:
+    def test_raised_cosine_zero_tail_is_rectangular(self):
+        pulse = raised_cosine_tail_pulse(5, tail_fraction=0.0)
+        matrix = pulse.tap_matrix
+        np.testing.assert_allclose(matrix[1], 0.0, atol=1e-12)
+
+    def test_raised_cosine_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            raised_cosine_tail_pulse(5, tail_fraction=1.5)
+
+    def test_ramp_pulse_invalid_span(self):
+        with pytest.raises(ValueError):
+            ramp_pulse(5, 0)
+
+    def test_designed_pulses_have_nonzero_tails(self):
+        # Fig. 5(b)-(d) all show energy in the following symbol period.
+        for factory in (symbolwise_optimized_pulse, sequence_optimized_pulse,
+                        suboptimal_unique_detection_pulse):
+            tail = factory().tap_matrix[1]
+            assert np.max(np.abs(tail)) > 0.1
+
+
+class TestQuantizers:
+    def test_one_bit_signs(self):
+        quantizer = OneBitQuantizer()
+        np.testing.assert_array_equal(
+            quantizer(np.array([-0.3, 0.2, 0.0, 5.0])), [-1, 1, -1, 1])
+
+    def test_one_bit_threshold(self):
+        quantizer = OneBitQuantizer(threshold=1.0)
+        np.testing.assert_array_equal(quantizer(np.array([0.5, 1.5])), [-1, 1])
+
+    def test_one_bit_metadata(self):
+        assert OneBitQuantizer().bits == 1
+        assert OneBitQuantizer().n_levels == 2
+
+    def test_uniform_quantizer_level_count(self):
+        quantizer = UniformQuantizer(bits=3, full_scale=1.0)
+        assert quantizer.n_levels == 8
+        assert quantizer.levels().shape == (8,)
+
+    def test_uniform_quantizer_reconstruction_error_bound(self):
+        quantizer = UniformQuantizer(bits=6, full_scale=2.0)
+        samples = np.linspace(-1.9, 1.9, 101)
+        error = np.abs(quantizer(samples) - samples)
+        assert np.max(error) <= quantizer.step / 2.0 + 1e-12
+
+    def test_uniform_quantizer_clips(self):
+        quantizer = UniformQuantizer(bits=2, full_scale=1.0)
+        assert quantizer(np.array([10.0]))[0] <= 1.0
+        assert quantizer(np.array([-10.0]))[0] >= -1.0
+
+    def test_uniform_quantizer_validation(self):
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=0)
+        with pytest.raises(ValueError):
+            UniformQuantizer(bits=4, full_scale=0.0)
+
+    def test_more_bits_reduce_error(self):
+        samples = np.linspace(-1.5, 1.5, 333)
+        coarse = UniformQuantizer(bits=2)
+        fine = UniformQuantizer(bits=6)
+        assert np.mean((fine(samples) - samples) ** 2) < \
+            np.mean((coarse(samples) - samples) ** 2)

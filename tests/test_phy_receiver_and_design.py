@@ -1,0 +1,137 @@
+"""Unit tests for repro.phy.receiver and repro.phy.filter_design."""
+
+import numpy as np
+import pytest
+
+from repro.phy.channel_model import OversampledOneBitChannel
+from repro.phy.filter_design import (
+    FilterDesignResult,
+    optimize_pulse,
+    unique_detection_fraction,
+)
+from repro.phy.pulse import (
+    ramp_pulse,
+    rectangular_pulse,
+    sequence_optimized_pulse,
+    suboptimal_unique_detection_pulse,
+    symbolwise_optimized_pulse,
+)
+from repro.phy.receiver import SymbolBySymbolDetector, ViterbiSequenceDetector
+
+
+class TestUniqueDetection:
+    def test_rect_pulse_cannot_uniquely_detect_4ask(self):
+        # Without ISI a sign can only separate positive from negative levels.
+        assert unique_detection_fraction(rectangular_pulse(5)) == 0.0
+
+    def test_suboptimal_design_has_full_unique_detection(self):
+        # This is the defining property of the Fig. 5(d) design.
+        assert unique_detection_fraction(suboptimal_unique_detection_pulse()) \
+            == pytest.approx(1.0)
+
+    def test_sequence_design_has_full_unique_detection(self):
+        assert unique_detection_fraction(sequence_optimized_pulse()) == \
+            pytest.approx(1.0)
+
+    def test_fraction_in_unit_interval(self):
+        value = unique_detection_fraction(ramp_pulse(5, 2))
+        assert 0.0 <= value <= 1.0
+
+
+class TestDetectors:
+    def test_viterbi_near_perfect_at_high_snr(self):
+        channel = OversampledOneBitChannel(pulse=sequence_optimized_pulse(),
+                                           snr_db=35.0)
+        indices, signs = channel.simulate(2_000, rng=0)
+        detector = ViterbiSequenceDetector(channel)
+        assert detector.symbol_error_rate(indices, signs) < 0.01
+
+    def test_symbolwise_detector_fails_on_rect_pulse_4ask(self):
+        # With a rectangular pulse the 1-bit receiver can only recover the
+        # sign, so the symbol error rate stays near 50 %.
+        channel = OversampledOneBitChannel(pulse=rectangular_pulse(5),
+                                           snr_db=35.0)
+        indices, signs = channel.simulate(2_000, rng=0)
+        detector = SymbolBySymbolDetector(channel)
+        error_rate = detector.symbol_error_rate(indices, signs)
+        assert 0.35 < error_rate < 0.65
+
+    def test_viterbi_beats_symbolwise_on_designed_pulse(self):
+        channel = OversampledOneBitChannel(pulse=sequence_optimized_pulse(),
+                                           snr_db=18.0)
+        indices, signs = channel.simulate(4_000, rng=1)
+        viterbi = ViterbiSequenceDetector(channel).symbol_error_rate(indices,
+                                                                     signs)
+        symbolwise = SymbolBySymbolDetector(channel).symbol_error_rate(indices,
+                                                                       signs)
+        assert viterbi <= symbolwise
+
+    def test_error_rate_decreases_with_snr(self):
+        rates = []
+        for snr in (5.0, 15.0, 30.0):
+            channel = OversampledOneBitChannel(pulse=sequence_optimized_pulse(),
+                                               snr_db=snr)
+            indices, signs = channel.simulate(3_000, rng=2)
+            rates.append(
+                ViterbiSequenceDetector(channel).symbol_error_rate(indices,
+                                                                   signs))
+        assert rates[0] > rates[1] > rates[2]
+
+    def test_detector_output_shape(self):
+        channel = OversampledOneBitChannel(pulse=sequence_optimized_pulse(),
+                                           snr_db=20.0)
+        _, signs = channel.simulate(128, rng=3)
+        assert ViterbiSequenceDetector(channel).detect(signs).shape == (128,)
+        assert SymbolBySymbolDetector(channel).detect(signs).shape == (128,)
+
+    def test_mismatched_lengths_rejected(self):
+        channel = OversampledOneBitChannel(pulse=sequence_optimized_pulse(),
+                                           snr_db=20.0)
+        indices, signs = channel.simulate(64, rng=4)
+        detector = ViterbiSequenceDetector(channel)
+        with pytest.raises(ValueError):
+            detector.symbol_error_rate(indices[:10], signs)
+        with pytest.raises(ValueError):
+            detector.symbol_error_rate(indices, signs, skip=64)
+
+
+class TestOptimizer:
+    def test_optimizer_improves_symbolwise_rate_over_seed(self):
+        seed_pulse = rectangular_pulse(5)
+        result = optimize_pulse(objective="symbolwise", snr_db=25.0,
+                                initial_pulse=ramp_pulse(5, 2),
+                                n_iterations=15, rng=0)
+        from repro.phy.information_rate import symbolwise_information_rate
+
+        assert isinstance(result, FilterDesignResult)
+        assert result.objective_value >= \
+            symbolwise_information_rate(ramp_pulse(5, 2), 25.0) - 1e-9
+        assert result.objective_value > \
+            symbolwise_information_rate(seed_pulse, 25.0)
+
+    def test_optimizer_history_is_nondecreasing(self):
+        result = optimize_pulse(objective="symbolwise", snr_db=20.0,
+                                n_iterations=10, rng=1)
+        assert all(b >= a for a, b in zip(result.history, result.history[1:]))
+
+    def test_unique_detection_objective(self):
+        result = optimize_pulse(objective="unique-detection", snr_db=25.0,
+                                n_iterations=25, rng=2)
+        assert 0.0 <= result.objective_value <= 1.0
+
+    def test_result_pulse_is_normalised(self):
+        result = optimize_pulse(objective="symbolwise", snr_db=25.0,
+                                n_iterations=5, rng=3)
+        assert result.pulse.average_power_per_sample == pytest.approx(1.0)
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValueError):
+            optimize_pulse(objective="magic")
+        with pytest.raises(ValueError):
+            optimize_pulse(n_iterations=0)
+
+    def test_sequence_objective_runs(self):
+        result = optimize_pulse(objective="sequence", snr_db=20.0,
+                                n_iterations=3, n_symbols=500, rng=4)
+        assert result.objective == "sequence"
+        assert 0.0 <= result.objective_value <= 2.0

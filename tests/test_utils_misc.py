@@ -1,0 +1,78 @@
+"""Unit tests for repro.utils.rng and repro.utils.validation."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ensure_rng
+from repro.utils.validation import (
+    check_choice,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+)
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_seed_is_reproducible(self):
+        a = ensure_rng(42).standard_normal(8)
+        b = ensure_rng(42).standard_normal(8)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).standard_normal(8)
+        b = ensure_rng(2).standard_normal(8)
+        assert not np.allclose(a, b)
+
+    def test_generator_passthrough(self):
+        generator = np.random.default_rng(7)
+        assert ensure_rng(generator) is generator
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestValidation:
+    def test_check_positive_accepts(self):
+        assert check_positive("x", 1.5) == 1.5
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ValueError, match="x"):
+            check_positive("x", 0.0)
+
+    def test_check_non_negative_accepts_zero(self):
+        assert check_non_negative("x", 0.0) == 0.0
+
+    def test_check_non_negative_rejects_negative(self):
+        with pytest.raises(ValueError):
+            check_non_negative("x", -0.1)
+
+    def test_check_probability_bounds(self):
+        assert check_probability("p", 0.0) == 0.0
+        assert check_probability("p", 1.0) == 1.0
+        with pytest.raises(ValueError):
+            check_probability("p", 1.01)
+        with pytest.raises(ValueError):
+            check_probability("p", -0.01)
+
+    def test_check_in_range(self):
+        assert check_in_range("x", 3.0, 1.0, 5.0) == 3.0
+        with pytest.raises(ValueError):
+            check_in_range("x", 6.0, 1.0, 5.0)
+
+    def test_check_power_of_two(self):
+        for value in (1, 2, 4, 1024):
+            assert check_power_of_two("n", value) == value
+        for value in (0, 3, -4, 6):
+            with pytest.raises(ValueError):
+                check_power_of_two("n", value)
+
+    def test_check_choice(self):
+        assert check_choice("mode", "a", ("a", "b")) == "a"
+        with pytest.raises(ValueError):
+            check_choice("mode", "c", ("a", "b"))

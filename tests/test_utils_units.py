@@ -1,0 +1,133 @@
+"""Unit tests for repro.utils.units."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    db_to_linear,
+    dbm_to_watt,
+    ebn0_db_to_snr_db,
+    linear_to_db,
+    snr_db_to_ebn0_db,
+    thermal_noise_power_dbm,
+    thermal_noise_power_watt,
+    watt_to_dbm,
+    wavelength,
+)
+
+
+class TestDbConversions:
+    def test_zero_db_is_unity(self):
+        assert db_to_linear(0.0) == pytest.approx(1.0)
+
+    def test_ten_db_is_ten(self):
+        assert db_to_linear(10.0) == pytest.approx(10.0)
+
+    def test_three_db_is_about_two(self):
+        assert db_to_linear(3.0103) == pytest.approx(2.0, rel=1e-4)
+
+    def test_linear_to_db_inverse(self):
+        assert linear_to_db(100.0) == pytest.approx(20.0)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+    def test_array_input(self):
+        values = np.array([0.0, 10.0, 20.0])
+        np.testing.assert_allclose(db_to_linear(values), [1.0, 10.0, 100.0])
+
+    @given(st.floats(min_value=-100.0, max_value=100.0))
+    def test_round_trip_property(self, value_db):
+        assert linear_to_db(db_to_linear(value_db)) == pytest.approx(
+            value_db, abs=1e-9)
+
+
+class TestDbmConversions:
+    def test_zero_dbm_is_one_milliwatt(self):
+        assert dbm_to_watt(0.0) == pytest.approx(1e-3)
+
+    def test_thirty_dbm_is_one_watt(self):
+        assert dbm_to_watt(30.0) == pytest.approx(1.0)
+
+    def test_watt_to_dbm_inverse(self):
+        assert watt_to_dbm(1e-3) == pytest.approx(0.0)
+
+    def test_watt_to_dbm_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            watt_to_dbm(0.0)
+
+    @given(st.floats(min_value=-80.0, max_value=60.0))
+    def test_round_trip_property(self, power_dbm):
+        assert watt_to_dbm(dbm_to_watt(power_dbm)) == pytest.approx(
+            power_dbm, abs=1e-9)
+
+
+class TestWavelength:
+    def test_232_5_ghz(self):
+        # ~1.29 mm at the paper's centre frequency.
+        assert wavelength(232.5e9) == pytest.approx(1.2894e-3, rel=1e-3)
+
+    def test_rejects_zero_frequency(self):
+        with pytest.raises(ValueError):
+            wavelength(0.0)
+
+
+class TestThermalNoise:
+    def test_290k_1hz_is_minus_174_dbm(self):
+        assert thermal_noise_power_dbm(1.0, 290.0) == pytest.approx(-174.0, abs=0.1)
+
+    def test_paper_noise_floor(self):
+        # 25 GHz bandwidth at 323 K: about -69.5 dBm before the noise figure.
+        value = thermal_noise_power_dbm(25e9, 323.0)
+        assert value == pytest.approx(-69.5, abs=0.2)
+
+    def test_watt_scales_linearly_with_bandwidth(self):
+        single = thermal_noise_power_watt(1e9, 300.0)
+        double = thermal_noise_power_watt(2e9, 300.0)
+        assert double == pytest.approx(2.0 * single)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            thermal_noise_power_watt(0.0, 290.0)
+
+    def test_rejects_nonpositive_temperature(self):
+        with pytest.raises(ValueError):
+            thermal_noise_power_watt(1e9, 0.0)
+
+
+class TestEbn0Snr:
+    def test_rate_one_bpsk_identity(self):
+        assert ebn0_db_to_snr_db(5.0, rate=1.0) == pytest.approx(5.0)
+
+    def test_rate_half_costs_3db(self):
+        assert ebn0_db_to_snr_db(5.0, rate=0.5) == pytest.approx(5.0 - 3.0103,
+                                                                 abs=1e-3)
+
+    def test_two_bits_per_symbol_gains_3db(self):
+        assert ebn0_db_to_snr_db(5.0, rate=1.0, bits_per_symbol=2.0) == \
+            pytest.approx(5.0 + 3.0103, abs=1e-3)
+
+    def test_oversampling_costs_snr(self):
+        plain = ebn0_db_to_snr_db(5.0, rate=1.0)
+        oversampled = ebn0_db_to_snr_db(5.0, rate=1.0, oversampling=5.0)
+        assert oversampled < plain
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            ebn0_db_to_snr_db(5.0, rate=0.0)
+        with pytest.raises(ValueError):
+            ebn0_db_to_snr_db(5.0, rate=1.5)
+
+    @given(st.floats(min_value=-10.0, max_value=30.0),
+           st.floats(min_value=0.1, max_value=1.0),
+           st.floats(min_value=1.0, max_value=4.0))
+    def test_round_trip_property(self, ebn0, rate, bits):
+        snr = ebn0_db_to_snr_db(ebn0, rate=rate, bits_per_symbol=bits)
+        back = snr_db_to_ebn0_db(snr, rate=rate, bits_per_symbol=bits)
+        assert back == pytest.approx(ebn0, abs=1e-9)

@@ -1,0 +1,29 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test lint smoke bench
+
+# Tier-1 verification: the full unit/integration suite plus benchmarks.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Lint: byte-compile everything; run pyflakes when it is available.
+# Only the missing-tool case is tolerated — pyflakes findings fail the target.
+lint:
+	$(PYTHON) -m compileall -q src tests benchmarks examples
+	@if $(PYTHON) -c "import pyflakes" 2>/dev/null; then \
+		$(PYTHON) -m pyflakes src tests benchmarks examples; \
+	else \
+		echo "pyflakes not installed; compileall check only"; \
+	fi
+
+# Fast benchmark smoke: one cheap figure per substrate (seconds, not minutes).
+smoke:
+	$(PYTHON) -m pytest -q \
+		benchmarks/test_bench_fig1_pathloss.py \
+		benchmarks/test_bench_table1_link_budget.py \
+		benchmarks/test_bench_fig8a_noc_64.py
+
+# Every paper figure/table benchmark.
+bench:
+	$(PYTHON) -m pytest -q benchmarks

@@ -3,31 +3,35 @@
 Design question from DESIGN.md: does the calibrated queueing model (the
 tool behind Fig. 8) track an independent cycle-level flit simulator?  The
 benchmark compares mean latencies at low and medium load for the 64-module
-3D mesh and 2D mesh.
+3D mesh and 2D mesh.  The simulated load points run as an engine-driven
+:meth:`~repro.noc.simulator.NocSimulator.latency_sweep`, one independently
+seeded generator per (topology, rate) point.
 """
 
-import numpy as np
-
 from conftest import print_table, run_once
+from repro.core import SweepEngine
 from repro.noc import AnalyticNocModel, Mesh2D, Mesh3D, NocSimulator
 
 RATES = (0.05, 0.15, 0.25)
+SEED = 0
 
 
 def _reproduce():
+    engine = SweepEngine()
     results = []
     for topology_factory in (lambda: Mesh2D(8, 8), lambda: Mesh3D(4, 4, 4)):
         topology = topology_factory()
         model = AnalyticNocModel(topology)
         simulator = NocSimulator(topology)
-        for rate in RATES:
-            simulated = simulator.run(rate, n_cycles=4_000,
-                                      warmup_cycles=1_000, rng=0)
+        simulated = simulator.latency_sweep(RATES, n_cycles=4_000,
+                                            warmup_cycles=1_000, rng=SEED,
+                                            engine=engine)
+        for rate, point in zip(RATES, simulated):
             results.append({
                 "topology": topology.name,
                 "rate": rate,
                 "analytic": model.mean_latency(rate),
-                "simulated": simulated.mean_latency_cycles,
+                "simulated": point.mean_latency_cycles,
             })
     return results
 

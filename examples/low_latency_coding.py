@@ -9,6 +9,8 @@ Monte-Carlo run for a finite-length sanity check.
 Run with:  python examples/low_latency_coding.py
 """
 
+from repro.core import SweepEngine
+
 from repro.coding import (
     BerSimulator,
     LdpcBlockCode,
@@ -43,28 +45,41 @@ def threshold_vs_latency() -> None:
 
 
 def finite_length_check() -> None:
-    """Monte-Carlo sanity check: LDPC-CC beats LDPC-BC at equal latency."""
-    ebn0_db = 3.0
+    """Monte-Carlo sanity check: LDPC-CC beats LDPC-BC at equal latency.
+
+    Both BER curves decode whole codeword batches at once (the batched BP
+    path) and run their Eb/N0 grids through a shared
+    :class:`repro.core.SweepEngine`, which seeds every grid point with an
+    independent spawned generator.
+    """
+    engine = SweepEngine()
+    ebn0_grid = (2.0, 3.0)
     cc = LdpcConvolutionalCode(paper_edge_spreading(), lifting_factor=40,
                                termination_length=12, rng=0)
     window = WindowDecoder(cc, window_size=5, max_iterations=40)
-    cc_simulator = BerSimulator(cc.n, cc.design_rate, window.decode_bits)
-    cc_point = cc_simulator.simulate(ebn0_db, n_codewords=10, rng=0)
+    cc_simulator = BerSimulator(cc.n, cc.design_rate, window.decode_bits,
+                                decode_batch=window.decode_bits_batch)
+    cc_curve = cc_simulator.ber_curve(ebn0_grid, n_codewords=10, rng=0,
+                                      engine=engine)
 
     block = LdpcBlockCode(PAPER_BLOCK_PROTOGRAPH, lifting_factor=200, rng=0)
     block_simulator = BerSimulator(
         block.n, block.design_rate,
-        lambda llrs: block.decode(llrs).hard_decisions)
-    block_point = block_simulator.simulate(ebn0_db, n_codewords=25, rng=0)
+        lambda llrs: block.decode(llrs).hard_decisions,
+        decode_batch=block.decode_bits_batch)
+    block_curve = block_simulator.ber_curve(ebn0_grid, n_codewords=25, rng=0,
+                                            engine=engine)
 
     cc_latency = window_decoder_structural_latency(5, 40, 2, 0.5)
     block_latency = block_code_structural_latency(200, 2, 0.5)
-    print(f"\nFinite-length check at Eb/N0 = {ebn0_db} dB "
+    print("\nFinite-length check "
           "(equal structural latency of 200 information bits):")
-    print(f"  LDPC-CC, window W=5, N=40: latency {cc_latency:5.0f} bits, "
-          f"BER {cc_point.bit_error_rate:.2e}")
-    print(f"  LDPC-BC, N=200           : latency {block_latency:5.0f} bits, "
-          f"BER {block_point.bit_error_rate:.2e}")
+    for cc_point, block_point in zip(cc_curve, block_curve):
+        print(f"  Eb/N0 = {cc_point.ebn0_db:3.1f} dB: "
+              f"LDPC-CC (W=5, N=40, latency {cc_latency:3.0f}) "
+              f"BER {cc_point.bit_error_rate:.2e}  vs  "
+              f"LDPC-BC (N=200, latency {block_latency:3.0f}) "
+              f"BER {block_point.bit_error_rate:.2e}")
 
 
 def main() -> None:

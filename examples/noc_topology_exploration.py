@@ -10,6 +10,7 @@ Run with:  python examples/noc_topology_exploration.py
 
 import numpy as np
 
+from repro.core import SweepEngine
 from repro.noc import (
     AnalyticNocModel,
     Mesh2D,
@@ -55,17 +56,26 @@ def compare_512_modules() -> None:
 
 
 def validate_with_simulator() -> None:
-    """Cross-check the analytic model with the cycle-level simulator."""
+    """Cross-check the analytic model with the cycle-level simulator.
+
+    The load points run as an engine-driven latency sweep: every injection
+    rate gets an independently spawned generator, and re-running the sweep
+    with the same engine and seed is served from the in-memory cache.
+    """
+    engine = SweepEngine()
     topology = Mesh3D(4, 4, 4)
     model = AnalyticNocModel(topology)
     simulator = NocSimulator(topology)
-    rate = 0.2
-    simulated = simulator.run(rate, n_cycles=4_000, warmup_cycles=1_000, rng=0)
-    print("\nAnalytic model vs cycle-level simulation (4x4x4 3D mesh, "
-          f"injection {rate}):")
-    print(f"  analytic latency   {model.mean_latency(rate):6.2f} cycles")
-    print(f"  simulated latency  {simulated.mean_latency_cycles:6.2f} cycles "
-          f"({simulated.delivered_packets} packets)")
+    rates = (0.1, 0.2, 0.3)
+    simulated = simulator.latency_sweep(rates, n_cycles=4_000,
+                                        warmup_cycles=1_000, rng=0,
+                                        engine=engine)
+    print("\nAnalytic model vs cycle-level simulation (4x4x4 3D mesh):")
+    for rate, point in zip(rates, simulated):
+        print(f"  injection {rate:4.2f}: analytic "
+              f"{model.mean_latency(rate):6.2f} cycles, simulated "
+              f"{point.mean_latency_cycles:6.2f} cycles "
+              f"({point.delivered_packets} packets)")
 
 
 def main() -> None:

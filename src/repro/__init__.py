@@ -11,7 +11,10 @@ The library is organised as four substrates plus an integration layer:
 * :mod:`repro.coding` — low-latency LDPC convolutional codes with window
   decoding (Section V).
 * :mod:`repro.core` — the end-to-end wireless interconnect system composing
-  all of the above.
+  all of the above, plus :class:`repro.core.engine.SweepEngine`, the
+  batched Monte-Carlo sweep engine (per-point independent seeding,
+  optional process parallelism, in-memory caching) driving the BER and
+  NoC parameter sweeps.
 """
 
 from repro import channel, coding, core, noc, phy, utils

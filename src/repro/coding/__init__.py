@@ -13,15 +13,18 @@ Modules:
   and the terminated convolutional protograph of Eq. 3.
 * :mod:`repro.coding.lifting` — lifting a protograph into a binary
   parity-check matrix with circulant permutations.
-* :mod:`repro.coding.bp` — vectorised sum-product belief propagation.
+* :mod:`repro.coding.bp` — vectorised sum-product belief propagation,
+  scalar and batched (``decode_batch`` decodes a ``(B, n)`` LLR matrix in
+  one pass, bit-exact against the scalar path).
 * :mod:`repro.coding.codes` — :class:`LdpcBlockCode` and
   :class:`LdpcConvolutionalCode` (encoder + full BP decoder).
 * :mod:`repro.coding.window_decoder` — the sliding window decoder of Fig. 9.
 * :mod:`repro.coding.latency` — structural latency, Eqs. (4) and (5).
 * :mod:`repro.coding.density_evolution` — Gaussian-approximation density
   evolution for asymptotic thresholds.
-* :mod:`repro.coding.ber` — Monte-Carlo BER measurement and required-Eb/N0
-  search over the AWGN/BPSK channel.
+* :mod:`repro.coding.ber` — batched Monte-Carlo BER measurement and
+  required-Eb/N0 search over the AWGN/BPSK channel (methodology in
+  EXPERIMENTS.md; grids run through :class:`repro.core.engine.SweepEngine`).
 """
 
 from repro.coding.protograph import (
@@ -32,9 +35,17 @@ from repro.coding.protograph import (
     paper_edge_spreading,
 )
 from repro.coding.lifting import lift_protograph
-from repro.coding.bp import BeliefPropagationDecoder, DecodeResult
+from repro.coding.bp import (
+    BatchDecodeResult,
+    BeliefPropagationDecoder,
+    DecodeResult,
+)
 from repro.coding.codes import LdpcBlockCode, LdpcConvolutionalCode
-from repro.coding.window_decoder import WindowDecoder, WindowDecodeResult
+from repro.coding.window_decoder import (
+    WindowBatchDecodeResult,
+    WindowDecodeResult,
+    WindowDecoder,
+)
 from repro.coding.latency import (
     block_code_structural_latency,
     window_decoder_structural_latency,
@@ -55,10 +66,12 @@ __all__ = [
     "lift_protograph",
     "BeliefPropagationDecoder",
     "DecodeResult",
+    "BatchDecodeResult",
     "LdpcBlockCode",
     "LdpcConvolutionalCode",
     "WindowDecoder",
     "WindowDecodeResult",
+    "WindowBatchDecodeResult",
     "block_code_structural_latency",
     "window_decoder_structural_latency",
     "DensityEvolutionResult",

@@ -6,6 +6,17 @@ is), adds Gaussian noise at a given Eb/N0, decodes with an arbitrary
 decoder callback and counts residual bit errors.  On top of the raw BER
 measurement it provides the required-Eb/N0 search used for Fig. 10: the
 smallest Eb/N0 at which the measured BER falls below a target.
+
+Simulation is *batched*: noise is generated as a ``(B, n)`` matrix and
+decoded through a batch decoder callback (e.g.
+:meth:`repro.coding.window_decoder.WindowDecoder.decode_bits_batch`) when
+one is available, falling back to row-by-row decoding otherwise.  The
+original per-codeword loop is kept as
+:meth:`BerSimulator.simulate_reference`; because a ``(B, n)`` normal draw
+consumes the generator stream exactly like ``B`` consecutive ``(n,)``
+draws, both paths see identical noise and — given a batch decoder that is
+row-equivalent to the scalar one — return identical
+:class:`BerPoint` values at a fixed seed (asserted in the test suite).
 """
 
 from __future__ import annotations
@@ -15,11 +26,12 @@ from typing import Callable, Optional
 
 import numpy as np
 
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, ensure_seed_sequence
 from repro.utils.units import db_to_linear
 from repro.utils.validation import check_positive, check_probability
 
 DecoderCallback = Callable[[np.ndarray], np.ndarray]
+BatchDecoderCallback = Callable[[np.ndarray], np.ndarray]
 
 
 @dataclass(frozen=True)
@@ -31,7 +43,10 @@ class BerPoint:
     ebn0_db:
         Operating Eb/N0.
     bit_error_rate:
-        Measured bit error rate (errors / transmitted bits).
+        Measured bit error rate (errors / transmitted bits).  When the
+        measurement was cut short by ``max_bit_errors`` this estimator
+        carries the stopping-rule bias documented on
+        :meth:`BerSimulator.simulate`.
     block_error_rate:
         Fraction of codewords with at least one residual error.
     n_bits:
@@ -62,16 +77,28 @@ class BerSimulator:
         (``sigma^2 = 1 / (2 * R * Eb/N0)`` for unit-energy BPSK).
     decode:
         Callable mapping a vector of channel LLRs to hard bit decisions.
+    decode_batch:
+        Optional callable mapping a ``(B, n)`` LLR matrix to ``(B, n)``
+        hard decisions; when given, :meth:`simulate` decodes whole noise
+        batches in one call, which is several times faster for the
+        belief-propagation decoders in this package.
+    batch_size:
+        Codewords per generated noise batch in :meth:`simulate`.
     """
 
     def __init__(self, codeword_length: int, rate: float,
-                 decode: DecoderCallback) -> None:
+                 decode: DecoderCallback,
+                 decode_batch: Optional[BatchDecoderCallback] = None,
+                 batch_size: int = 32) -> None:
         check_positive("codeword_length", codeword_length)
         if not 0.0 < rate <= 1.0:
             raise ValueError("rate must lie in (0, 1]")
+        check_positive("batch_size", batch_size)
         self.codeword_length = int(codeword_length)
         self.rate = float(rate)
         self.decode = decode
+        self.decode_batch = decode_batch
+        self.batch_size = int(batch_size)
 
     def noise_std(self, ebn0_db: float) -> float:
         """Noise standard deviation at an Eb/N0 operating point."""
@@ -83,13 +110,84 @@ class BerSimulator:
         sigma = self.noise_std(ebn0_db)
         return 2.0 * np.asarray(received, dtype=float) / sigma ** 2
 
+    # ------------------------------------------------------------------
+    def _decode_rows(self, llr_matrix: np.ndarray) -> np.ndarray:
+        """Hard decisions for a ``(B, n)`` LLR matrix."""
+        if self.decode_batch is not None:
+            decisions = np.asarray(self.decode_batch(llr_matrix))
+            if decisions.shape != llr_matrix.shape:
+                raise ValueError("batch decoder returned the wrong shape")
+            return decisions
+        decisions = np.empty(llr_matrix.shape, dtype=np.int8)
+        for row, llrs in enumerate(llr_matrix):
+            decided = np.asarray(self.decode(llrs)).reshape(-1)
+            if decided.size != self.codeword_length:
+                raise ValueError("decoder returned the wrong number of bits")
+            decisions[row] = decided
+        return decisions
+
     def simulate(self, ebn0_db: float, n_codewords: int = 50,
                  rng: RngLike = None,
                  max_bit_errors: Optional[int] = None) -> BerPoint:
-        """Measure the BER at one Eb/N0.
+        """Measure the BER at one Eb/N0 (batched path).
 
-        ``max_bit_errors`` allows early stopping once enough errors have
-        been collected (useful inside the required-Eb/N0 search).
+        Noise is generated and decoded in batches of ``batch_size``
+        codewords; the per-codeword bookkeeping (and in particular the
+        ``max_bit_errors`` stopping rule) is applied row by row in
+        transmission order, so the returned :class:`BerPoint` is identical
+        to :meth:`simulate_reference` at the same seed.
+
+        ``max_bit_errors`` stops the measurement once enough errors have
+        been collected (useful inside the required-Eb/N0 search).  Note
+        the stopping rule biases the reported ``bit_error_rate``: the run
+        always ends on a codeword that contributed errors, so the
+        error-per-bit ratio is conditioned on that final failure and
+        overestimates the true BER — materially so when only a few
+        codewords are simulated before stopping.  Error-count stopping is
+        therefore appropriate for threshold searches (where only the
+        comparison against a target matters) but final reported curves
+        should run with ``max_bit_errors=None``.
+        """
+        check_positive("n_codewords", n_codewords)
+        generator = ensure_rng(rng)
+        sigma = self.noise_std(ebn0_db)
+        n_codewords = int(n_codewords)
+        total_bits = 0
+        total_errors = 0
+        block_errors = 0
+        codewords_done = 0
+        stop = False
+        while codewords_done < n_codewords and not stop:
+            batch = min(self.batch_size, n_codewords - codewords_done)
+            received = 1.0 + generator.normal(
+                0.0, sigma, size=(batch, self.codeword_length))
+            decisions = self._decode_rows(self.channel_llrs(received, ebn0_db))
+            errors_per_row = np.count_nonzero(decisions, axis=1)
+            for errors in errors_per_row:
+                errors = int(errors)
+                total_errors += errors
+                total_bits += self.codeword_length
+                block_errors += int(errors > 0)
+                codewords_done += 1
+                if max_bit_errors is not None \
+                        and total_errors >= max_bit_errors:
+                    stop = True
+                    break
+        return BerPoint(ebn0_db=float(ebn0_db),
+                        bit_error_rate=total_errors / total_bits,
+                        block_error_rate=block_errors / codewords_done,
+                        n_bits=total_bits,
+                        n_bit_errors=total_errors,
+                        n_codewords=codewords_done)
+
+    def simulate_reference(self, ebn0_db: float, n_codewords: int = 50,
+                           rng: RngLike = None,
+                           max_bit_errors: Optional[int] = None) -> BerPoint:
+        """Per-codeword reference path (the pre-batching implementation).
+
+        Kept as the ground truth the batched :meth:`simulate` is checked
+        against; see the module docstring for why both paths agree bit for
+        bit at a fixed seed.
         """
         check_positive("n_codewords", n_codewords)
         generator = ensure_rng(rng)
@@ -101,7 +199,7 @@ class BerSimulator:
         for _ in range(int(n_codewords)):
             received = 1.0 + generator.normal(0.0, sigma,
                                               size=self.codeword_length)
-            llrs = 2.0 * received / sigma ** 2
+            llrs = self.channel_llrs(received, ebn0_db)
             decisions = np.asarray(self.decode(llrs)).reshape(-1)
             if decisions.size != self.codeword_length:
                 raise ValueError("decoder returned the wrong number of bits")
@@ -120,35 +218,82 @@ class BerSimulator:
                         n_codewords=codewords_done)
 
     def ber_curve(self, ebn0_grid, n_codewords: int = 50,
-                  rng: RngLike = None) -> list:
-        """Measure the BER over a grid of Eb/N0 values."""
-        generator = ensure_rng(rng)
-        return [self.simulate(float(ebn0), n_codewords=n_codewords,
-                              rng=generator)
-                for ebn0 in ebn0_grid]
+                  rng: RngLike = None, engine=None) -> list:
+        """Measure the BER over a grid of Eb/N0 values.
+
+        The grid is evaluated through a
+        :class:`repro.core.engine.SweepEngine` (a private serial one by
+        default): every Eb/N0 point receives an independent generator
+        spawned from ``rng`` via :class:`numpy.random.SeedSequence`, so
+        points share no random stream and the curve is reproducible
+        point-by-point for an integer seed.  Pass a shared engine to
+        enable caching or process parallelism.
+        """
+        from repro.core.engine import SweepEngine
+
+        if engine is None:
+            engine = SweepEngine()
+        worker = _BerPointWorker(self, int(n_codewords))
+        points = [{"ebn0_db": float(ebn0)} for ebn0 in ebn0_grid]
+        return engine.sweep_values(worker, points, rng=rng)
+
+
+@dataclass(frozen=True)
+class _BerPointWorker:
+    """Picklable sweep worker measuring one BER point."""
+
+    simulator: BerSimulator
+    n_codewords: int
+    max_bit_errors: Optional[int] = None
+
+    def __call__(self, params, rng) -> BerPoint:
+        return self.simulator.simulate(params["ebn0_db"],
+                                       n_codewords=self.n_codewords,
+                                       rng=rng,
+                                       max_bit_errors=self.max_bit_errors)
 
 
 def required_ebn0_db(simulator: BerSimulator, target_ber: float,
                      low_db: float = 0.0, high_db: float = 8.0,
                      tolerance_db: float = 0.1, n_codewords: int = 40,
-                     rng: RngLike = 0) -> float:
+                     rng: RngLike = None,
+                     max_bit_errors: Optional[int] = None) -> float:
     """Smallest Eb/N0 (within tolerance) whose measured BER meets a target.
 
     A bisection over Eb/N0; the BER at each probe is measured with
     ``n_codewords`` codewords, so the resolution of the answer is limited
     by ``1 / (n_codewords * n)`` — choose the target accordingly (the
     benchmark uses 1e-3, see EXPERIMENTS.md for the rationale).
+
+    ``max_bit_errors`` is forwarded to each probe: probes far below the
+    threshold accumulate errors quickly and stop after a few codewords
+    instead of decoding all ``n_codewords`` at the iteration limit, which
+    is where a bisection spends most of its time.  Pick it a few times
+    larger than ``target_ber * n_codewords * n`` so near-threshold probes
+    (the ones that decide the answer) run to completion and keep an
+    (almost) unbiased estimate; see :meth:`BerSimulator.simulate` for the
+    stopping-rule bias this bounds.
+
+    Randomness: reproducibility is opt-in — the default ``rng=None``
+    draws fresh entropy (consistent with every other stochastic API in
+    the package); pass an integer seed for a repeatable search.  Each
+    bisection probe runs with its own generator spawned from a root
+    :class:`numpy.random.SeedSequence`, so probes are statistically
+    independent and no probe's outcome depends on how much stream an
+    earlier probe consumed.
     """
     check_probability("target_ber", target_ber)
     if target_ber <= 0.0:
         raise ValueError("target_ber must be strictly positive")
     if low_db >= high_db:
         raise ValueError("low_db must be below high_db")
-    generator = ensure_rng(rng)
+    root = ensure_seed_sequence(rng)
 
     def meets_target(ebn0: float) -> bool:
+        probe_rng = np.random.default_rng(root.spawn(1)[0])
         point = simulator.simulate(ebn0, n_codewords=n_codewords,
-                                   rng=generator)
+                                   rng=probe_rng,
+                                   max_bit_errors=max_bit_errors)
         return point.bit_error_rate <= target_ber
 
     if not meets_target(high_db):

@@ -10,6 +10,15 @@ The check-node update is the exact sum-product rule evaluated in the
 sign/log-magnitude domain, which is numerically stable even for the
 saturated (±infinity-like) messages injected by the window decoder for
 already-decided symbols.
+
+Two entry points are provided: :meth:`BeliefPropagationDecoder.decode` for
+a single LLR vector and :meth:`BeliefPropagationDecoder.decode_batch` for
+a ``(B, n)`` matrix of LLR vectors.  The batched path runs the same edge
+updates with the batch as a leading axis (one numpy call decodes all
+codewords), removes codewords from the working set as soon as their
+syndrome clears, and reproduces the scalar path bit for bit: every
+per-edge reduction is evaluated in the same operand order as its scalar
+counterpart, so ``decode_batch(X)[i] == decode(X[i])`` exactly.
 """
 
 from __future__ import annotations
@@ -46,6 +55,39 @@ class DecodeResult:
     posterior_llrs: np.ndarray
     converged: bool
     iterations: int
+
+
+@dataclass(frozen=True)
+class BatchDecodeResult:
+    """Outcome of decoding a batch of codewords.
+
+    Attributes
+    ----------
+    hard_decisions:
+        ``(B, n)`` decoded bits (0/1), one row per codeword.
+    posterior_llrs:
+        ``(B, n)`` a-posteriori LLRs (positive favours bit 0).
+    converged:
+        ``(B,)`` flags: all parity checks satisfied before the limit.
+    iterations:
+        ``(B,)`` iterations performed per codeword (early-terminating
+        codewords leave the working set as soon as their syndrome clears).
+    """
+
+    hard_decisions: np.ndarray
+    posterior_llrs: np.ndarray
+    converged: np.ndarray
+    iterations: np.ndarray
+
+    def __len__(self) -> int:
+        return int(self.hard_decisions.shape[0])
+
+    def __getitem__(self, index: int) -> DecodeResult:
+        """Scalar view of one codeword's outcome."""
+        return DecodeResult(hard_decisions=self.hard_decisions[index],
+                            posterior_llrs=self.posterior_llrs[index],
+                            converged=bool(self.converged[index]),
+                            iterations=int(self.iterations[index]))
 
 
 class BeliefPropagationDecoder:
@@ -100,6 +142,33 @@ class BeliefPropagationDecoder:
         else:
             per_check[self._nonempty_checks] = per_segment
         return per_check[self._edge_check]
+
+    def _batch_variable_sums(self, check_messages: np.ndarray) -> np.ndarray:
+        """Per-variable sums of incoming check messages, ``(B, n_vars)``.
+
+        One flattened ``np.bincount`` call over row-offset bins visits each
+        row's edges in the same order as the scalar path's per-row
+        ``bincount``, keeping the accumulation bit-identical (a segmented
+        ``np.add.reduceat`` would use pairwise summation and drift by an
+        ulp).
+        """
+        rows = check_messages.shape[0]
+        offsets = np.arange(rows, dtype=np.int64)[:, None] * self.n_variables
+        bins = (offsets + self._edge_variable[None, :]).ravel()
+        sums = np.bincount(bins, weights=check_messages.ravel(),
+                           minlength=rows * self.n_variables)
+        return sums.reshape(rows, self.n_variables)
+
+    def _batch_scatter_check_values(self, per_segment: np.ndarray
+                                    ) -> np.ndarray:
+        """Expand per-check values back onto the edges, batched."""
+        per_check = np.zeros((per_segment.shape[0], self.n_checks),
+                             dtype=per_segment.dtype)
+        if self._nonempty_checks is None:
+            per_check[:] = per_segment
+        else:
+            per_check[:, self._nonempty_checks] = per_segment
+        return per_check[:, self._edge_check]
 
     def syndrome_ok(self, hard_decisions: np.ndarray) -> bool:
         """True if the candidate word satisfies every parity check."""
@@ -156,3 +225,81 @@ class BeliefPropagationDecoder:
         hard = (posterior < 0.0).astype(np.int8)
         return DecodeResult(hard_decisions=hard, posterior_llrs=posterior,
                             converged=converged, iterations=iterations_done)
+
+    def decode_batch(self, channel_llrs: np.ndarray) -> BatchDecodeResult:
+        """Decode a ``(B, n)`` matrix of channel LLR vectors in one pass.
+
+        The edge-message updates run with the batch as a leading axis, so
+        one numpy call advances every codeword by one iteration.  A
+        codeword whose syndrome clears is frozen and removed from the
+        working set (per-codeword early termination), keeping the work
+        proportional to the still-undecoded rows.  The result is bit-exact
+        against the scalar path: ``decode_batch(X)[i] == decode(X[i])``.
+        """
+        channel_llrs = np.asarray(channel_llrs, dtype=float)
+        if channel_llrs.ndim != 2:
+            raise ValueError("decode_batch expects a (B, n) LLR matrix")
+        if channel_llrs.shape[1] != self.n_variables:
+            raise ValueError(
+                f"expected {self.n_variables} channel LLRs per codeword, "
+                f"got {channel_llrs.shape[1]}")
+        batch_size = channel_llrs.shape[0]
+        if batch_size == 0:
+            raise ValueError("decode_batch needs at least one codeword")
+        channel_llrs = np.clip(channel_llrs, -LLR_CLIP, LLR_CLIP)
+
+        posterior_out = channel_llrs.copy()
+        iterations_out = np.zeros(batch_size, dtype=int)
+        converged_out = np.zeros(batch_size, dtype=bool)
+
+        active = np.arange(batch_size)
+        active_llrs = channel_llrs
+        check_messages = np.zeros((batch_size, self.n_edges))
+        segments = self._check_segments()
+        for iteration in range(1, self.max_iterations + 1):
+            iterations_out[active] = iteration
+            # ---- variable-node update --------------------------------
+            sums = self._batch_variable_sums(check_messages)
+            variable_messages = (active_llrs + sums)[:, self._edge_variable] \
+                - check_messages
+            variable_messages = np.clip(variable_messages,
+                                        -LLR_CLIP, LLR_CLIP)
+            # ---- check-node update (sign / log-magnitude) -------------
+            tanh_half = np.tanh(variable_messages / 2.0)
+            signs = np.where(tanh_half < 0.0, -1.0, 1.0)
+            magnitudes = np.maximum(np.abs(tanh_half), _TANH_FLOOR)
+            log_magnitudes = np.log(magnitudes)
+            negative = (signs < 0.0).astype(np.int64)
+            neg_counts = np.add.reduceat(negative, segments, axis=1)
+            log_sums = np.add.reduceat(log_magnitudes, segments, axis=1)
+            total_neg_on_edges = self._batch_scatter_check_values(neg_counts)
+            total_log_on_edges = self._batch_scatter_check_values(log_sums)
+            excl_neg = total_neg_on_edges - negative
+            excl_log = total_log_on_edges - log_magnitudes
+            excl_sign = np.where(excl_neg % 2 == 1, -1.0, 1.0)
+            excl_magnitude = np.exp(np.minimum(excl_log, 0.0))
+            excl_magnitude = np.clip(excl_magnitude, 0.0, 1.0 - 1e-15)
+            check_messages = 2.0 * np.arctanh(excl_sign * excl_magnitude)
+            check_messages = np.clip(check_messages, -LLR_CLIP, LLR_CLIP)
+            # ---- posterior and per-codeword stopping rule --------------
+            sums = self._batch_variable_sums(check_messages)
+            posterior = active_llrs + sums
+            hard = (posterior < 0.0).astype(np.int8)
+            syndromes = self.parity_check.dot(hard.T) % 2
+            satisfied = ~np.any(syndromes, axis=0)
+            finished = satisfied | (iteration == self.max_iterations)
+            if np.any(finished):
+                rows = active[finished]
+                posterior_out[rows] = posterior[finished]
+                converged_out[rows] = satisfied[finished]
+                keep = ~finished
+                active = active[keep]
+                if active.size == 0:
+                    break
+                active_llrs = active_llrs[keep]
+                check_messages = check_messages[keep]
+        hard_out = (posterior_out < 0.0).astype(np.int8)
+        return BatchDecodeResult(hard_decisions=hard_out,
+                                 posterior_llrs=posterior_out,
+                                 converged=converged_out,
+                                 iterations=iterations_out)

@@ -14,7 +14,11 @@ from typing import Optional, Tuple
 import numpy as np
 from scipy import sparse
 
-from repro.coding.bp import BeliefPropagationDecoder, DecodeResult
+from repro.coding.bp import (
+    BatchDecodeResult,
+    BeliefPropagationDecoder,
+    DecodeResult,
+)
 from repro.coding.lifting import lift_protograph
 from repro.coding.protograph import (
     EdgeSpreading,
@@ -122,6 +126,14 @@ class _LiftedLdpcCode:
     def decode(self, channel_llrs: np.ndarray) -> DecodeResult:
         """Full belief-propagation decoding of one received word."""
         return self._decoder.decode(channel_llrs)
+
+    def decode_batch(self, channel_llrs: np.ndarray) -> BatchDecodeResult:
+        """Batched BP decoding of a ``(B, n)`` matrix of received words."""
+        return self._decoder.decode_batch(channel_llrs)
+
+    def decode_bits_batch(self, channel_llrs: np.ndarray) -> np.ndarray:
+        """Batched decoding returning only the ``(B, n)`` hard decisions."""
+        return self._decoder.decode_batch(channel_llrs).hard_decisions
 
 
 class LdpcBlockCode(_LiftedLdpcCode):

@@ -18,7 +18,7 @@ touching the encoder — the flexibility the paper emphasises.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -47,6 +47,39 @@ class WindowDecodeResult:
     block_converged: np.ndarray
     iterations_per_block: np.ndarray
     structural_latency_bits: float
+
+
+@dataclass(frozen=True)
+class WindowBatchDecodeResult:
+    """Outcome of sliding-window decoding of a batch of received words.
+
+    Attributes
+    ----------
+    hard_decisions:
+        ``(B, n)`` decoded bits, one row per received word.
+    block_converged:
+        ``(B, L)`` per-codeword, per-target-block convergence flags.
+    iterations_per_block:
+        ``(B, L)`` BP iterations spent on each window position.
+    structural_latency_bits:
+        Structural latency of the configuration in information bits (Eq. 4).
+    """
+
+    hard_decisions: np.ndarray
+    block_converged: np.ndarray
+    iterations_per_block: np.ndarray
+    structural_latency_bits: float
+
+    def __len__(self) -> int:
+        return int(self.hard_decisions.shape[0])
+
+    def __getitem__(self, index: int) -> WindowDecodeResult:
+        """Scalar view of one codeword's outcome."""
+        return WindowDecodeResult(
+            hard_decisions=self.hard_decisions[index],
+            block_converged=self.block_converged[index],
+            iterations_per_block=self.iterations_per_block[index],
+            structural_latency_bits=self.structural_latency_bits)
 
 
 class WindowDecoder:
@@ -146,16 +179,71 @@ class WindowDecoder:
             decided[target_block] = True
             converged[target_block] = result.converged
             iterations[target_block] = result.iterations
-        latency = window_decoder_structural_latency(
-            window_size=self.window_size,
-            lifting_factor=code.lifting_factor,
-            n_variables=code.spreading.components[0].shape[1],
-            rate=code.design_rate)
         return WindowDecodeResult(hard_decisions=decisions,
                                   block_converged=converged,
                                   iterations_per_block=iterations,
-                                  structural_latency_bits=latency)
+                                  structural_latency_bits=self._structural_latency())
 
     def decode_bits(self, channel_llrs: np.ndarray) -> np.ndarray:
         """Convenience wrapper returning only the hard decisions."""
         return self.decode(channel_llrs).hard_decisions
+
+    def _structural_latency(self) -> float:
+        code = self.code
+        return window_decoder_structural_latency(
+            window_size=self.window_size,
+            lifting_factor=code.lifting_factor,
+            n_variables=code.spreading.components[0].shape[1],
+            rate=code.design_rate)
+
+    # ------------------------------------------------------------------
+    def decode_batch(self, channel_llrs: np.ndarray) -> WindowBatchDecodeResult:
+        """Decode a ``(B, n)`` batch of received coupled codewords.
+
+        The window slides over all codewords in lockstep: each window
+        position runs one batched BP decode
+        (:meth:`~repro.coding.bp.BeliefPropagationDecoder.decode_batch`)
+        across the batch, so the per-iteration numpy work grows with ``B``
+        while the Python overhead stays that of a single codeword.  The
+        decisions are bit-exact against row-by-row :meth:`decode`.
+        """
+        code = self.code
+        channel_llrs = np.asarray(channel_llrs, dtype=float)
+        if channel_llrs.ndim != 2:
+            raise ValueError("decode_batch expects a (B, n) LLR matrix")
+        if channel_llrs.shape[1] != code.n:
+            raise ValueError(f"expected {code.n} channel LLRs per codeword, "
+                             f"got {channel_llrs.shape[1]}")
+        batch_size = channel_llrs.shape[0]
+        if batch_size == 0:
+            raise ValueError("decode_batch needs at least one codeword")
+        decisions = np.zeros((batch_size, code.n), dtype=np.int8)
+        decided_llrs = channel_llrs.copy()
+        converged = np.zeros((batch_size, code.termination_length), dtype=bool)
+        iterations = np.zeros((batch_size, code.termination_length), dtype=int)
+        for target_block in range(code.termination_length):
+            decoder, columns, _ = self._window_decoder(target_block)
+            window_llrs = channel_llrs[:, columns].copy()
+            first_vb = columns[0] // code.block_length
+            # Inject the knowledge gathered about already-decided blocks.
+            for block in range(first_vb, target_block):
+                start, stop = code.variable_range_of_block(block)
+                local = slice(start - columns[0], stop - columns[0])
+                window_llrs[:, local] = decided_llrs[:, start:stop]
+            result = decoder.decode_batch(window_llrs)
+            start, stop = code.variable_range_of_block(target_block)
+            local = slice(start - columns[0], stop - columns[0])
+            decisions[:, start:stop] = result.hard_decisions[:, local]
+            decided_llrs[:, start:stop] = np.clip(
+                result.posterior_llrs[:, local], -LLR_CLIP, LLR_CLIP)
+            converged[:, target_block] = result.converged
+            iterations[:, target_block] = result.iterations
+        return WindowBatchDecodeResult(
+            hard_decisions=decisions,
+            block_converged=converged,
+            iterations_per_block=iterations,
+            structural_latency_bits=self._structural_latency())
+
+    def decode_bits_batch(self, channel_llrs: np.ndarray) -> np.ndarray:
+        """Convenience wrapper returning only the ``(B, n)`` hard decisions."""
+        return self.decode_batch(channel_llrs).hard_decisions

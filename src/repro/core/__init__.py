@@ -13,9 +13,16 @@ chip-stacks, with
 coding layers into a single board-to-board link abstraction;
 :class:`repro.core.system.WirelessInterconnectSystem` assembles many such
 links plus the per-stack NoCs into a system-level model with throughput and
-latency reports.
+latency reports.  :class:`repro.core.engine.SweepEngine` is the shared
+Monte-Carlo sweep engine (per-point independent seeding, optional process
+parallelism, result caching) behind the BER/NoC parameter sweeps.
 """
 
+from repro.core.engine import (
+    SweepEngine,
+    SweepOutcome,
+    parameter_grid,
+)
 from repro.core.link import LinkReport, WirelessBoardLink
 from repro.core.system import SystemReport, WirelessInterconnectSystem
 
@@ -24,4 +31,7 @@ __all__ = [
     "LinkReport",
     "WirelessInterconnectSystem",
     "SystemReport",
+    "SweepEngine",
+    "SweepOutcome",
+    "parameter_grid",
 ]

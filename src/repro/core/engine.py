@@ -1,0 +1,222 @@
+"""Parameter-sweep engine for the Monte-Carlo experiments.
+
+Every figure of the paper that involves randomness — the Fig. 10
+required-Eb/N0 points, the Fig. 8 cross-check latency curves — is a sweep
+of one stochastic worker over a parameter grid.  This module centralises
+that pattern:
+
+* :func:`parameter_grid` expands named axes into a list of parameter
+  points (Cartesian product).
+* :class:`SweepEngine` evaluates a worker at every point with
+
+  - **independent per-point seeding**: a root
+    :class:`numpy.random.SeedSequence` is spawned into one child per
+    point, so no point shares (or partially consumes) another point's
+    random stream, and results are invariant to evaluation order;
+  - **optional process-level parallelism** (``n_workers > 1``), useful on
+    multi-core hosts — workers and parameter values must then be
+    picklable;
+  - **in-memory result caching** keyed by ``(worker, params, seed)``:
+    re-running a sweep with the same worker instance, points and integer
+    seed returns cached results instead of re-simulating.
+
+A worker is any callable ``worker(params, rng)`` taking the parameter
+mapping of one point and a dedicated :class:`numpy.random.Generator`.
+
+:meth:`repro.coding.ber.BerSimulator.ber_curve`,
+:func:`repro.coding.ber.required_ebn0_db` (probe seeding) and
+:meth:`repro.noc.simulator.NocSimulator.latency_sweep` route their grids
+through this engine; the Fig. 8/Fig. 10 benchmarks and the example
+scripts use it directly.
+"""
+
+from __future__ import annotations
+
+import itertools
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import RngLike, ensure_seed_sequence
+
+SweepWorker = Callable[[Mapping[str, Any], np.random.Generator], Any]
+
+
+def parameter_grid(**axes: Iterable) -> List[Dict[str, Any]]:
+    """Cartesian product of named parameter axes.
+
+    The last axis varies fastest, matching ``itertools.product``::
+
+        parameter_grid(n=(25, 40), window=(3, 5))
+        # [{'n': 25, 'window': 3}, {'n': 25, 'window': 5},
+        #  {'n': 40, 'window': 3}, {'n': 40, 'window': 5}]
+    """
+    if not axes:
+        raise ValueError("at least one parameter axis is required")
+    names = list(axes)
+    value_lists = [list(axes[name]) for name in names]
+    for name, values in zip(names, value_lists):
+        if not values:
+            raise ValueError(f"parameter axis {name!r} is empty")
+    return [dict(zip(names, combination))
+            for combination in itertools.product(*value_lists)]
+
+
+@dataclass(frozen=True)
+class SweepOutcome:
+    """One evaluated sweep point.
+
+    Attributes
+    ----------
+    params:
+        The parameter mapping of the point.
+    value:
+        Whatever the worker returned.
+    spawn_key:
+        Spawn key of the point's child seed sequence (its position in the
+        root sequence's spawn tree) — stable across re-runs with the same
+        integer seed, recorded so a single point can be reproduced.
+    from_cache:
+        True if the value was served from the engine cache.
+    """
+
+    params: Dict[str, Any]
+    value: Any
+    spawn_key: Tuple[int, ...]
+    from_cache: bool
+
+
+def _evaluate_point(worker: SweepWorker, params: Mapping[str, Any],
+                    seed_sequence: np.random.SeedSequence) -> Any:
+    """Top-level so the process-pool path can pickle it."""
+    return worker(params, np.random.default_rng(seed_sequence))
+
+
+class SweepEngine:
+    """Evaluates stochastic workers over parameter grids.
+
+    Parameters
+    ----------
+    n_workers:
+        Number of worker processes; ``None`` or 1 evaluates serially in
+        this process.  With more than one process, the worker and every
+        parameter value must be picklable.
+    cache:
+        Enable the in-memory result cache.  Cache hits require the same
+        worker instance (or an explicit ``key``), identical parameter
+        values and a reproducible seed (an ``int`` passed as ``rng``);
+        sweeps seeded with ``None`` or a generator are never cached at
+        all — their root entropy is fresh on every call, so entries
+        could never be hit and would only grow the cache.  The cache
+        treats workers as immutable: mutating a worker (or an object it
+        wraps, such as a simulator) between sweeps does NOT invalidate
+        earlier entries — call :meth:`clear_cache` after such a change,
+        or use a fresh worker/engine.
+    """
+
+    def __init__(self, n_workers: Optional[int] = None,
+                 cache: bool = True) -> None:
+        if n_workers is not None and n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.n_workers = n_workers
+        self.cache_enabled = bool(cache)
+        self._cache: Dict[Tuple, Any] = {}
+        self._hits = 0
+        self._misses = 0
+
+    # ------------------------------------------------------------------
+    def cache_info(self) -> Dict[str, int]:
+        """Cache statistics: stored entries, hits and misses so far."""
+        return {"entries": len(self._cache), "hits": self._hits,
+                "misses": self._misses}
+
+    def clear_cache(self) -> None:
+        """Drop every cached result."""
+        self._cache.clear()
+
+    # ------------------------------------------------------------------
+    def sweep(self, worker: SweepWorker, points: Iterable[Mapping[str, Any]],
+              rng: RngLike = None, key: Any = None) -> List[SweepOutcome]:
+        """Evaluate ``worker`` at every parameter point.
+
+        Parameters
+        ----------
+        worker:
+            Callable ``worker(params, rng)``.
+        points:
+            Iterable of parameter mappings (e.g. from
+            :func:`parameter_grid`); values must be hashable for the cache.
+        rng:
+            Root randomness: ``None`` (fresh entropy), an ``int`` seed
+            (reproducible — and cacheable across calls) or a generator.
+            One child generator is spawned per point.
+        key:
+            Optional hashable identity used for the cache instead of the
+            worker object itself; pass a stable key to share cached
+            results between equivalent worker instances.
+
+        Returns
+        -------
+        list of :class:`SweepOutcome`, in point order.
+        """
+        points = [dict(point) for point in points]
+        root = ensure_seed_sequence(rng)
+        children = root.spawn(len(points))
+        worker_key = key if key is not None else worker
+        # Only integer seeds give a reproducible root: caching unseeded
+        # sweeps would store entries whose entropy-bearing keys can never
+        # be hit again, growing the cache for no benefit.
+        cacheable = self.cache_enabled and isinstance(rng, (int, np.integer))
+
+        plan: List[Tuple[Dict, Tuple, Optional[Tuple]]] = []
+        for point, child in zip(points, children):
+            spawn_key = tuple(int(k) for k in child.spawn_key)
+            cache_key = None
+            if cacheable:
+                cache_key = (worker_key, tuple(sorted(point.items())),
+                             int(rng), spawn_key)
+            plan.append((point, child, cache_key))
+
+        pending = [index for index, (_, _, cache_key) in enumerate(plan)
+                   if cache_key is None or cache_key not in self._cache]
+        values: Dict[int, Any] = {}
+        if pending:
+            if self.n_workers is not None and self.n_workers > 1:
+                with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
+                    futures = [
+                        pool.submit(_evaluate_point, worker,
+                                    plan[index][0], plan[index][1])
+                        for index in pending]
+                    for index, future in zip(pending, futures):
+                        values[index] = future.result()
+            else:
+                for index in pending:
+                    point, child, _ = plan[index]
+                    values[index] = _evaluate_point(worker, point, child)
+        self._misses += len(pending)
+
+        outcomes: List[SweepOutcome] = []
+        for index, (point, child, cache_key) in enumerate(plan):
+            spawn_key = tuple(int(k) for k in child.spawn_key)
+            if index in values:
+                value = values[index]
+                if cache_key is not None:
+                    self._cache[cache_key] = value
+                from_cache = False
+            else:
+                value = self._cache[cache_key]
+                self._hits += 1
+                from_cache = True
+            outcomes.append(SweepOutcome(params=point, value=value,
+                                         spawn_key=spawn_key,
+                                         from_cache=from_cache))
+        return outcomes
+
+    def sweep_values(self, worker: SweepWorker,
+                     points: Iterable[Mapping[str, Any]],
+                     rng: RngLike = None, key: Any = None) -> List[Any]:
+        """Like :meth:`sweep` but returning only the worker values."""
+        return [outcome.value
+                for outcome in self.sweep(worker, points, rng=rng, key=key)]

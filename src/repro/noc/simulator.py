@@ -146,10 +146,17 @@ class NocSimulator:
                                       path, ready)
 
             # --- channel service (one flit per channel per cycle) ---------
+            # A forwarded flit becomes available at the next router no
+            # earlier than the next cycle: a link traversal takes one
+            # cycle even when the router pipeline is configured as
+            # zero-latency.  (Without the max() a zero-pipeline flit would
+            # arrive "ready" in a queue the dict iteration has not reached
+            # yet and hop across several links within one cycle.)
+            forward_delay = max(self.pipeline_latency_cycles, 1)
             for link, queue in link_queues.items():
                 if queue and queue[0][0] <= cycle:
                     ready, packet, remaining_path = queue.popleft()
-                    arrival = cycle + self.pipeline_latency_cycles
+                    arrival = cycle + forward_delay
                     self._enqueue(link_queues, ejection_queues, packet,
                                   remaining_path, arrival)
             for router, queue in ejection_queues.items():
@@ -183,10 +190,36 @@ class NocSimulator:
         link_queues[link].append((ready_cycle, packet, router_path[1:]))
 
     def latency_sweep(self, injection_rates, n_cycles: int = 5_000,
-                      warmup_cycles: int = 1_000, rng: RngLike = None
-                      ) -> List[SimulationResult]:
-        """Run the simulator at several injection rates."""
-        generator = ensure_rng(rng)
-        return [self.run(rate, n_cycles=n_cycles, warmup_cycles=warmup_cycles,
-                         rng=generator)
-                for rate in injection_rates]
+                      warmup_cycles: int = 1_000, rng: RngLike = None,
+                      engine=None) -> List[SimulationResult]:
+        """Run the simulator at several injection rates.
+
+        The rates are evaluated through a
+        :class:`repro.core.engine.SweepEngine` (a private serial one by
+        default): each rate gets an independent generator spawned from
+        ``rng``, so the points share no random stream.  Pass a shared
+        engine for result caching or process-level parallelism.
+        """
+        from repro.core.engine import SweepEngine
+
+        if engine is None:
+            engine = SweepEngine()
+        worker = _LatencySweepWorker(self, int(n_cycles), int(warmup_cycles))
+        points = [{"injection_rate": float(rate)}
+                  for rate in injection_rates]
+        return engine.sweep_values(worker, points, rng=rng)
+
+
+@dataclass(frozen=True)
+class _LatencySweepWorker:
+    """Picklable sweep worker running the simulator at one rate."""
+
+    simulator: NocSimulator
+    n_cycles: int
+    warmup_cycles: int
+
+    def __call__(self, params, rng) -> SimulationResult:
+        return self.simulator.run(params["injection_rate"],
+                                  n_cycles=self.n_cycles,
+                                  warmup_cycles=self.warmup_cycles,
+                                  rng=rng)

@@ -7,7 +7,7 @@ generator), an integer seed, or an existing :class:`numpy.random.Generator`.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 
@@ -33,3 +33,32 @@ def ensure_rng(rng: RngLike = None) -> np.random.Generator:
         "rng must be None, an integer seed or a numpy.random.Generator, "
         f"got {type(rng).__name__}"
     )
+
+
+def ensure_seed_sequence(rng: RngLike = None) -> np.random.SeedSequence:
+    """Return a :class:`numpy.random.SeedSequence` for any accepted input.
+
+    ``None`` draws fresh OS entropy, an ``int`` gives a reproducible
+    sequence, and an existing :class:`~numpy.random.Generator` contributes
+    one draw from its stream (so repeated calls with the same generator
+    yield different, but reproducible, sequences).  Spawning children from
+    the returned sequence (``seq.spawn(n)``) is the library's way of
+    deriving statistically independent per-task generators — see
+    :mod:`repro.core.engine`.
+    """
+    if rng is None or isinstance(rng, (int, np.integer)):
+        return np.random.SeedSequence(rng if rng is None else int(rng))
+    if isinstance(rng, np.random.Generator):
+        return np.random.SeedSequence(int(rng.integers(0, 2 ** 63)))
+    raise TypeError(
+        "rng must be None, an integer seed or a numpy.random.Generator, "
+        f"got {type(rng).__name__}"
+    )
+
+
+def spawn_generators(rng: RngLike, n: int) -> list:
+    """Derive ``n`` independent generators from any accepted rng input."""
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    return [np.random.default_rng(child)
+            for child in ensure_seed_sequence(rng).spawn(n)]

@@ -67,6 +67,25 @@ class TestWindowDecoder:
                                                  rng=1).bit_error_rate
         assert results[6] <= results[3] + 5e-3
 
+    def test_decoder_cache_reused_across_calls(self, small_cc):
+        # Every target block needs its own window decoder (the lifted
+        # parity sub-matrix differs per position), but repeated decodes —
+        # scalar or batched — must reuse the cached decoders instead of
+        # rebuilding the Tanner graphs.
+        decoder = WindowDecoder(small_cc, window_size=4)
+        assert len(decoder._decoder_cache) == 0
+        llrs = np.full(small_cc.n, 8.0)
+        decoder.decode(llrs)
+        n_windows = len(decoder._decoder_cache)
+        assert n_windows == small_cc.termination_length
+        cached = {key: value[0]
+                  for key, value in decoder._decoder_cache.items()}
+        decoder.decode(llrs)
+        decoder.decode_batch(np.tile(llrs, (3, 1)))
+        assert len(decoder._decoder_cache) == n_windows
+        for key, (bp_decoder, _, _) in decoder._decoder_cache.items():
+            assert bp_decoder is cached[key]
+
     def test_window_matches_full_bp_when_window_covers_code(self, small_cc):
         # W = L turns the window decoder into (block-wise committed) full BP.
         decoder = WindowDecoder(small_cc, window_size=small_cc.termination_length,
@@ -179,6 +198,34 @@ class TestBerHarness:
             BerSimulator(codeword_length=0, rate=0.5, decode=lambda x: x)
         with pytest.raises(ValueError):
             BerSimulator(codeword_length=10, rate=1.5, decode=lambda x: x)
+
+    def test_required_ebn0_default_rng_is_fresh_entropy(self):
+        # The old default (rng=0) silently seeded the search; the default
+        # must now be non-deterministic like every other stochastic API,
+        # while an integer seed keeps it reproducible.
+        simulator = BerSimulator(codeword_length=50, rate=0.5,
+                                 decode=lambda llrs: np.zeros(50, dtype=int))
+        seeded = [required_ebn0_db(simulator, target_ber=1e-3, low_db=0.0,
+                                   high_db=4.0, tolerance_db=0.5,
+                                   n_codewords=2, rng=9)
+                  for _ in range(2)]
+        assert seeded[0] == seeded[1]
+        import inspect
+
+        assert inspect.signature(required_ebn0_db).parameters["rng"].default \
+            is None
+
+    def test_ber_curve_points_are_independent(self, small_cc):
+        # Each Eb/N0 point receives its own spawned generator, so a
+        # sub-grid reproduces the full grid's leading points.
+        decoder = WindowDecoder(small_cc, window_size=5, max_iterations=20)
+        simulator = BerSimulator(small_cc.n, small_cc.design_rate,
+                                 decoder.decode_bits,
+                                 decode_batch=decoder.decode_bits_batch)
+        full = simulator.ber_curve([1.5, 3.0], n_codewords=4, rng=21)
+        sub = simulator.ber_curve([1.5], n_codewords=4, rng=21)
+        assert sub[0] == full[0]
+        assert [point.ebn0_db for point in full] == [1.5, 3.0]
 
     def test_window_vs_block_at_equal_latency(self):
         """Integration: the paper's core claim at a reduced BER target.

@@ -3,7 +3,9 @@
 import numpy as np
 import pytest
 
+from repro.core.engine import SweepEngine
 from repro.noc.analytic import AnalyticNocModel
+from repro.noc.metrics import average_hop_count
 from repro.noc.simulator import NocSimulator, SimulationResult
 from repro.noc.topology import Mesh2D, Mesh3D, StarMesh
 from repro.noc.traffic import NeighborTraffic
@@ -54,6 +56,49 @@ class TestSimulatorBasics:
                                           warmup_cycles=200, rng=2)
         assert len(results) == 2
         assert results[0].injection_rate < results[1].injection_rate
+
+    def test_zero_pipeline_respects_one_cycle_per_link(self):
+        # Regression: with pipeline_latency_cycles=0 a forwarded flit used
+        # to traverse several links within one cycle (the service loop
+        # re-encountered it in a queue later in the dict iteration),
+        # deflating latencies below the one-cycle-per-link floor.
+        topology = Mesh2D(4, 4)
+        simulator = NocSimulator(topology, pipeline_latency_cycles=0)
+        result = simulator.run(0.02, n_cycles=3_000, warmup_cycles=500,
+                               rng=0)
+        # Every packet needs at least one cycle per traversed link plus
+        # the ejection cycle, so the mean cannot drop below the mean hop
+        # count (leaving half a cycle of sampling slack).
+        floor = average_hop_count(topology)
+        assert result.delivered_packets > 100
+        assert result.mean_latency_cycles >= floor + 0.5
+
+    def test_latency_sweep_points_are_order_independent(self):
+        # Per-point generators are spawned by point index from the root
+        # seed, so a sub-grid evaluated with the same seed reproduces the
+        # full grid's leading points exactly.
+        simulator = NocSimulator(Mesh2D(3, 3))
+        full = simulator.latency_sweep([0.05, 0.1], n_cycles=800,
+                                       warmup_cycles=200, rng=9)
+        sub = simulator.latency_sweep([0.05], n_cycles=800,
+                                      warmup_cycles=200, rng=9)
+        assert sub[0] == full[0]
+
+    def test_latency_sweep_shared_engine_caches(self):
+        engine = SweepEngine()
+        simulator = NocSimulator(Mesh2D(3, 3))
+        first = simulator.latency_sweep([0.05, 0.1], n_cycles=800,
+                                        warmup_cycles=200, rng=4,
+                                        engine=engine)
+        # Same worker configuration, points and integer seed: the second
+        # sweep must be served from the cache.
+        worker_calls = engine.cache_info()["misses"]
+        second = simulator.latency_sweep([0.05, 0.1], n_cycles=800,
+                                         warmup_cycles=200, rng=4,
+                                         engine=engine)
+        assert engine.cache_info()["misses"] == worker_calls
+        assert engine.cache_info()["hits"] >= 2
+        assert first == second
 
 
 class TestSimulatorAgainstAnalyticModel:

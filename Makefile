@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint smoke bench
+.PHONY: test lint smoke bench scenarios run-scenario
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks.
 test:
@@ -27,3 +27,13 @@ smoke:
 # Every paper figure/table benchmark.
 bench:
 	$(PYTHON) -m pytest -q benchmarks
+
+# The scenario registry: list everything runnable by name.
+scenarios:
+	$(PYTHON) -m repro list
+
+# Run one named scenario, e.g.:
+#   make run-scenario NAME=table1 ARGS="--json out.json"
+run-scenario:
+	@test -n "$(NAME)" || { echo "usage: make run-scenario NAME=<scenario> [ARGS=...]"; exit 2; }
+	$(PYTHON) -m repro run $(NAME) $(ARGS)

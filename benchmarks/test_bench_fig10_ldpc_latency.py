@@ -6,40 +6,22 @@ lifting factors N = 25, 40, 60 and window sizes W = 3..8, against the
 
 Reproduction notes (see EXPERIMENTS.md):
 
-* The asymptotic placement of every configuration comes from
-  window-decoding density evolution (fast and deterministic).
-* The finite-length effect of the lifting factor is measured with the
-  Monte-Carlo harness at a reduced BER target of 1e-3 (a laptop-feasible
-  substitute for the paper's 1e-5); the *shape* claims — LDPC-CC beats the
-  block code at equal latency, larger W helps with diminishing returns,
-  larger N helps at fixed W — are asserted on the measured data.
-* The Monte-Carlo points run through :class:`repro.core.SweepEngine`
-  (independent per-configuration seeding) and decode whole codeword
-  batches at once via the batched BP path, several times faster than the
-  original per-codeword loop.
+* The whole figure runs through the scenario registry (``fig10``): the
+  asymptotic density-evolution placement and the Monte-Carlo
+  required-Eb/N0 searches are points of one scenario, each with an
+  independently spawned generator, executed by the sweep engine through
+  the batched BP decode path.
+* The Monte-Carlo points use a reduced BER target of 1e-3 (a
+  laptop-feasible substitute for the paper's 1e-5); the *shape* claims —
+  LDPC-CC beats the block code at equal latency, larger W helps with
+  diminishing returns, larger N helps at fixed W — are asserted on the
+  measured data.
 """
 
-import math
-
 from conftest import print_table, run_once
-from repro.coding import (
-    BerSimulator,
-    LdpcBlockCode,
-    LdpcConvolutionalCode,
-    PAPER_BLOCK_PROTOGRAPH,
-    WindowDecoder,
-    block_code_structural_latency,
-    gaussian_de_threshold,
-    paper_edge_spreading,
-    required_ebn0_db,
-    window_de_threshold,
-    window_decoder_structural_latency,
-)
-from repro.core import SweepEngine
+from repro.scenarios import run_scenario
 
-RATE = 0.5
 TARGET_BER = 1e-3
-TERMINATION_LENGTH = 12
 DE_WINDOWS = (3, 4, 5, 6, 7, 8)
 MC_CONFIGS = (
     # (lifting factor N, window size W)
@@ -55,101 +37,44 @@ MC_SEED = 3
 MC_SLACK_DB = 0.18
 
 
-def _error_budget(codeword_length: int, n_codewords: int) -> int:
-    """Probe stopping budget: 4x the expected errors at the BER target."""
-    return math.ceil(4.0 * TARGET_BER * n_codewords * codeword_length)
-
-
-def _measure_cc(params, rng) -> float:
-    code = LdpcConvolutionalCode(paper_edge_spreading(),
-                                 params["lifting_factor"],
-                                 TERMINATION_LENGTH, rng=0)
-    decoder = WindowDecoder(code, window_size=params["window"],
-                            max_iterations=40)
-    simulator = BerSimulator(code.n, RATE, decoder.decode_bits,
-                             decode_batch=decoder.decode_bits_batch,
-                             batch_size=8)
-    return required_ebn0_db(simulator, TARGET_BER, low_db=0.5, high_db=6.0,
-                            tolerance_db=0.25, n_codewords=25, rng=rng,
-                            max_bit_errors=_error_budget(code.n, 25))
-
-
-def _measure_bc(params, rng) -> float:
-    code = LdpcBlockCode(PAPER_BLOCK_PROTOGRAPH, params["lifting_factor"],
-                         rng=0)
-    simulator = BerSimulator(code.n, RATE,
-                             lambda llrs: code.decode(llrs).hard_decisions,
-                             decode_batch=code.decode_bits_batch,
-                             batch_size=16)
-    return required_ebn0_db(simulator, TARGET_BER, low_db=0.5, high_db=6.0,
-                            tolerance_db=0.25, n_codewords=60, rng=rng,
-                            max_bit_errors=_error_budget(code.n, 60))
-
-
-def _reproduce_figure():
-    spreading = paper_edge_spreading()
-    de_thresholds = {window: window_de_threshold(spreading, window, rate=RATE)
-                     for window in DE_WINDOWS}
-    block_threshold = gaussian_de_threshold(PAPER_BLOCK_PROTOGRAPH, rate=RATE)
-    engine = SweepEngine()
-    cc_measured = engine.sweep_values(
-        _measure_cc,
-        [{"lifting_factor": n, "window": w} for n, w in MC_CONFIGS],
-        rng=MC_SEED)
-    cc_points = []
-    for (lifting_factor, window), measured in zip(MC_CONFIGS, cc_measured):
-        latency = window_decoder_structural_latency(window, lifting_factor, 2,
-                                                    RATE)
-        cc_points.append({
-            "N": lifting_factor,
-            "W": window,
-            "latency": latency,
-            "required_ebn0_db": measured,
-            "de_threshold_db": de_thresholds[window],
-        })
-    bc_measured = engine.sweep_values(
-        _measure_bc,
-        [{"lifting_factor": n} for n in BLOCK_LIFTING_FACTORS],
-        rng=MC_SEED)
-    bc_points = []
-    for lifting_factor, measured in zip(BLOCK_LIFTING_FACTORS, bc_measured):
-        bc_points.append({
-            "N": lifting_factor,
-            "latency": block_code_structural_latency(lifting_factor, 2, RATE),
-            "required_ebn0_db": measured,
-            "de_threshold_db": block_threshold,
-        })
-    return {"cc": cc_points, "bc": bc_points,
-            "de_thresholds": de_thresholds,
-            "block_threshold": block_threshold}
-
-
 def test_fig10_required_ebn0_vs_latency(benchmark):
-    data = run_once(benchmark, _reproduce_figure)
+    result = run_once(benchmark,
+                      lambda: run_scenario("fig10", rng=MC_SEED))
+    de = {window: result.value_where(mode="de", family="ldpc-cc",
+                                     window=window)["de_threshold_ebn0_db"]
+          for window in DE_WINDOWS}
+    block_threshold = result.value_where(
+        mode="de", family="ldpc-bc")["de_threshold_ebn0_db"]
+    cc = {(lifting, window): result.value_where(
+              mode="mc", family="ldpc-cc", lifting_factor=lifting,
+              window=window)
+          for lifting, window in MC_CONFIGS}
+    bc = {lifting: result.value_where(mode="mc", family="ldpc-bc",
+                                      lifting_factor=lifting)
+          for lifting in BLOCK_LIFTING_FACTORS}
+
     rows = [
-        f"  LDPC-CC N={p['N']:3d} W={p['W']}  latency {p['latency']:6.0f}  "
-        f"required {p['required_ebn0_db']:5.2f} dB  "
-        f"(DE threshold {p['de_threshold_db']:4.2f} dB)"
-        for p in data["cc"]
+        f"  LDPC-CC N={lifting:3d} W={window}  "
+        f"latency {point['structural_latency_info_bits']:6.0f}  "
+        f"required {point['required_ebn0_db']:5.2f} dB  "
+        f"(DE threshold {point['de_threshold_ebn0_db']:4.2f} dB)"
+        for (lifting, window), point in cc.items()
     ] + [
-        f"  LDPC-BC N={p['N']:3d}      latency {p['latency']:6.0f}  "
-        f"required {p['required_ebn0_db']:5.2f} dB  "
-        f"(DE threshold {p['de_threshold_db']:4.2f} dB)"
-        for p in data["bc"]
+        f"  LDPC-BC N={lifting:3d}      "
+        f"latency {point['structural_latency_info_bits']:6.0f}  "
+        f"required {point['required_ebn0_db']:5.2f} dB  "
+        f"(DE threshold {point['de_threshold_ebn0_db']:4.2f} dB)"
+        for lifting, point in bc.items()
     ]
     print_table("Fig. 10 — required Eb/N0 vs structural latency "
                 f"(BER target {TARGET_BER:g})",
                 "  configuration", rows)
 
-    cc = {(p["N"], p["W"]): p for p in data["cc"]}
-    bc = {p["N"]: p for p in data["bc"]}
-    de = data["de_thresholds"]
-
     # (1) Window-decoding thresholds improve with W, with diminishing returns.
     assert de[3] > de[4] > de[5] >= de[6] >= de[7] >= de[8]
     assert (de[3] - de[4]) > (de[7] - de[8])
     # (2) Every coupled threshold beats the block-code threshold.
-    assert max(de.values()) < data["block_threshold"]
+    assert max(de.values()) < block_threshold
     # (3) Larger W lowers the measured required Eb/N0 at fixed N
     #     (allowing one bisection grid step of Monte-Carlo slack).
     for lifting_factor in (25, 40):
@@ -161,11 +86,13 @@ def test_fig10_required_ebn0_vs_latency(benchmark):
     # (5) The paper's headline: at equal structural latency (200 information
     #     bits) the LDPC-CC needs no more Eb/N0 than the LDPC-BC, and the
     #     block code needs about twice the latency to catch up.
-    assert cc[(40, 5)]["latency"] == bc[200]["latency"] == 200.0
+    assert cc[(40, 5)]["structural_latency_info_bits"] == \
+        bc[200]["structural_latency_info_bits"] == 200.0
     assert cc[(40, 5)]["required_ebn0_db"] <= \
         bc[200]["required_ebn0_db"] + MC_SLACK_DB
-    assert bc[400]["required_ebn0_db"] <= bc[200]["required_ebn0_db"] + MC_SLACK_DB
+    assert bc[400]["required_ebn0_db"] <= \
+        bc[200]["required_ebn0_db"] + MC_SLACK_DB
     # (6) Latencies follow Eqs. (4) and (5).
-    assert cc[(25, 3)]["latency"] == 75.0
-    assert cc[(40, 8)]["latency"] == 320.0
-    assert bc[400]["latency"] == 400.0
+    assert cc[(25, 3)]["structural_latency_info_bits"] == 75.0
+    assert cc[(40, 8)]["structural_latency_info_bits"] == 320.0
+    assert bc[400]["structural_latency_info_bits"] == 400.0

@@ -3,15 +3,16 @@
 Paper series: 8x8 2D mesh, 4x4x4 star-mesh and 4x4x4 3D mesh under uniform
 Poisson traffic; zero-load latencies about 13 / 7 / 10 cycles and
 saturation throughputs about 0.41 / 0.19 / 0.75 flits/cycle/module.
+
+Runs through the scenario registry (``fig8a``): topology variants, router
+calibration and injection-rate grid are declared in the scenario, the
+benchmark only consumes the structured result.
 """
 
 import numpy as np
 
 from conftest import print_table, run_once
-from repro.noc import AnalyticNocModel, Mesh2D, Mesh3D, StarMesh
-
-INJECTION_RATES = np.array([0.01, 0.05, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5, 0.6,
-                            0.7, 0.8])
+from repro.scenarios import run_scenario
 
 PAPER_VALUES = {
     "8x8 2D mesh": {"zero_load": 13.0, "saturation": 0.41},
@@ -20,28 +21,15 @@ PAPER_VALUES = {
 }
 
 
-def _reproduce_figure():
-    topologies = [Mesh2D(8, 8), StarMesh(4, 4, concentration=4),
-                  Mesh3D(4, 4, 4)]
-    results = {}
-    for topology in topologies:
-        model = AnalyticNocModel(topology)
-        curve = model.latency_curve(INJECTION_RATES)
-        results[topology.name] = {
-            "latency": curve.mean_latency_cycles,
-            "zero_load": model.zero_load_latency(),
-            "saturation": model.saturation_rate(),
-        }
-    return results
-
-
 def test_fig8a_latency_64_modules(benchmark):
-    results = run_once(benchmark, _reproduce_figure)
+    result = run_once(benchmark, lambda: run_scenario("fig8a"))
+    results = result.series("topology")
+    rates = results["8x8 2D mesh"]["injection_rates"]
     rows = []
-    for index, rate in enumerate(INJECTION_RATES):
+    for index, rate in enumerate(rates):
         cells = []
         for name in PAPER_VALUES:
-            latency = results[name]["latency"][index]
+            latency = results[name]["mean_latency_cycles"][index]
             cells.append(f"{latency:12.1f}" if np.isfinite(latency)
                          else f"{'sat':>12s}")
         rows.append(f"  {rate:5.2f}" + "".join(cells))
@@ -49,22 +37,25 @@ def test_fig8a_latency_64_modules(benchmark):
                 "  rate      2D mesh    star-mesh      3D mesh", rows)
     for name, paper in PAPER_VALUES.items():
         reproduced = results[name]
-        print(f"  {name:18s} zero-load {reproduced['zero_load']:5.1f} "
+        print(f"  {name:18s} zero-load "
+              f"{reproduced['zero_load_latency_cycles']:5.1f} "
               f"(paper {paper['zero_load']:4.1f}), saturation "
-              f"{reproduced['saturation']:5.2f} (paper {paper['saturation']:4.2f})")
+              f"{reproduced['saturation_rate']:5.2f} "
+              f"(paper {paper['saturation']:4.2f})")
     # Zero-load latencies land within one cycle of the paper.
     for name, paper in PAPER_VALUES.items():
-        assert abs(results[name]["zero_load"] - paper["zero_load"]) <= 1.0, name
+        assert abs(results[name]["zero_load_latency_cycles"]
+                   - paper["zero_load"]) <= 1.0, name
     # Saturation ordering and rough values: star < 2D < 3D.
-    star = results["4x4x4 star-mesh"]["saturation"]
-    mesh2d = results["8x8 2D mesh"]["saturation"]
-    mesh3d = results["4x4x4 3D mesh"]["saturation"]
+    star = results["4x4x4 star-mesh"]["saturation_rate"]
+    mesh2d = results["8x8 2D mesh"]["saturation_rate"]
+    mesh3d = results["4x4x4 3D mesh"]["saturation_rate"]
     assert star < mesh2d < mesh3d
     assert abs(mesh2d - 0.41) <= 0.05
     assert abs(star - 0.19) <= 0.04
     assert abs(mesh3d - 0.75) <= 0.12
     # Latency ordering at low traffic: star < 3D < 2D (Fig. 8a).
     low = 0
-    assert results["4x4x4 star-mesh"]["latency"][low] < \
-        results["4x4x4 3D mesh"]["latency"][low] < \
-        results["8x8 2D mesh"]["latency"][low]
+    assert results["4x4x4 star-mesh"]["mean_latency_cycles"][low] < \
+        results["4x4x4 3D mesh"]["mean_latency_cycles"][low] < \
+        results["8x8 2D mesh"]["mean_latency_cycles"][low]

@@ -3,36 +3,26 @@
 Paper observation: the latency gap between the 2D and the 3D mesh grows
 significantly compared to the 64-module case, and the 2D mesh saturates at
 a much lower injection rate.
+
+Runs through the scenario registry (``fig8b``): the benchmark only
+consumes the structured result.
 """
 
 import numpy as np
 
 from conftest import print_table, run_once
-from repro.noc import AnalyticNocModel, Mesh2D, Mesh3D
-
-INJECTION_RATES = np.array([0.01, 0.05, 0.1, 0.2, 0.3, 0.4, 0.5])
-
-
-def _reproduce_figure():
-    results = {}
-    for topology in (Mesh2D(32, 16), Mesh3D(8, 8, 8), Mesh2D(8, 8),
-                     Mesh3D(4, 4, 4)):
-        model = AnalyticNocModel(topology)
-        results[topology.name] = {
-            "latency": model.latency_curve(INJECTION_RATES).mean_latency_cycles,
-            "zero_load": model.zero_load_latency(),
-            "saturation": model.saturation_rate(),
-        }
-    return results
+from repro.scenarios import run_scenario
 
 
 def test_fig8b_latency_512_modules(benchmark):
-    results = run_once(benchmark, _reproduce_figure)
+    result = run_once(benchmark, lambda: run_scenario("fig8b"))
+    results = result.series("topology")
+    rates = results["32x16 2D mesh"]["injection_rates"]
     rows = []
-    for index, rate in enumerate(INJECTION_RATES):
+    for index, rate in enumerate(rates):
         cells = []
         for name in ("32x16 2D mesh", "8x8x8 3D mesh"):
-            latency = results[name]["latency"][index]
+            latency = results[name]["mean_latency_cycles"][index]
             cells.append(f"{latency:14.1f}" if np.isfinite(latency)
                          else f"{'saturated':>14s}")
         rows.append(f"  {rate:5.2f}" + "".join(cells))
@@ -42,19 +32,19 @@ def test_fig8b_latency_512_modules(benchmark):
     large_3d = results["8x8x8 3D mesh"]
     small_2d = results["8x8 2D mesh"]
     small_3d = results["4x4x4 3D mesh"]
-    print(f"  zero-load gap at 64 modules : "
-          f"{small_2d['zero_load'] - small_3d['zero_load']:.1f} cycles")
-    print(f"  zero-load gap at 512 modules: "
-          f"{large_2d['zero_load'] - large_3d['zero_load']:.1f} cycles")
+    gap_small = (small_2d["zero_load_latency_cycles"]
+                 - small_3d["zero_load_latency_cycles"])
+    gap_large = (large_2d["zero_load_latency_cycles"]
+                 - large_3d["zero_load_latency_cycles"])
+    print(f"  zero-load gap at 64 modules : {gap_small:.1f} cycles")
+    print(f"  zero-load gap at 512 modules: {gap_large:.1f} cycles")
     # The gap widens substantially when scaling from 64 to 512 modules.
-    gap_small = small_2d["zero_load"] - small_3d["zero_load"]
-    gap_large = large_2d["zero_load"] - large_3d["zero_load"]
     assert gap_large > 3.0 * gap_small
     # The 2D mesh saturates very early at 512 modules, the 3D mesh does not.
-    assert large_2d["saturation"] < 0.15
-    assert large_3d["saturation"] > 0.3
+    assert large_2d["saturation_rate"] < 0.15
+    assert large_3d["saturation_rate"] > 0.3
     # At an injection rate of 0.2 the 2D mesh is already saturated while the
     # 3D mesh still operates at low latency (as in Fig. 8b).
-    index_02 = INJECTION_RATES.tolist().index(0.2)
-    assert not np.isfinite(large_2d["latency"][index_02])
-    assert np.isfinite(large_3d["latency"][index_02])
+    index_02 = list(rates).index(0.2)
+    assert not np.isfinite(large_2d["mean_latency_cycles"][index_02])
+    assert np.isfinite(large_3d["mean_latency_cycles"][index_02])

@@ -1,7 +1,11 @@
-"""Table I — link-budget parameters for board-to-board communications."""
+"""Table I — link-budget parameters for board-to-board communications.
+
+Runs through the scenario registry (``table1``): the benchmark only
+consumes the structured :class:`~repro.scenarios.ScenarioResult`.
+"""
 
 from conftest import print_table, run_once
-from repro.channel import LinkBudget
+from repro.scenarios import run_scenario
 
 PAPER_TABLE_I = {
     "rx_noise_figure_db": 10.0,
@@ -17,11 +21,13 @@ PAPER_TABLE_I = {
 
 
 def test_table1_link_budget_parameters(benchmark):
-    table = run_once(benchmark, lambda: LinkBudget().table_entries())
+    result = run_once(benchmark, lambda: run_scenario("table1"))
+    table = result.series("parameter")
     rows = [f"  {key:32s} {table[key]:10.2f} {PAPER_TABLE_I[key]:10.2f}"
             for key in PAPER_TABLE_I]
     print_table("Table I — link budget parameters (reproduced vs paper)",
                 "  parameter                          reproduced      paper",
                 rows)
+    assert set(table) == set(PAPER_TABLE_I)
     for key, paper_value in PAPER_TABLE_I.items():
         assert abs(table[key] - paper_value) <= 0.1, key

@@ -1,70 +1,49 @@
-"""Board-to-board wireless link design study (Sections II of the paper).
+"""Board-to-board wireless link design study (Section II of the paper).
 
-Reproduces the design flow behind Figs. 1-4: generate a synthetic
-measurement campaign, fit the pathloss exponent, inspect the impulse
-response for reflections, and sweep the required transmit power against
-the target SNR for the ahead and diagonal links.
+Reproduces the design flow behind Figs. 1-4 through the scenario
+registry: the pathloss-exponent fits (``fig1``), the impulse-response
+reflection margins (``fig2``/``fig3``) and the required-transmit-power
+sweep (``fig4``) are each one named scenario; this script only runs them
+and formats the structured results.
 
 Run with:  python examples/board_to_board_link_design.py
 """
 
-import numpy as np
+from repro import run_scenario
 
-from repro.channel import (
-    LinkBudget,
-    SyntheticVNA,
-    reflection_margin_db,
-    sweep_to_impulse_response,
-)
-from repro.channel.fitting import fit_from_sweeps
+SEED = 1
 
 
 def pathloss_study() -> None:
     """Fig. 1: pathloss-exponent fits for free space and copper boards."""
-    vna = SyntheticVNA(rng=1)
-    horn_gain_db = 2 * 9.5
-    distances = np.linspace(0.02, 0.2, 12)
-    free_fit = fit_from_sweeps(vna.distance_sweep(distances, "freespace"),
-                               antenna_gain_db=horn_gain_db)
-    copper_fit = fit_from_sweeps(
-        vna.distance_sweep(np.linspace(0.05, 0.2, 10),
-                           "parallel copper boards"),
-        antenna_gain_db=horn_gain_db)
+    result = run_scenario("fig1", rng=SEED)
     print("Pathloss-exponent fits (paper: n = 2.000 / 2.0454):")
-    print(f"  free space             n = {free_fit.exponent:.4f}  "
-          f"(rms error {free_fit.rms_error_db:.2f} dB)")
-    print(f"  parallel copper boards n = {copper_fit.exponent:.4f}  "
-          f"(rms error {copper_fit.rms_error_db:.2f} dB)")
+    for environment, fit in result.series("environment").items():
+        print(f"  {environment:22s} n = {fit['fitted_exponent']:.4f}  "
+              f"(rms error {fit['rms_error_db']:.2f} dB, "
+              f"{fit['n_sweeps']} sweeps)")
 
 
 def impulse_response_study() -> None:
     """Figs. 2-3: reflections stay at least 15 dB below the LoS path."""
-    vna = SyntheticVNA(rng=1)
     print("\nImpulse-response reflection margins (paper: >= 15 dB):")
-    for distance, label in ((0.05, "50 mm shortest link"),
-                            (0.15, "150 mm diagonal link")):
-        for scenario in ("freespace", "parallel copper boards"):
-            if scenario == "freespace":
-                sweep = vna.measure_freespace(distance)
-            else:
-                sweep = vna.measure_parallel_copper_boards(distance)
-            response = sweep_to_impulse_response(sweep)
-            print(f"  {label:22s} {scenario:22s} "
-                  f"margin {reflection_margin_db(response):5.1f} dB, "
-                  f"LoS delay {response.los_delay_s*1e9:5.2f} ns")
+    for name, label in (("fig2", "50 mm shortest link"),
+                        ("fig3", "150 mm diagonal link")):
+        result = run_scenario(name, rng=SEED)
+        for environment, data in result.series("environment").items():
+            print(f"  {label:22s} {environment:22s} "
+                  f"margin {data['reflection_margin_db']:5.1f} dB, "
+                  f"LoS delay {data['los_delay_ns']:5.2f} ns")
 
 
 def transmit_power_study() -> None:
     """Fig. 4: required transmit power versus target SNR."""
-    budget = LinkBudget()
-    snrs = np.arange(0.0, 36.0, 5.0)
+    result = run_scenario("fig4")
     print("\nRequired transmit power [dBm] (Fig. 4):")
     print("  SNR[dB]   100mm    300mm    300mm+Butler")
-    for snr in snrs:
-        short = float(budget.required_tx_power_dbm(snr, 0.1))
-        long = float(budget.required_tx_power_dbm(snr, 0.3))
-        butler = float(budget.required_tx_power_dbm(snr, 0.3, True))
-        print(f"  {snr:7.0f} {short:8.1f} {long:8.1f} {butler:10.1f}")
+    for snr, row in result.series("target_snr_db").items():
+        print(f"  {snr:7.0f} {row['short_dbm']:8.1f} {row['long_dbm']:8.1f} "
+              f"{row['long_butler_dbm']:10.1f}")
 
 
 def main() -> None:

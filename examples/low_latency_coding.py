@@ -1,85 +1,58 @@
 """Low-latency error correction study (Section V of the paper).
 
-Reproduces the Fig. 10 story at example scale: the latency/performance
-trade-off of the sliding window decoder for the (4,8)-regular LDPC-CC
-(B0 = [2,2], B1 = B2 = [1,1]) versus the (4,8)-regular LDPC block code,
-using density-evolution thresholds for the asymptotic picture and a short
-Monte-Carlo run for a finite-length sanity check.
+Reproduces the Fig. 10 story through the scenario registry: the
+asymptotic window-decoder picture comes from the ``fig9`` and
+``window-sweep`` scenarios (density-evolution thresholds and structural
+latencies), the finite-length placement from the ``fig10`` scenario's
+Monte-Carlo required-Eb/N0 points.  All randomness routes through the
+sweep engine, so re-running with the same seed reproduces every number.
 
 Run with:  python examples/low_latency_coding.py
 """
 
-from repro.core import SweepEngine
+from repro import run_scenario
 
-from repro.coding import (
-    BerSimulator,
-    LdpcBlockCode,
-    LdpcConvolutionalCode,
-    PAPER_BLOCK_PROTOGRAPH,
-    WindowDecoder,
-    block_code_structural_latency,
-    gaussian_de_threshold,
-    paper_edge_spreading,
-    window_de_threshold,
-    window_decoder_structural_latency,
-)
+MC_SEED = 3
 
 
 def threshold_vs_latency() -> None:
     """Asymptotic latency/threshold trade-off (the shape of Fig. 10)."""
-    spreading = paper_edge_spreading()
+    sweep = run_scenario("window-sweep")
     print("Window-decoding DE thresholds for the (4,8)-regular LDPC-CC:")
     print("  N    W   structural latency [info bits]   threshold Eb/N0 [dB]")
-    for lifting_factor in (25, 40, 60):
-        for window in (3, 5, 8):
-            latency = window_decoder_structural_latency(window, lifting_factor,
-                                                        2, 0.5)
-            threshold = window_de_threshold(spreading, window, rate=0.5)
-            print(f"  {lifting_factor:3d} {window:4d} {latency:24.0f} "
-                  f"{threshold:22.2f}")
-    block_threshold = gaussian_de_threshold(PAPER_BLOCK_PROTOGRAPH, rate=0.5)
-    for lifting_factor in (100, 200, 400):
-        latency = block_code_structural_latency(lifting_factor, 2, 0.5)
-        print(f"  LDPC-BC N={lifting_factor:3d} latency {latency:6.0f}  "
-              f"threshold {block_threshold:5.2f} dB")
+    for point in sweep.points:
+        window = point["params"]["window_size"]
+        lifting = point["params"]["lifting_factor"]
+        if lifting not in (25, 40, 60) or window not in (3, 5, 8):
+            continue
+        print(f"  {lifting:3d} {window:4d} "
+              f"{point['value']['structural_latency_info_bits']:24.0f} "
+              f"{point['value']['de_threshold_ebn0_db']:22.2f}")
 
 
 def finite_length_check() -> None:
-    """Monte-Carlo sanity check: LDPC-CC beats LDPC-BC at equal latency.
-
-    Both BER curves decode whole codeword batches at once (the batched BP
-    path) and run their Eb/N0 grids through a shared
-    :class:`repro.core.SweepEngine`, which seeds every grid point with an
-    independent spawned generator.
-    """
-    engine = SweepEngine()
-    ebn0_grid = (2.0, 3.0)
-    cc = LdpcConvolutionalCode(paper_edge_spreading(), lifting_factor=40,
-                               termination_length=12, rng=0)
-    window = WindowDecoder(cc, window_size=5, max_iterations=40)
-    cc_simulator = BerSimulator(cc.n, cc.design_rate, window.decode_bits,
-                                decode_batch=window.decode_bits_batch)
-    cc_curve = cc_simulator.ber_curve(ebn0_grid, n_codewords=10, rng=0,
-                                      engine=engine)
-
-    block = LdpcBlockCode(PAPER_BLOCK_PROTOGRAPH, lifting_factor=200, rng=0)
-    block_simulator = BerSimulator(
-        block.n, block.design_rate,
-        lambda llrs: block.decode(llrs).hard_decisions,
-        decode_batch=block.decode_bits_batch)
-    block_curve = block_simulator.ber_curve(ebn0_grid, n_codewords=25, rng=0,
-                                            engine=engine)
-
-    cc_latency = window_decoder_structural_latency(5, 40, 2, 0.5)
-    block_latency = block_code_structural_latency(200, 2, 0.5)
-    print("\nFinite-length check "
-          "(equal structural latency of 200 information bits):")
-    for cc_point, block_point in zip(cc_curve, block_curve):
-        print(f"  Eb/N0 = {cc_point.ebn0_db:3.1f} dB: "
-              f"LDPC-CC (W=5, N=40, latency {cc_latency:3.0f}) "
-              f"BER {cc_point.bit_error_rate:.2e}  vs  "
-              f"LDPC-BC (N=200, latency {block_latency:3.0f}) "
-              f"BER {block_point.bit_error_rate:.2e}")
+    """Monte-Carlo check: LDPC-CC beats LDPC-BC at comparable latency."""
+    result = run_scenario("fig10", rng=MC_SEED)
+    block_threshold = result.value_where(
+        mode="de", family="ldpc-bc")["de_threshold_ebn0_db"]
+    print(f"\nFinite-length Monte-Carlo placement "
+          f"(block-code DE threshold {block_threshold:.2f} dB):")
+    print("  family    N    W   latency [bits]   required Eb/N0 [dB]")
+    for point in result.points:
+        if point["params"]["mode"] != "mc":
+            continue
+        params, value = point["params"], point["value"]
+        window = params["window"] if params["window"] else "-"
+        print(f"  {params['family']:8s} {params['lifting_factor']:4d} "
+              f"{str(window):>3s} {value['structural_latency_info_bits']:14.0f} "
+              f"{value['required_ebn0_db']:19.2f}")
+    cc = result.value_where(mode="mc", family="ldpc-cc", lifting_factor=40,
+                            window=5)
+    bc = result.value_where(mode="mc", family="ldpc-bc", lifting_factor=200)
+    print(f"\nAt equal structural latency "
+          f"({cc['structural_latency_info_bits']:.0f} information bits): "
+          f"LDPC-CC needs {cc['required_ebn0_db']:.2f} dB, "
+          f"LDPC-BC {bc['required_ebn0_db']:.2f} dB.")
 
 
 def main() -> None:

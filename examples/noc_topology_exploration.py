@@ -1,46 +1,37 @@
 """3D NiCS topology exploration (Section IV of the paper).
 
-Reproduces the Fig. 8 comparison — 2D mesh vs star-mesh vs 3D mesh at 64
-modules and 2D mesh vs 3D mesh at 512 modules — with the analytic queueing
-model, and cross-checks one operating point with the cycle-level
-simulator.
+Reproduces the Fig. 8 comparison through the scenario registry — 2D mesh
+vs star-mesh vs 3D mesh at 64 modules (``fig8a``), the scaling to 512
+modules (``fig8b``) — and cross-checks the analytic model against the
+cycle-level simulator with the ``noc-sim-crosscheck`` scenario.
 
 Run with:  python examples/noc_topology_exploration.py
 """
 
 import numpy as np
 
-from repro.core import SweepEngine
-from repro.noc import (
-    AnalyticNocModel,
-    Mesh2D,
-    Mesh3D,
-    NocSimulator,
-    StarMesh,
-    bisection_links,
-)
+from repro import run_scenario
 
 
 def compare_64_modules() -> None:
     """Fig. 8(a): latency/throughput of the three 64-module topologies."""
-    topologies = [Mesh2D(8, 8), StarMesh(4, 4, concentration=4), Mesh3D(4, 4, 4)]
+    result = run_scenario("fig8a")
+    curves = result.series("topology")
     print("64-module comparison (Fig. 8a):")
     print("  topology                  zero-load [cycles]  saturation "
-          "[flits/cycle/module]  bisection links")
-    for topology in topologies:
-        model = AnalyticNocModel(topology)
-        print(f"  {topology.name:25s} {model.zero_load_latency():14.1f} "
-              f"{model.saturation_rate():22.2f} {bisection_links(topology):12d}")
+          "[flits/cycle/module]")
+    for name, curve in curves.items():
+        print(f"  {name:25s} {curve['zero_load_latency_cycles']:14.1f} "
+              f"{curve['saturation_rate']:22.2f}")
 
     print("\n  latency vs injection rate [cycles]:")
-    rates = [0.01, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7]
-    header = "  rate    " + "".join(f"{t.name:>18s}" for t in topologies)
-    print(header)
-    models = [AnalyticNocModel(t) for t in topologies]
-    for rate in rates:
+    names = list(curves)
+    rates = curves[names[0]]["injection_rates"]
+    print("  rate    " + "".join(f"{name:>18s}" for name in names))
+    for index, rate in enumerate(rates):
         cells = []
-        for model in models:
-            latency = model.mean_latency(rate)
+        for name in names:
+            latency = curves[name]["mean_latency_cycles"][index]
             cells.append(f"{latency:18.1f}" if np.isfinite(latency)
                          else f"{'saturated':>18s}")
         print(f"  {rate:5.2f}" + "".join(cells))
@@ -48,34 +39,31 @@ def compare_64_modules() -> None:
 
 def compare_512_modules() -> None:
     """Fig. 8(b): the latency gap widens when scaling to 512 modules."""
+    result = run_scenario("fig8b")
     print("\n512-module scaling (Fig. 8b):")
-    for topology in (Mesh2D(32, 16), Mesh3D(8, 8, 8)):
-        model = AnalyticNocModel(topology)
-        print(f"  {topology.name:25s} zero-load {model.zero_load_latency():6.1f} "
-              f"cycles, saturation {model.saturation_rate():5.2f}")
+    for name in ("32x16 2D mesh", "8x8x8 3D mesh"):
+        curve = result.value_where(topology=name)
+        print(f"  {name:25s} zero-load "
+              f"{curve['zero_load_latency_cycles']:6.1f} cycles, "
+              f"saturation {curve['saturation_rate']:5.2f}")
 
 
 def validate_with_simulator() -> None:
     """Cross-check the analytic model with the cycle-level simulator.
 
-    The load points run as an engine-driven latency sweep: every injection
-    rate gets an independently spawned generator, and re-running the sweep
-    with the same engine and seed is served from the in-memory cache.
+    The ``noc-sim-crosscheck`` scenario runs every (topology, load) point
+    with an independently spawned generator; re-running with the same
+    seed reproduces the simulated latencies exactly.
     """
-    engine = SweepEngine()
-    topology = Mesh3D(4, 4, 4)
-    model = AnalyticNocModel(topology)
-    simulator = NocSimulator(topology)
-    rates = (0.1, 0.2, 0.3)
-    simulated = simulator.latency_sweep(rates, n_cycles=4_000,
-                                        warmup_cycles=1_000, rng=0,
-                                        engine=engine)
-    print("\nAnalytic model vs cycle-level simulation (4x4x4 3D mesh):")
-    for rate, point in zip(rates, simulated):
-        print(f"  injection {rate:4.2f}: analytic "
-              f"{model.mean_latency(rate):6.2f} cycles, simulated "
-              f"{point.mean_latency_cycles:6.2f} cycles "
-              f"({point.delivered_packets} packets)")
+    result = run_scenario("noc-sim-crosscheck", rng=0)
+    print("\nAnalytic model vs cycle-level simulation:")
+    for point in result.points:
+        params, value = point["params"], point["value"]
+        print(f"  {params['topology']:16s} injection "
+              f"{params['injection_rate']:4.2f}: analytic "
+              f"{value['analytic_latency_cycles']:6.2f} cycles, simulated "
+              f"{value['simulated_latency_cycles']:6.2f} cycles "
+              f"({value['delivered_packets']} packets)")
 
 
 def main() -> None:

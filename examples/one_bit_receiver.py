@@ -1,61 +1,60 @@
 """1-bit oversampling receiver study (Section III of the paper).
 
-Reproduces the Fig. 5 / Fig. 6 story: compares the information rate of
-4-ASK with 1-bit quantisation and 5-fold oversampling for the different
-ISI filter designs, and shows a Viterbi sequence detector actually
-recovering the symbols the information-rate analysis promises.
+Reproduces the Fig. 5 / Fig. 6 story through the scenario registry
+(``fig5``, ``fig6``, ``oversampling-sweep``), then shows a Viterbi
+sequence detector actually recovering the symbols the information-rate
+analysis promises (a single-layer PHY demo).
 
 Run with:  python examples/one_bit_receiver.py
 """
 
 import numpy as np
 
+from repro import run_scenario
 from repro.phy import (
     OversampledOneBitChannel,
     SymbolBySymbolDetector,
     ViterbiSequenceDetector,
-    ask_awgn_information_rate,
-    one_bit_no_oversampling_rate,
-    rectangular_pulse,
-    sequence_information_rate,
     sequence_optimized_pulse,
-    suboptimal_unique_detection_pulse,
-    symbolwise_information_rate,
-    symbolwise_optimized_pulse,
-    unique_detection_fraction,
 )
+
+SEED = 0
 
 
 def information_rate_table() -> None:
     """Fig. 6: information rate versus SNR for the different designs."""
-    snrs = [0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0]
+    result = run_scenario("fig6", rng=SEED)
     print("Information rates [bit/channel use] for 4-ASK (Fig. 6):")
-    print("  SNR   noQuant  1bitNoOS  rect1bitOS  seqDesign  symbolwise  subopt")
-    for snr in snrs:
-        row = (
-            ask_awgn_information_rate(snr),
-            one_bit_no_oversampling_rate(snr),
-            sequence_information_rate(rectangular_pulse(5), snr,
-                                      n_symbols=6_000, rng=0),
-            sequence_information_rate(sequence_optimized_pulse(), snr,
-                                      n_symbols=6_000, rng=0),
-            symbolwise_information_rate(symbolwise_optimized_pulse(), snr),
-            sequence_information_rate(suboptimal_unique_detection_pulse(), snr,
-                                      n_symbols=6_000, rng=0),
-        )
-        print(f"  {snr:4.0f}" + "".join(f"{value:10.3f}" for value in row))
+    print("  SNR   noQuant  1bitNoOS  rectOS  maxSeq  maxSym  subopt")
+    for snr, row in result.series("snr_db").items():
+        print(f"  {snr:4.0f}"
+              f"{row['no_quantization']:9.3f}"
+              f"{row['one_bit_no_oversampling']:10.3f}"
+              f"{row['rect_oversampled']:8.3f}"
+              f"{row['max_sequence']:8.3f}"
+              f"{row['max_symbolwise']:8.3f}"
+              f"{row['suboptimal']:8.3f}")
 
 
 def pulse_inventory() -> None:
     """Fig. 5: the four ISI designs and their unique-detection property."""
+    result = run_scenario("fig5", rng=SEED)
     print("\nISI filter designs (Fig. 5):")
-    for pulse in (rectangular_pulse(5), symbolwise_optimized_pulse(),
-                  sequence_optimized_pulse(),
-                  suboptimal_unique_detection_pulse()):
-        fraction = unique_detection_fraction(pulse)
-        taps = np.round(pulse.taps, 2)
-        print(f"  {pulse.name:42s} unique detection {fraction*100:5.1f} %  "
-              f"taps {taps}")
+    for design, props in result.series("design").items():
+        taps = np.round(props["taps"], 2)
+        print(f"  {design:24s} unique detection "
+              f"{props['unique_detection_fraction']*100:5.1f} %  "
+              f"I_seq {props['sequence_rate_bpcu']:5.2f}  taps {taps}")
+
+
+def oversampling_study() -> None:
+    """Off-paper: how the rate scales with the oversampling factor."""
+    result = run_scenario("oversampling-sweep", rng=SEED)
+    print("\nInformation rate vs oversampling factor (25 dB SNR):")
+    print("  factor   rect [bpcu]  ramp ISI [bpcu]")
+    for factor, row in result.series("oversampling").items():
+        print(f"  {factor:6d} {row['rect_symbolwise_bpcu']:12.3f} "
+              f"{row['isi_sequence_bpcu']:16.3f}")
 
 
 def detection_demo() -> None:
@@ -75,6 +74,7 @@ def detection_demo() -> None:
 def main() -> None:
     information_rate_table()
     pulse_inventory()
+    oversampling_study()
     detection_demo()
 
 

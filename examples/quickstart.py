@@ -8,8 +8,8 @@ link budget (Section II of the paper), 1-bit oversampling PHY
 Run with:  python examples/quickstart.py
 """
 
+from repro import WirelessBoardLink, run_scenario
 from repro.channel import LinkBudget
-from repro.core import WirelessBoardLink
 from repro.noc import AnalyticNocModel, Mesh3D
 
 
@@ -19,7 +19,7 @@ def main() -> None:
     # ------------------------------------------------------------------
     budget = LinkBudget()
     print("Table I link budget entries:")
-    for key, value in budget.table_entries().items():
+    for key, value in run_scenario("table1").series("parameter").items():
         print(f"  {key:32s} {value:8.2f}")
     target_snr_db = 20.0
     for distance, butler in ((0.1, False), (0.3, True)):

@@ -1,46 +1,41 @@
 """System-level design study: a box of boards with wireless interconnect.
 
-Composes all four substrates into the paper's overall proposal and asks
-the system-level questions the introduction motivates: how many modules
-fit in the box, how much aggregate wireless bandwidth replaces the
-backplane, and how the transmit power budget trades against that
-bandwidth.
+Composes all four substrates into the paper's overall proposal through
+the ``system-power-sweep`` scenario and asks the system-level questions
+the introduction motivates: how many modules fit in the box, how much
+aggregate wireless bandwidth replaces the backplane, and how the
+transmit power budget trades against that bandwidth.
 
 Run with:  python examples/system_level_design.py
 """
 
-from repro.core import WirelessInterconnectSystem
-
-
-def evaluate_box(tx_power_dbm: float) -> None:
-    system = WirelessInterconnectSystem(n_boards=4,
-                                        stack_mesh_shape=(4, 4, 4),
-                                        tx_power_dbm=tx_power_dbm)
-    report = system.evaluate(n_symbols=4_000)
-    print(f"\nTransmit power {tx_power_dbm:5.1f} dBm per node:")
-    print(f"  boards x stacks x modules  {report.n_boards} x "
-          f"{report.stacks_per_board} x {report.modules_per_stack} "
-          f"= {report.total_modules} modules")
-    print(f"  intra-stack NoC            {report.noc_zero_load_latency_cycles:.1f} "
-          f"cycles zero-load, saturation "
-          f"{report.noc_saturation_rate:.2f} flits/cycle/module")
-    print(f"  FEC structural latency     "
-          f"{report.fec_latency_information_bits:.0f} information bits")
-    print("  board-to-board links:")
-    for link in report.link_reports:
-        print(f"    {link.distance_m*1e3:5.0f} mm: SNR {link.snr_db:5.1f} dB, "
-              f"{link.information_rate_bpcu:4.2f} bpcu, "
-              f"{link.data_rate_gbps:6.1f} Gbit/s, "
-              f"closes={link.closes}")
-    print(f"  aggregate wireless rate    "
-          f"{report.aggregate_wireless_rate_gbps:7.1f} Gbit/s between "
-          "adjacent boards")
+from repro import run_scenario
 
 
 def main() -> None:
     print("Wireless interconnect system study (4 boards, 4x4x4 NiCS stacks)")
-    for tx_power_dbm in (0.0, 10.0, 20.0):
-        evaluate_box(tx_power_dbm)
+    result = run_scenario("system-power-sweep")
+    for tx_power_dbm, report in result.series("tx_power_dbm").items():
+        print(f"\nTransmit power {tx_power_dbm:5.1f} dBm per node:")
+        print(f"  boards x stacks x modules  {report['n_boards']} x "
+              f"{report['stacks_per_board']} x {report['modules_per_stack']} "
+              f"= {report['total_modules']} modules")
+        print(f"  intra-stack NoC            "
+              f"{report['noc_zero_load_latency_cycles']:.1f} cycles "
+              f"zero-load, saturation "
+              f"{report['noc_saturation_rate']:.2f} flits/cycle/module")
+        print(f"  FEC structural latency     "
+              f"{report['fec_latency_information_bits']:.0f} information bits")
+        print("  board-to-board links:")
+        for link in report["link_reports"]:
+            print(f"    {link['distance_m']*1e3:5.0f} mm: "
+                  f"SNR {link['snr_db']:5.1f} dB, "
+                  f"{link['information_rate_bpcu']:4.2f} bpcu, "
+                  f"{link['data_rate_gbps']:6.1f} Gbit/s, "
+                  f"closes={link['closes']}")
+        print(f"  aggregate wireless rate    "
+              f"{report['aggregate_wireless_rate_gbps']:7.1f} Gbit/s between "
+              "adjacent boards")
 
 
 if __name__ == "__main__":

@@ -1,6 +1,6 @@
 """repro — reproduction of "Wireless Interconnect for Board and Chip Level".
 
-The library is organised as four substrates plus an integration layer:
+The library is organised as four substrates plus integration layers:
 
 * :mod:`repro.channel` — 200+ GHz board-to-board channel models, synthetic
   measurement campaign and link budget (Section II of the paper).
@@ -13,12 +13,73 @@ The library is organised as four substrates plus an integration layer:
 * :mod:`repro.core` — the end-to-end wireless interconnect system composing
   all of the above, plus :class:`repro.core.engine.SweepEngine`, the
   batched Monte-Carlo sweep engine (per-point independent seeding,
-  optional process parallelism, in-memory caching) driving the BER and
-  NoC parameter sweeps.
+  optional process parallelism, in-memory caching).
+* :mod:`repro.scenarios` — the declarative scenario API: per-layer spec
+  dataclasses, a registry of named scenarios covering every paper figure
+  and table (plus off-paper workloads), and structured, JSON-exportable
+  results.  ``python -m repro list`` shows the catalog.
+
+The user-facing surface is re-exported here, so a single ``import repro``
+gives the links, the system, the sweep engine and the scenario registry;
+:mod:`repro.api` is the same facade as a flat importable module.
 """
 
+__version__ = "1.1.0"
+
 from repro import channel, coding, core, noc, phy, utils
+from repro.core import (
+    LinkReport,
+    SweepEngine,
+    SweepOutcome,
+    SystemReport,
+    WirelessBoardLink,
+    WirelessInterconnectSystem,
+    parameter_grid,
+)
+from repro.scenarios import (
+    ChannelSpec,
+    CodingSpec,
+    NocSpec,
+    PhySpec,
+    Scenario,
+    ScenarioResult,
+    SystemSpec,
+    build_scenario,
+    describe_scenario,
+    run_scenario,
+    scenario_names,
+)
+from repro import api, scenarios
 
-__version__ = "1.0.0"
-
-__all__ = ["channel", "coding", "core", "noc", "phy", "utils", "__version__"]
+__all__ = [
+    # submodules
+    "api",
+    "channel",
+    "coding",
+    "core",
+    "noc",
+    "phy",
+    "scenarios",
+    "utils",
+    "__version__",
+    # integration layer
+    "WirelessBoardLink",
+    "LinkReport",
+    "WirelessInterconnectSystem",
+    "SystemReport",
+    "SweepEngine",
+    "SweepOutcome",
+    "parameter_grid",
+    # scenario API
+    "ChannelSpec",
+    "PhySpec",
+    "CodingSpec",
+    "NocSpec",
+    "SystemSpec",
+    "Scenario",
+    "ScenarioResult",
+    "build_scenario",
+    "describe_scenario",
+    "run_scenario",
+    "scenario_names",
+]

@@ -1,0 +1,68 @@
+"""Flat facade over the user-facing surface of the library.
+
+``repro.api`` gathers the objects a system designer actually touches —
+the link/system models, the sweep engine and the declarative scenario
+API — into one import, without reaching into substrate submodules:
+
+>>> from repro import api
+>>> result = api.run_scenario("table1")
+>>> api.scenario_names()[:3]
+['fig1', 'fig10', 'fig2']
+
+Everything here is re-exported from its home package; importing
+``repro.api`` never builds anything.
+"""
+
+from repro.channel import (
+    LinkBudget,
+    LinkBudgetParameters,
+    PAPER_LINK_BUDGET,
+)
+from repro.core import (
+    LinkReport,
+    SweepEngine,
+    SweepOutcome,
+    SystemReport,
+    WirelessBoardLink,
+    WirelessInterconnectSystem,
+    parameter_grid,
+)
+from repro.scenarios import (
+    ChannelSpec,
+    CodingSpec,
+    NocSpec,
+    PhySpec,
+    Scenario,
+    ScenarioResult,
+    SystemSpec,
+    build_scenario,
+    describe_scenario,
+    run_scenario,
+    scenario_entries,
+    scenario_names,
+)
+
+__all__ = [
+    "LinkBudget",
+    "LinkBudgetParameters",
+    "PAPER_LINK_BUDGET",
+    "WirelessBoardLink",
+    "LinkReport",
+    "WirelessInterconnectSystem",
+    "SystemReport",
+    "SweepEngine",
+    "SweepOutcome",
+    "parameter_grid",
+    "ChannelSpec",
+    "PhySpec",
+    "CodingSpec",
+    "NocSpec",
+    "SystemSpec",
+    "Scenario",
+    "ScenarioResult",
+    "build_scenario",
+    "describe_scenario",
+    "run_scenario",
+    "scenario_entries",
+    "scenario_names",
+]

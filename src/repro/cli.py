@@ -1,0 +1,173 @@
+"""Command-line entry point: ``python -m repro {list,describe,run}``.
+
+The zero-code path to every experiment in the scenario registry:
+
+.. code-block:: console
+
+    python -m repro list
+    python -m repro describe fig10
+    python -m repro run fig10 --seed 0 --json fig10.json
+    python -m repro run fig4 --set channel.rx_noise_figure_db=7
+
+``run`` defaults to ``--seed 0`` so that the command line is reproducible
+out of the box (the Python API keeps the library-wide opt-in default of
+fresh entropy); pass ``--seed -1`` explicitly for a non-deterministic run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import os
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.scenarios import (
+    build_scenario,
+    scenario_entries,
+)
+
+
+_SET_KEYWORDS = {"true": True, "false": False, "none": None}
+
+
+def _parse_set(assignments: Sequence[str]) -> Dict[str, Any]:
+    """Parse ``--set layer.field=value`` pairs (Python literals or strings).
+
+    ``true``/``false``/``none`` are accepted case-insensitively — the raw
+    string ``"false"`` would be truthy and silently flip boolean spec
+    fields the wrong way.
+    """
+    overrides: Dict[str, Any] = {}
+    for assignment in assignments:
+        key, separator, raw = assignment.partition("=")
+        if not separator or not key:
+            raise SystemExit(
+                f"--set expects key=value, got {assignment!r}")
+        if raw.strip().lower() in _SET_KEYWORDS:
+            value = _SET_KEYWORDS[raw.strip().lower()]
+        else:
+            try:
+                value = ast.literal_eval(raw)
+            except (ValueError, SyntaxError):
+                value = raw
+        overrides[key.strip()] = value
+    return overrides
+
+
+def _format_value(value: Any) -> str:
+    """One-line rendering of a point value for the run summary table."""
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, dict):
+        cells = []
+        for key, item in value.items():
+            if isinstance(item, float):
+                cells.append(f"{key}={item:.6g}")
+            elif isinstance(item, (str, int, bool, type(None))):
+                cells.append(f"{key}={item}")
+            else:
+                cells.append(f"{key}=<{len(item)} values>"
+                             if hasattr(item, "__len__") else f"{key}=...")
+        return "  ".join(cells)
+    return str(value)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    entries = scenario_entries()
+    width = max(len(entry.name) for entry in entries)
+    artifact_width = max(len(entry.artifact) for entry in entries)
+    for entry in entries:
+        print(f"{entry.name:<{width}}  {entry.artifact:<{artifact_width}}  "
+              f"{entry.summary}")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    scenario = build_scenario(args.name, _parse_set(args.set))
+    print(json.dumps(scenario.describe(), indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    scenario = build_scenario(args.name, _parse_set(args.set))
+    seed = None if args.seed is not None and args.seed < 0 else args.seed
+    result = scenario.run(rng=seed, n_workers=args.workers)
+    if not args.quiet:
+        print(f"scenario {result.name} ({result.artifact}): "
+              f"{result.summary}")
+        seed_label = result.seed if result.seed is not None else "fresh entropy"
+        print(f"seed {seed_label} · {len(result)} points · "
+              f"repro {result.version}")
+        for point in result.points:
+            params = "  ".join(f"{key}={value}"
+                               for key, value in point["params"].items())
+            print(f"  {params:<48s} {_format_value(point['value'])}")
+    if args.json:
+        result.save_json(args.json)
+        if not args.quiet:
+            print(f"wrote {args.json}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run the paper's experiments (and off-paper scenarios) "
+                    "by name through the declarative scenario API.")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list every registered scenario")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    describe_parser = subparsers.add_parser(
+        "describe", help="show a scenario's specs, axes and point count")
+    describe_parser.add_argument("name", help="scenario name (see `list`)")
+    describe_parser.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override a spec field, e.g. channel.distance_m=0.2")
+    describe_parser.set_defaults(handler=_cmd_describe)
+
+    run_parser = subparsers.add_parser(
+        "run", help="run a scenario and optionally export JSON")
+    run_parser.add_argument("name", help="scenario name (see `list`)")
+    run_parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the structured ScenarioResult to PATH")
+    run_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed (default 0, reproducible; negative for fresh "
+             "entropy)")
+    run_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="worker processes for the sweep engine (default: serial)")
+    run_parser.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override a spec field, e.g. channel.distance_m=0.2")
+    run_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-point summary table")
+    run_parser.set_defaults(handler=_cmd_run)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except (KeyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Downstream pager/head closed the pipe; exit quietly (and keep
+        # the interpreter from complaining while flushing stdout).
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

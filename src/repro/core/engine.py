@@ -71,7 +71,8 @@ class SweepOutcome:
     Attributes
     ----------
     params:
-        The parameter mapping of the point.
+        The parameter mapping of the point (a private copy — mutating it
+        cannot corrupt the engine's cache or the caller's grid).
     value:
         Whatever the worker returned.
     spawn_key:
@@ -86,6 +87,15 @@ class SweepOutcome:
     value: Any
     spawn_key: Tuple[int, ...]
     from_cache: bool
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serializable form (NumPy values coerced)."""
+        from repro.utils.serialization import to_plain
+
+        return {"params": to_plain(self.params),
+                "value": to_plain(self.value),
+                "spawn_key": list(self.spawn_key),
+                "from_cache": bool(self.from_cache)}
 
 
 def _evaluate_point(worker: SweepWorker, params: Mapping[str, Any],
@@ -209,7 +219,7 @@ class SweepEngine:
                 value = self._cache[cache_key]
                 self._hits += 1
                 from_cache = True
-            outcomes.append(SweepOutcome(params=point, value=value,
+            outcomes.append(SweepOutcome(params=dict(point), value=value,
                                          spawn_key=spawn_key,
                                          from_cache=from_cache))
         return outcomes

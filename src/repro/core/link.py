@@ -14,7 +14,7 @@ one link of the paper's architecture:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, fields
 from typing import Optional
 
 from repro.channel.link_budget import LinkBudget, PAPER_LINK_BUDGET, LinkBudgetParameters
@@ -60,6 +60,13 @@ class LinkReport:
     coding_threshold_ebn0_db: float
     coding_latency_information_bits: float
     closes: bool
+
+    def to_dict(self) -> dict:
+        """Plain JSON-serializable form (NumPy scalars coerced)."""
+        from repro.utils.serialization import to_plain
+
+        return {field.name: to_plain(getattr(self, field.name))
+                for field in fields(self)}
 
 
 class WirelessBoardLink:

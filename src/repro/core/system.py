@@ -64,6 +64,18 @@ class SystemReport:
     aggregate_wireless_rate_gbps: float
     fec_latency_information_bits: float
 
+    def to_dict(self) -> dict:
+        """Plain JSON-serializable form; link reports nest as dicts."""
+        from dataclasses import fields
+
+        from repro.utils.serialization import to_plain
+
+        result = {field.name: to_plain(getattr(self, field.name))
+                  for field in fields(self) if field.name != "link_reports"}
+        result["link_reports"] = [report.to_dict()
+                                  for report in self.link_reports]
+        return result
+
 
 class WirelessInterconnectSystem:
     """The paper's box-of-boards system with wireless board-to-board links.

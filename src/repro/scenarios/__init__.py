@@ -1,0 +1,67 @@
+"""Declarative scenario API: specs, runnable scenarios, registry, results.
+
+The one blessed path from "I want the numbers behind Fig. X" to data:
+
+>>> from repro.scenarios import run_scenario
+>>> result = run_scenario("fig10", rng=0)
+>>> result.to_json()          # structured, reproducible, fully provenanced
+
+or, without writing code::
+
+    python -m repro run fig10 --seed 0 --json fig10.json
+
+Layers:
+
+* :mod:`repro.scenarios.specs` — frozen, validated per-layer spec
+  dataclasses (``ChannelSpec``, ``PhySpec``, ``CodingSpec``, ``NocSpec``,
+  ``SystemSpec``) with ``to_dict``/``from_dict`` round-tripping.
+* :mod:`repro.scenarios.scenario` — :class:`Scenario`, composing specs +
+  parameter points + a picklable worker, executed through
+  :class:`repro.core.engine.SweepEngine`.
+* :mod:`repro.scenarios.result` — :class:`ScenarioResult` with per-point
+  outcomes, spawn keys, specs, seed and version (JSON export).
+* :mod:`repro.scenarios.registry` / :mod:`repro.scenarios.catalog` — the
+  named-scenario registry covering every paper artifact plus off-paper
+  workloads.
+"""
+
+from repro.scenarios.specs import (
+    ChannelSpec,
+    CodingSpec,
+    NocSpec,
+    PhySpec,
+    SpecBase,
+    SystemSpec,
+)
+from repro.scenarios.result import ScenarioResult
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.registry import (
+    Overrides,
+    ScenarioEntry,
+    build_scenario,
+    describe_scenario,
+    register_scenario,
+    run_scenario,
+    scenario_entries,
+    scenario_names,
+)
+from repro.scenarios import catalog  # noqa: F401  (registers the catalog)
+
+__all__ = [
+    "SpecBase",
+    "ChannelSpec",
+    "PhySpec",
+    "CodingSpec",
+    "NocSpec",
+    "SystemSpec",
+    "Scenario",
+    "ScenarioResult",
+    "ScenarioEntry",
+    "Overrides",
+    "register_scenario",
+    "build_scenario",
+    "describe_scenario",
+    "run_scenario",
+    "scenario_entries",
+    "scenario_names",
+]

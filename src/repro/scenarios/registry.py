@@ -1,0 +1,135 @@
+"""Registry of named scenarios and the override machinery behind ``--set``.
+
+The registry maps a stable name (``"fig10"``, ``"table1"``,
+``"tx-power-sweep"``) to a *factory* that builds a fresh
+:class:`repro.scenarios.scenario.Scenario`.  Factories receive an
+:class:`Overrides` helper carrying dotted ``layer.field=value`` overrides
+(the CLI's ``--set``); every override must be consumed by the factory or
+the build fails — a misspelled key never silently runs the default
+experiment.
+
+The actual scenario definitions live in :mod:`repro.scenarios.catalog`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.scenarios.result import ScenarioResult
+from repro.scenarios.scenario import Scenario
+from repro.scenarios.specs import SpecBase
+from repro.utils.rng import RngLike
+
+
+class Overrides:
+    """Dotted ``layer.field`` overrides with consumption tracking."""
+
+    def __init__(self, values: Optional[Mapping[str, Any]] = None) -> None:
+        self._values: Dict[str, Any] = dict(values or {})
+        self._consumed: set = set()
+
+    def apply(self, layer: str, spec: SpecBase) -> SpecBase:
+        """Replace every ``<layer>.<field>`` override into ``spec``."""
+        changes = {}
+        prefix = layer + "."
+        for key, value in self._values.items():
+            if key.startswith(prefix):
+                changes[key[len(prefix):]] = value
+                self._consumed.add(key)
+        if not changes:
+            return spec
+        try:
+            return spec.replace(**changes)
+        except TypeError as error:
+            raise ValueError(
+                f"invalid override for layer {layer!r}: {error}") from None
+
+    def scalar(self, key: str, default: Any) -> Any:
+        """A scenario-level (non-spec) override, e.g. ``mc.n_codewords``."""
+        if key in self._values:
+            self._consumed.add(key)
+            return type(default)(self._values[key])
+        return default
+
+    def check_consumed(self, scenario_name: str) -> None:
+        leftover = set(self._values) - self._consumed
+        if leftover:
+            raise ValueError(
+                f"scenario {scenario_name!r} does not accept override(s) "
+                f"{sorted(leftover)}")
+
+
+ScenarioFactory = Callable[[Overrides], Scenario]
+
+
+@dataclass(frozen=True)
+class ScenarioEntry:
+    """One registry row: the name, labels and factory of a scenario."""
+
+    name: str
+    artifact: str
+    summary: str
+    factory: ScenarioFactory
+
+
+_REGISTRY: Dict[str, ScenarioEntry] = {}
+
+
+def register_scenario(name: str, artifact: str,
+                      summary: str) -> Callable[[ScenarioFactory],
+                                                ScenarioFactory]:
+    """Decorator registering a scenario factory under ``name``."""
+
+    def decorator(factory: ScenarioFactory) -> ScenarioFactory:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} is already registered")
+        _REGISTRY[name] = ScenarioEntry(name=name, artifact=artifact,
+                                        summary=summary, factory=factory)
+        return factory
+
+    return decorator
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, paper artifacts first."""
+    return sorted(_REGISTRY,
+                  key=lambda name: (_REGISTRY[name].artifact == "off-paper",
+                                    name))
+
+
+def scenario_entries() -> List[ScenarioEntry]:
+    """All registry rows in :func:`scenario_names` order."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+def _entry(name: str) -> ScenarioEntry:
+    if name not in _REGISTRY:
+        known = ", ".join(scenario_names())
+        raise KeyError(f"unknown scenario {name!r}; known scenarios: {known}")
+    return _REGISTRY[name]
+
+
+def build_scenario(name: str,
+                   overrides: Optional[Mapping[str, Any]] = None) -> Scenario:
+    """Build a scenario by name, applying ``layer.field`` overrides."""
+    entry = _entry(name)
+    tracker = Overrides(overrides)
+    scenario = entry.factory(tracker)
+    tracker.check_consumed(name)
+    return scenario
+
+
+def describe_scenario(name: str,
+                      overrides: Optional[Mapping[str, Any]] = None) -> Dict:
+    """Machine-readable description of a named scenario."""
+    return build_scenario(name, overrides).describe()
+
+
+def run_scenario(name: str, rng: RngLike = None,
+                 n_workers: Optional[int] = None,
+                 overrides: Optional[Mapping[str, Any]] = None,
+                 engine=None) -> ScenarioResult:
+    """Build and run a named scenario in one call (the blessed path)."""
+    return build_scenario(name, overrides).run(rng=rng, n_workers=n_workers,
+                                               engine=engine)

@@ -1,0 +1,113 @@
+"""Structured scenario results with full provenance and JSON export.
+
+A :class:`ScenarioResult` is the machine-readable outcome of one scenario
+run: the per-point parameter/value pairs, plus everything needed to
+reproduce them — the layer specs, the root seed, each point's spawn key in
+the seed tree, and the library version.  ``to_json`` is deterministic
+(sorted keys, no timestamps), so two runs with the same seed serialize
+byte-for-byte identically.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.utils.serialization import to_plain
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """Outcome of one :class:`repro.scenarios.Scenario` run.
+
+    Attributes
+    ----------
+    name:
+        Registry name of the scenario (e.g. ``"fig10"``).
+    artifact:
+        Paper artifact the scenario reproduces (``"Fig. 10"``,
+        ``"Table I"``) or ``"off-paper"`` for new workloads.
+    summary:
+        One-line description of the scenario.
+    specs:
+        Mapping of layer name to the spec object the run used.
+    seed:
+        Root integer seed, or ``None`` when the run drew fresh entropy
+        (in which case the result is not reproducible).
+    version:
+        ``repro.__version__`` at run time.
+    points:
+        One entry per sweep point: ``{"params", "value", "spawn_key"}``,
+        all plain JSON-serializable values, in point order.
+    """
+
+    name: str
+    artifact: str
+    summary: str
+    specs: Mapping[str, Any]
+    seed: Optional[int]
+    version: str
+    points: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def params(self) -> List[Dict[str, Any]]:
+        """Parameter mappings of every point, in order."""
+        return [dict(point["params"]) for point in self.points]
+
+    def values(self) -> List[Any]:
+        """Worker values of every point, in order."""
+        return [point["value"] for point in self.points]
+
+    def value_where(self, **conditions: Any) -> Any:
+        """Value of the unique point whose params match all ``conditions``.
+
+        Raises ``KeyError`` when no point matches and ``ValueError`` when
+        the conditions are ambiguous (match more than one point).
+        """
+        matches = [point["value"] for point in self.points
+                   if all(point["params"].get(key) == value
+                          for key, value in conditions.items())]
+        if not matches:
+            raise KeyError(f"no point matches {conditions!r}")
+        if len(matches) > 1:
+            raise ValueError(f"{len(matches)} points match {conditions!r}")
+        return matches[0]
+
+    def series(self, param: str) -> Dict[Any, Any]:
+        """Mapping of one parameter's value to the point value.
+
+        Convenient for single-axis scenarios:
+        ``result.series("topology")["4x4x4 3D mesh"]``.
+        """
+        return {point["params"][param]: point["value"]
+                for point in self.points}
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form carrying the full provenance."""
+        return {
+            "scenario": self.name,
+            "artifact": self.artifact,
+            "summary": self.summary,
+            "specs": {layer: {"spec_type": type(spec).__name__,
+                              **to_plain(spec.to_dict())}
+                      for layer, spec in self.specs.items()},
+            "seed": self.seed,
+            "repro_version": self.version,
+            "n_points": len(self.points),
+            "points": to_plain(list(self.points)),
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        """Deterministic JSON (sorted keys, no timestamps)."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    def save_json(self, path: str, indent: int = 2) -> None:
+        """Write :meth:`to_json` to ``path`` (trailing newline included)."""
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json(indent=indent))
+            stream.write("\n")

@@ -1,0 +1,111 @@
+"""The :class:`Scenario` object — a declarative, runnable experiment.
+
+A scenario composes per-layer specs (:mod:`repro.scenarios.specs`) with a
+parameter grid and a picklable worker, and executes through
+:class:`repro.core.engine.SweepEngine`: every point receives an
+independently spawned :class:`numpy.random.Generator`, integer seeds make
+the whole run reproducible and cacheable, and ``n_workers`` fans points
+out over processes.  The outcome is a structured
+:class:`repro.scenarios.result.ScenarioResult`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.engine import SweepEngine
+from repro.scenarios.result import ScenarioResult
+from repro.scenarios.specs import SpecBase
+from repro.utils.rng import RngLike
+from repro.utils.serialization import to_plain
+
+
+class Scenario:
+    """A named, declarative experiment over the paper's substrates.
+
+    Parameters
+    ----------
+    name:
+        Registry name (``"fig10"``, ``"tx-power-sweep"``, ...).
+    artifact:
+        Paper artifact label (``"Fig. 10"``) or ``"off-paper"``.
+    summary:
+        One-line human description.
+    specs:
+        Mapping of layer label to the :class:`~repro.scenarios.specs`
+        dataclass describing it; recorded verbatim in every result.
+    points:
+        Parameter mappings, one per sweep point (values must be hashable).
+    worker:
+        Picklable ``worker(params, rng)`` returning a JSON-serializable
+        value; typically a frozen dataclass holding the specs.
+    """
+
+    def __init__(self, name: str, artifact: str, summary: str,
+                 specs: Mapping[str, SpecBase],
+                 points: Sequence[Mapping[str, Any]],
+                 worker: Callable[[Mapping[str, Any], np.random.Generator],
+                                  Any]) -> None:
+        if not points:
+            raise ValueError(f"scenario {name!r} has no sweep points")
+        self.name = str(name)
+        self.artifact = str(artifact)
+        self.summary = str(summary)
+        self.specs = dict(specs)
+        self.points: List[Dict[str, Any]] = [dict(point) for point in points]
+        self.worker = worker
+
+    # ------------------------------------------------------------------
+    def describe(self) -> Dict[str, Any]:
+        """Machine-readable description (specs, axes, point count)."""
+        axes: Dict[str, List[Any]] = {}
+        for point in self.points:
+            for key, value in point.items():
+                bucket = axes.setdefault(key, [])
+                if value not in bucket:
+                    bucket.append(value)
+        return {
+            "scenario": self.name,
+            "artifact": self.artifact,
+            "summary": self.summary,
+            "specs": {layer: {"spec_type": type(spec).__name__,
+                              **to_plain(spec.to_dict())}
+                      for layer, spec in self.specs.items()},
+            "n_points": len(self.points),
+            "axes": to_plain(axes),
+        }
+
+    # ------------------------------------------------------------------
+    def run(self, rng: RngLike = None, n_workers: Optional[int] = None,
+            engine: Optional[SweepEngine] = None) -> ScenarioResult:
+        """Execute every point through a sweep engine.
+
+        Parameters
+        ----------
+        rng:
+            Root randomness — ``None`` for fresh entropy, an ``int`` seed
+            for a reproducible (and cacheable) run, or a generator.
+        n_workers:
+            Worker processes for the engine (ignored when ``engine`` is
+            given); ``None``/1 evaluates serially.
+        engine:
+            Optional shared :class:`SweepEngine`, e.g. to reuse its
+            in-memory cache across scenarios.
+        """
+        import repro  # local import: repro.__init__ imports this package
+
+        if engine is None:
+            engine = SweepEngine(n_workers=n_workers)
+        outcomes = engine.sweep(self.worker, self.points, rng=rng)
+        seed = int(rng) if isinstance(rng, (int, np.integer)) else None
+        points = tuple(
+            {"params": to_plain(outcome.params),
+             "value": to_plain(outcome.value),
+             "spawn_key": list(outcome.spawn_key)}
+            for outcome in outcomes)
+        return ScenarioResult(name=self.name, artifact=self.artifact,
+                              summary=self.summary, specs=dict(self.specs),
+                              seed=seed, version=repro.__version__,
+                              points=points)

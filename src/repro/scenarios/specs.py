@@ -1,0 +1,381 @@
+"""Frozen, validated specification dataclasses — one per substrate layer.
+
+A *spec* is the declarative description of one layer of an experiment:
+which channel, which pulse design, which code, which NoC, which system.
+Specs are
+
+* **frozen** (hashable — they can sit inside sweep-engine cache keys and
+  picklable worker dataclasses),
+* **validated** on construction (a bad field fails immediately, not three
+  layers down inside a Monte-Carlo worker), and
+* **round-trippable**: ``Spec.from_dict(spec.to_dict()) == spec``, so a
+  :class:`repro.scenarios.result.ScenarioResult` JSON file fully records
+  the experiment that produced it.
+
+Each spec also knows how to build the concrete objects of its layer
+(``ChannelSpec.link_budget()``, ``CodingSpec.make_code()``, ...), which is
+what keeps the scenario catalog free of hand-wired layer composition.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.utils.constants import (
+    PAPER_CENTER_FREQUENCY_HZ,
+    PAPER_RX_TEMPERATURE_K,
+    PAPER_SIGNAL_BANDWIDTH_HZ,
+)
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class SpecBase:
+    """Shared ``to_dict``/``from_dict``/``replace`` plumbing for specs."""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form of the spec (tuples become lists, JSON-safe)."""
+        result: Dict[str, Any] = {}
+        for field in dataclasses.fields(self):
+            value = getattr(self, field.name)
+            if isinstance(value, tuple):
+                value = list(value)
+            result[field.name] = value
+        return result
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SpecBase":
+        """Rebuild a spec from :meth:`to_dict` output (validating it).
+
+        Unknown keys raise ``ValueError`` so a typo in a stored spec (or a
+        CLI override) cannot be silently ignored.
+        """
+        field_names = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - field_names
+        if unknown:
+            raise ValueError(
+                f"unknown {cls.__name__} field(s): {sorted(unknown)}; "
+                f"valid fields: {sorted(field_names)}")
+        kwargs = {key: tuple(value) if isinstance(value, list) else value
+                  for key, value in data.items()}
+        return cls(**kwargs)
+
+    def replace(self, **changes: Any) -> "SpecBase":
+        """A copy with some fields replaced (re-validated on construction)."""
+        return dataclasses.replace(self, **changes)
+
+
+def _check_choice(name: str, value: str, choices: Tuple[str, ...]) -> None:
+    if value not in choices:
+        raise ValueError(f"{name} must be one of {sorted(choices)}, "
+                         f"got {value!r}")
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChannelSpec(SpecBase):
+    """Section II — the board-to-board channel and its link budget.
+
+    Defaults reproduce Table I of the paper; ``distance_m`` /
+    ``tx_power_dbm`` describe the operating point of the link under study.
+    """
+
+    distance_m: float = 0.1
+    tx_power_dbm: float = 10.0
+    include_butler_mismatch: bool = False
+    frequency_hz: float = PAPER_CENTER_FREQUENCY_HZ
+    bandwidth_hz: float = PAPER_SIGNAL_BANDWIDTH_HZ
+    rx_temperature_k: float = PAPER_RX_TEMPERATURE_K
+    rx_noise_figure_db: float = 10.0
+    path_loss_exponent: float = 2.0
+    array_gain_db: float = 12.0
+    butler_matrix_inaccuracy_db: float = 5.0
+    polarization_mismatch_db: float = 3.0
+    implementation_loss_db: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive("distance_m", self.distance_m)
+        check_positive("frequency_hz", self.frequency_hz)
+        check_positive("bandwidth_hz", self.bandwidth_hz)
+        check_positive("rx_temperature_k", self.rx_temperature_k)
+        check_non_negative("rx_noise_figure_db", self.rx_noise_figure_db)
+        check_positive("path_loss_exponent", self.path_loss_exponent)
+        check_non_negative("array_gain_db", self.array_gain_db)
+        check_non_negative("butler_matrix_inaccuracy_db",
+                           self.butler_matrix_inaccuracy_db)
+
+    def budget_parameters(self):
+        """The :class:`repro.channel.LinkBudgetParameters` this spec encodes."""
+        from repro.channel.link_budget import LinkBudgetParameters
+
+        return LinkBudgetParameters(
+            frequency_hz=self.frequency_hz,
+            bandwidth_hz=self.bandwidth_hz,
+            rx_temperature_k=self.rx_temperature_k,
+            rx_noise_figure_db=self.rx_noise_figure_db,
+            path_loss_exponent=self.path_loss_exponent,
+            tx_array_gain_db=self.array_gain_db,
+            rx_array_gain_db=self.array_gain_db,
+            butler_matrix_inaccuracy_db=self.butler_matrix_inaccuracy_db,
+            polarization_mismatch_db=self.polarization_mismatch_db,
+            implementation_loss_db=self.implementation_loss_db,
+        )
+
+    def link_budget(self):
+        """A :class:`repro.channel.LinkBudget` built from this spec."""
+        from repro.channel.link_budget import LinkBudget
+
+        return LinkBudget(self.budget_parameters())
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class PhySpec(SpecBase):
+    """Section III — the 1-bit oversampling PHY."""
+
+    PULSE_DESIGNS = ("rectangular", "ramp", "raised_cosine_tail",
+                     "sequence_optimized", "symbolwise_optimized",
+                     "suboptimal_unique")
+
+    pulse_design: str = "sequence_optimized"
+    oversampling: int = 5
+    n_symbols: int = 5_000
+    dual_polarization: bool = True
+
+    def __post_init__(self) -> None:
+        _check_choice("pulse_design", self.pulse_design, self.PULSE_DESIGNS)
+        check_positive("oversampling", self.oversampling)
+        check_positive("n_symbols", self.n_symbols)
+
+    def make_pulse(self):
+        """Construct the :class:`repro.phy.Pulse` this spec describes."""
+        from repro.phy import pulse as pulse_module
+
+        factories = {
+            "rectangular": pulse_module.rectangular_pulse,
+            "ramp": pulse_module.ramp_pulse,
+            "raised_cosine_tail": pulse_module.raised_cosine_tail_pulse,
+            "sequence_optimized": pulse_module.sequence_optimized_pulse,
+            "symbolwise_optimized": pulse_module.symbolwise_optimized_pulse,
+            "suboptimal_unique": pulse_module.suboptimal_unique_detection_pulse,
+        }
+        return factories[self.pulse_design](self.oversampling)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class CodingSpec(SpecBase):
+    """Section V — the LDPC-CC (or reference LDPC block code) FEC layer.
+
+    ``family`` selects the paper's (4,8)-regular LDPC-CC with window
+    decoding (``"ldpc-cc"``) or the (4,8)-regular LDPC block code it is
+    derived from (``"ldpc-bc"``, where ``window_size`` and
+    ``termination_length`` are ignored).
+    """
+
+    FAMILIES = ("ldpc-cc", "ldpc-bc")
+
+    family: str = "ldpc-cc"
+    lifting_factor: int = 40
+    window_size: int = 6
+    termination_length: int = 12
+    max_iterations: int = 40
+    construction_seed: int = 0
+
+    def __post_init__(self) -> None:
+        _check_choice("family", self.family, self.FAMILIES)
+        check_positive("lifting_factor", self.lifting_factor)
+        check_positive("window_size", self.window_size)
+        check_positive("termination_length", self.termination_length)
+        check_positive("max_iterations", self.max_iterations)
+
+    @property
+    def design_rate(self) -> float:
+        """Design rate of the paper's (4,8)-regular family."""
+        return 0.5
+
+    def make_code(self):
+        """Instantiate the code (deterministic given ``construction_seed``)."""
+        from repro.coding.codes import LdpcBlockCode, LdpcConvolutionalCode
+        from repro.coding.protograph import (
+            PAPER_BLOCK_PROTOGRAPH,
+            paper_edge_spreading,
+        )
+
+        if self.family == "ldpc-cc":
+            return LdpcConvolutionalCode(paper_edge_spreading(),
+                                         self.lifting_factor,
+                                         self.termination_length,
+                                         rng=self.construction_seed)
+        return LdpcBlockCode(PAPER_BLOCK_PROTOGRAPH, self.lifting_factor,
+                             rng=self.construction_seed)
+
+    def make_ber_simulator(self, batch_size: int = 16):
+        """Code + decoder + batched BER harness in one call."""
+        from repro.coding.ber import BerSimulator
+        from repro.coding.window_decoder import WindowDecoder
+
+        code = self.make_code()
+        if self.family == "ldpc-cc":
+            decoder = WindowDecoder(code, window_size=self.window_size,
+                                    max_iterations=self.max_iterations)
+            return BerSimulator(code.n, self.design_rate, decoder.decode_bits,
+                                decode_batch=decoder.decode_bits_batch,
+                                batch_size=batch_size)
+        return BerSimulator(code.n, self.design_rate,
+                            lambda llrs: code.decode(llrs).hard_decisions,
+                            decode_batch=code.decode_bits_batch,
+                            batch_size=batch_size)
+
+    def structural_latency_bits(self) -> float:
+        """Structural latency in information bits (Eqs. (4) / (5))."""
+        from repro.coding.latency import (
+            block_code_structural_latency,
+            window_decoder_structural_latency,
+        )
+
+        if self.family == "ldpc-cc":
+            return window_decoder_structural_latency(
+                self.window_size, self.lifting_factor, 2, self.design_rate)
+        return block_code_structural_latency(self.lifting_factor, 2,
+                                             self.design_rate)
+
+    def de_threshold_db(self) -> float:
+        """Asymptotic Eb/N0 threshold from density evolution."""
+        from repro.coding.density_evolution import (
+            gaussian_de_threshold,
+            window_de_threshold,
+        )
+        from repro.coding.protograph import (
+            PAPER_BLOCK_PROTOGRAPH,
+            paper_edge_spreading,
+        )
+
+        if self.family == "ldpc-cc":
+            return window_de_threshold(paper_edge_spreading(),
+                                       self.window_size,
+                                       rate=self.design_rate)
+        return gaussian_de_threshold(PAPER_BLOCK_PROTOGRAPH,
+                                     rate=self.design_rate)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NocSpec(SpecBase):
+    """Section IV — the intra-stack Network-in-Chip-Stack."""
+
+    TOPOLOGIES = ("mesh2d", "mesh3d", "starmesh", "ciliated3d")
+
+    topology: str = "mesh3d"
+    dimensions: Tuple[int, ...] = (4, 4, 4)
+    concentration: int = 1
+    pipeline_latency_cycles: float = 2.0
+    service_time_cycles: float = 1.2
+    link_latency_cycles: float = 0.0
+
+    def __post_init__(self) -> None:
+        _check_choice("topology", self.topology, self.TOPOLOGIES)
+        object.__setattr__(self, "dimensions",
+                           tuple(int(v) for v in self.dimensions))
+        expected = 2 if self.topology in ("mesh2d", "starmesh") else 3
+        if len(self.dimensions) != expected:
+            raise ValueError(
+                f"topology {self.topology!r} needs {expected} dimensions, "
+                f"got {self.dimensions}")
+        for extent in self.dimensions:
+            check_positive("dimensions", extent)
+        check_positive("concentration", self.concentration)
+        # Zero pipeline latency is a valid cycle-level-simulator regime
+        # (regression-tested in the simulator); the analytic model's own
+        # RouterParameters still rejects it at make_model() time.
+        check_non_negative("pipeline_latency_cycles",
+                           self.pipeline_latency_cycles)
+        check_positive("service_time_cycles", self.service_time_cycles)
+        check_non_negative("link_latency_cycles", self.link_latency_cycles)
+
+    def make_topology(self):
+        """Instantiate the :class:`repro.noc.GridTopology` subclass."""
+        from repro.noc.topology import CiliatedMesh3D, Mesh2D, Mesh3D, StarMesh
+
+        if self.topology == "mesh2d":
+            return Mesh2D(*self.dimensions, concentration=self.concentration)
+        if self.topology == "starmesh":
+            return StarMesh(*self.dimensions,
+                            concentration=self.concentration)
+        if self.topology == "ciliated3d":
+            return CiliatedMesh3D(*self.dimensions,
+                                  concentration=self.concentration)
+        return Mesh3D(*self.dimensions, concentration=self.concentration)
+
+    def router_parameters(self):
+        """The :class:`repro.noc.RouterParameters` this spec encodes."""
+        from repro.noc.analytic import RouterParameters
+
+        return RouterParameters(
+            pipeline_latency_cycles=self.pipeline_latency_cycles,
+            service_time_cycles=self.service_time_cycles,
+            link_latency_cycles=self.link_latency_cycles,
+        )
+
+    def make_model(self):
+        """Analytic queueing model for this NoC."""
+        from repro.noc.analytic import AnalyticNocModel
+
+        return AnalyticNocModel(self.make_topology(),
+                                router=self.router_parameters())
+
+    def make_simulator(self):
+        """Cycle-level simulator for this NoC.
+
+        The simulator counts whole cycles, so a fractional
+        ``pipeline_latency_cycles`` (which the analytic model accepts) is
+        rejected here rather than silently truncated — otherwise a
+        model-vs-simulation comparison would quietly run two different
+        configurations.
+        """
+        from repro.noc.simulator import NocSimulator
+
+        pipeline = self.pipeline_latency_cycles
+        if pipeline != int(pipeline):
+            raise ValueError(
+                "the cycle-level simulator needs an integer "
+                f"pipeline_latency_cycles, got {pipeline}")
+        return NocSimulator(self.make_topology(),
+                            pipeline_latency_cycles=int(pipeline))
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SystemSpec(SpecBase):
+    """The paper's overall proposal — a box of boards with wireless links."""
+
+    n_boards: int = 4
+    stack_mesh_shape: Tuple[int, ...] = (4, 4, 4)
+    tx_power_dbm: float = 10.0
+    window_size: int = 6
+    lifting_factor: int = 40
+    n_symbols: int = 4_000
+
+    def __post_init__(self) -> None:
+        if self.n_boards < 2:
+            raise ValueError("a wireless interconnect needs at least 2 boards")
+        object.__setattr__(self, "stack_mesh_shape",
+                           tuple(int(v) for v in self.stack_mesh_shape))
+        if len(self.stack_mesh_shape) != 3:
+            raise ValueError("stack_mesh_shape must have three dimensions")
+        check_positive("window_size", self.window_size)
+        check_positive("lifting_factor", self.lifting_factor)
+        check_positive("n_symbols", self.n_symbols)
+
+    def make_system(self):
+        """Instantiate :class:`repro.core.WirelessInterconnectSystem`."""
+        from repro.core.system import WirelessInterconnectSystem
+
+        return WirelessInterconnectSystem(
+            n_boards=self.n_boards,
+            stack_mesh_shape=self.stack_mesh_shape,
+            tx_power_dbm=self.tx_power_dbm,
+            window_size=self.window_size,
+            lifting_factor=self.lifting_factor,
+        )

@@ -1,0 +1,45 @@
+"""Coercion of result objects into plain, JSON-serializable Python values.
+
+The scenario layer exports every result as JSON (``ScenarioResult.to_json``),
+but the substrates naturally return NumPy scalars and arrays.  ``to_plain``
+recursively converts any such value into built-in Python types so that
+``json.dumps`` never chokes on a ``np.float64`` — and so that two runs with
+the same seed serialize byte-for-byte identically.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any
+
+import numpy as np
+
+
+def to_plain(value: Any) -> Any:
+    """Convert ``value`` into plain Python containers and scalars.
+
+    * NumPy scalars become ``int``/``float``/``bool``/``complex``.
+    * NumPy arrays become (nested) lists of plain scalars.
+    * Tuples become lists (the JSON-faithful representation).
+    * Mappings are rebuilt with plain values; keys are passed through.
+    * Objects exposing ``to_dict()`` are serialized through it; other
+      dataclasses fall back to their field dict.
+    * Built-in scalars, strings and ``None`` pass through unchanged.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return [to_plain(item) for item in value.tolist()]
+    if isinstance(value, dict):
+        return {key: to_plain(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_plain(item) for item in value]
+    if hasattr(value, "to_dict"):
+        return to_plain(value.to_dict())
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {field.name: to_plain(getattr(value, field.name))
+                for field in dataclasses.fields(value)}
+    raise TypeError(f"cannot convert {type(value).__name__} to a plain "
+                    "JSON-serializable value")

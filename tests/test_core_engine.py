@@ -115,6 +115,38 @@ class TestCaching:
         assert engine.cache_info()["entries"] == 0
         assert engine.cache_info()["hits"] == 0
 
+    def test_outcome_params_are_a_defensive_copy(self):
+        # Mutating an outcome's params must corrupt neither the caller's
+        # grid nor the engine's cached results on a re-run.
+        engine = SweepEngine()
+        points = parameter_grid(scale=(1.0, 2.0))
+        first = engine.sweep(_draw, points, rng=9)
+        first[0].params["scale"] = 999.0
+        first[1].params.clear()
+        assert points == [{"scale": 1.0}, {"scale": 2.0}]
+        second = engine.sweep(_draw, points, rng=9)
+        assert [outcome.from_cache for outcome in second] == [True, True]
+        assert [outcome.params for outcome in second] == points
+        assert [o.value for o in second] == \
+            SweepEngine(cache=False).sweep_values(_draw, points, rng=9)
+
+    def test_outcome_to_dict_is_json_serializable(self):
+        import json
+
+        engine = SweepEngine()
+
+        def numpy_worker(params, rng):
+            return {"scale": np.float64(params["scale"]),
+                    "draws": np.arange(2)}
+
+        outcome = engine.sweep(numpy_worker, parameter_grid(scale=(2.0,)),
+                               rng=1)[0]
+        payload = json.loads(json.dumps(outcome.to_dict()))
+        assert payload["params"] == {"scale": 2.0}
+        assert payload["value"] == {"scale": 2.0, "draws": [0, 1]}
+        assert payload["spawn_key"] == [0]
+        assert payload["from_cache"] is False
+
     def test_cache_can_be_disabled_and_cleared(self):
         engine = SweepEngine(cache=False)
         points = parameter_grid(scale=(1.0,))

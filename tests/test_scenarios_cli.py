@@ -1,0 +1,101 @@
+"""Smoke tests for the ``python -m repro`` command-line interface."""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.channel import LinkBudget
+from repro.cli import main
+from repro.scenarios import scenario_names
+
+
+class TestListAndDescribe:
+    def test_list_names_every_scenario(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        listed = [line.split()[0] for line in output.splitlines() if line]
+        assert set(listed) == set(scenario_names())
+        assert len(listed) >= 15
+
+    def test_describe_emits_json(self, capsys):
+        assert main(["describe", "fig10"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "fig10"
+        assert payload["specs"]["coding"]["spec_type"] == "CodingSpec"
+        assert payload["n_points"] > 0
+
+    def test_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["describe", "fig99"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_run_table1_json_matches_link_budget(self, tmp_path, capsys):
+        path = tmp_path / "table1.json"
+        assert main(["run", "table1", "--json", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        table = {point["params"]["parameter"]: point["value"]
+                 for point in payload["points"]}
+        assert table == LinkBudget().table_entries()
+        assert payload["seed"] == 0  # the CLI defaults to --seed 0
+        assert "table1" in capsys.readouterr().out
+
+    def test_run_is_byte_identical_at_fixed_seed(self, tmp_path):
+        first = tmp_path / "first.json"
+        second = tmp_path / "second.json"
+        assert main(["run", "fig7", "--seed", "3", "--quiet",
+                     "--json", str(first)]) == 0
+        assert main(["run", "fig7", "--seed", "3", "--quiet",
+                     "--json", str(second)]) == 0
+        assert first.read_bytes() == second.read_bytes()
+
+    def test_run_with_set_override(self, tmp_path):
+        path = tmp_path / "fig4.json"
+        assert main(["run", "fig4", "--quiet", "--json", str(path),
+                     "--set", "channel.rx_noise_figure_db=7.0"]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["specs"]["channel"]["rx_noise_figure_db"] == 7.0
+
+    def test_set_parses_booleans_case_insensitively(self, tmp_path):
+        # The raw string "false" would be truthy; the CLI must map
+        # true/false/none keywords to real Python values.
+        path = tmp_path / "sweep.json"
+        assert main(["run", "tx-power-sweep", "--quiet", "--json", str(path),
+                     "--set", "channel.include_butler_mismatch=false"]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["specs"]["channel"]["include_butler_mismatch"] is False
+        # 5 dB Butler penalty gone relative to the scenario default.
+        default = tmp_path / "default.json"
+        assert main(["run", "tx-power-sweep", "--quiet",
+                     "--json", str(default)]) == 0
+        snr = payload["points"][0]["value"]["snr_db"]
+        default_snr = json.loads(
+            default.read_text())["points"][0]["value"]["snr_db"]
+        assert snr == pytest.approx(default_snr + 5.0)
+
+    def test_bad_override_fails_cleanly(self, capsys):
+        assert main(["run", "fig4", "--quiet",
+                     "--set", "noc.bogus=1"]) == 2
+        assert "override" in capsys.readouterr().err
+
+    def test_malformed_set_raises_system_exit(self):
+        with pytest.raises(SystemExit):
+            main(["run", "fig4", "--set", "no-equals-sign"])
+
+
+class TestModuleEntryPoint:
+    def test_python_dash_m_repro_list(self):
+        # End to end through the real interpreter: `python -m repro list`.
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "list"],
+            capture_output=True, text=True, env=env, check=True)
+        listed = [line.split()[0]
+                  for line in completed.stdout.splitlines() if line]
+        assert set(listed) == set(scenario_names())

@@ -1,0 +1,154 @@
+"""Tests for the scenario registry, Scenario execution and ScenarioResult."""
+
+import glob
+import json
+import os
+import re
+
+import pytest
+
+import repro
+from repro.core.engine import SweepEngine
+from repro.scenarios import (
+    ChannelSpec,
+    build_scenario,
+    describe_scenario,
+    run_scenario,
+    scenario_entries,
+    scenario_names,
+)
+
+BENCHMARK_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                             "benchmarks")
+
+
+class TestRegistryCompleteness:
+    def test_at_least_15_scenarios(self):
+        assert len(scenario_names()) >= 15
+
+    def test_every_benchmark_figure_has_a_scenario(self):
+        # Benchmark files are named test_bench_<artifact>_*.py; every
+        # figure/table artifact must be runnable by name.
+        names = set(scenario_names())
+        artifacts = set()
+        pattern = re.compile(r"test_bench_(fig\d+[ab]?|table\d+)_")
+        for path in glob.glob(os.path.join(BENCHMARK_DIR, "test_bench_*.py")):
+            match = pattern.search(os.path.basename(path))
+            if match:
+                artifacts.add(match.group(1))
+        assert artifacts, "no figure benchmarks found"
+        missing = artifacts - names
+        assert not missing, f"benchmark artifacts without a scenario: {missing}"
+
+    def test_all_paper_figures_present(self):
+        names = set(scenario_names())
+        expected = {f"fig{i}" for i in range(1, 11)} | {"fig8a", "fig8b",
+                                                        "table1"}
+        assert expected <= names
+
+    def test_at_least_four_off_paper_scenarios(self):
+        off_paper = [entry for entry in scenario_entries()
+                     if entry.artifact == "off-paper"]
+        assert len(off_paper) >= 4
+
+    def test_unknown_scenario_raises(self):
+        with pytest.raises(KeyError, match="unknown scenario"):
+            build_scenario("fig99")
+
+
+class TestBuildAndOverrides:
+    def test_build_returns_scenario_with_points_and_specs(self):
+        scenario = build_scenario("fig4")
+        assert scenario.points
+        assert "channel" in scenario.specs
+        description = scenario.describe()
+        assert description["n_points"] == len(scenario.points)
+        assert "target_snr_db" in description["axes"]
+
+    def test_spec_override_is_applied(self):
+        scenario = build_scenario("fig4",
+                                  {"channel.rx_noise_figure_db": 7.0})
+        assert scenario.specs["channel"].rx_noise_figure_db == 7.0
+        # 3 dB less noise figure -> 3 dB less required transmit power.
+        base = run_scenario("fig4").value_where(target_snr_db=20.0)
+        quiet = scenario.run().value_where(target_snr_db=20.0)
+        assert quiet["short_dbm"] == pytest.approx(base["short_dbm"] - 3.0)
+
+    def test_unconsumed_override_raises(self):
+        with pytest.raises(ValueError, match="does not accept override"):
+            build_scenario("fig4", {"noc.service_time_cycles": 1.0})
+
+    def test_invalid_override_value_raises(self):
+        with pytest.raises(ValueError):
+            build_scenario("fig4", {"channel.distance_m": -1.0})
+
+    def test_describe_scenario_helper(self):
+        assert describe_scenario("table1")["scenario"] == "table1"
+
+
+class TestScenarioResult:
+    def test_provenance_fields(self):
+        result = run_scenario("table1", rng=7)
+        assert result.name == "table1"
+        assert result.artifact == "Table I"
+        assert result.seed == 7
+        assert result.version == repro.__version__
+        assert len(result) == len(result.points)
+        assert [point["spawn_key"] for point in result.points] == \
+            [[index] for index in range(len(result))]
+        payload = result.to_dict()
+        assert payload["specs"]["channel"]["spec_type"] == "ChannelSpec"
+        restored = ChannelSpec.from_dict(
+            {key: value
+             for key, value in payload["specs"]["channel"].items()
+             if key != "spec_type"})
+        assert restored == result.specs["channel"]
+
+    def test_unseeded_run_records_no_seed(self):
+        assert run_scenario("table1").seed is None
+
+    def test_json_is_parseable_and_deterministic(self):
+        first = run_scenario("fig7", rng=0)
+        second = run_scenario("fig7", rng=0)
+        assert first.to_json() == second.to_json()
+        payload = json.loads(first.to_json())
+        assert payload["scenario"] == "fig7"
+        assert payload["n_points"] == len(first)
+
+    def test_fixed_seed_reproducibility_of_stochastic_scenario(self):
+        # fig1 fits pathloss exponents from VNA noise drawn through the
+        # engine-spawned generators: same seed, same fits — bit for bit.
+        first = run_scenario("fig1", rng=5)
+        second = run_scenario("fig1", rng=5)
+        assert first.to_json() == second.to_json()
+        different = run_scenario("fig1", rng=6)
+        assert different.values() != first.values()
+
+    def test_value_where_and_series(self):
+        result = run_scenario("fig4")
+        row = result.value_where(target_snr_db=20.0)
+        assert row["long_butler_dbm"] == pytest.approx(
+            row["long_dbm"] + 5.0)
+        series = result.series("target_snr_db")
+        assert series[20.0] == row
+        with pytest.raises(KeyError):
+            result.value_where(target_snr_db=123.0)
+        with pytest.raises(ValueError):
+            result.value_where()
+
+    def test_shared_engine_serves_cache_across_runs(self):
+        engine = SweepEngine()
+        scenario = build_scenario("table1")
+        scenario.run(rng=3, engine=engine)
+        assert engine.cache_info()["hits"] == 0
+        scenario.run(rng=3, engine=engine)
+        assert engine.cache_info()["hits"] == len(scenario.points)
+
+    def test_sanity_of_off_paper_link_sweep(self):
+        result = run_scenario("tx-power-sweep")
+        reports = result.series("tx_power_dbm")
+        # More transmit power never hurts SNR or data rate.
+        powers = sorted(reports)
+        snrs = [reports[power]["snr_db"] for power in powers]
+        assert snrs == sorted(snrs)
+        assert reports[powers[-1]]["closes"]

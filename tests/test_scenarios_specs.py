@@ -1,0 +1,152 @@
+"""Tests for the per-layer spec dataclasses (repro.scenarios.specs)."""
+
+import json
+
+import pytest
+
+from repro.scenarios.specs import (
+    ChannelSpec,
+    CodingSpec,
+    NocSpec,
+    PhySpec,
+    SystemSpec,
+)
+
+ALL_SPECS = (ChannelSpec, PhySpec, CodingSpec, NocSpec, SystemSpec)
+
+CUSTOMISED = (
+    ChannelSpec(distance_m=0.3, include_butler_mismatch=True,
+                rx_noise_figure_db=7.0),
+    PhySpec(pulse_design="rectangular", oversampling=3, n_symbols=100,
+            dual_polarization=False),
+    CodingSpec(family="ldpc-bc", lifting_factor=200),
+    NocSpec(topology="starmesh", dimensions=(4, 4), concentration=4),
+    SystemSpec(n_boards=3, stack_mesh_shape=(2, 2, 2), tx_power_dbm=0.0),
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("spec_class", ALL_SPECS)
+    def test_default_round_trip(self, spec_class):
+        spec = spec_class()
+        assert spec_class.from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("spec", CUSTOMISED,
+                             ids=lambda s: type(s).__name__)
+    def test_customised_round_trip(self, spec):
+        assert type(spec).from_dict(spec.to_dict()) == spec
+
+    @pytest.mark.parametrize("spec_class", ALL_SPECS)
+    def test_to_dict_is_json_serializable(self, spec_class):
+        payload = spec_class().to_dict()
+        assert json.loads(json.dumps(payload)) == json.loads(
+            json.dumps(spec_class.from_dict(payload).to_dict()))
+
+    def test_tuple_fields_survive_json(self):
+        spec = NocSpec(dimensions=(4, 4, 2))
+        restored = NocSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert restored == spec
+        assert restored.dimensions == (4, 4, 2)
+
+    def test_from_dict_rejects_unknown_keys(self):
+        with pytest.raises(ValueError, match="unknown ChannelSpec field"):
+            ChannelSpec.from_dict({"distance_m": 0.1, "typo_field": 1.0})
+
+
+class TestValidation:
+    def test_channel_spec(self):
+        with pytest.raises(ValueError):
+            ChannelSpec(distance_m=-0.1)
+        with pytest.raises(ValueError):
+            ChannelSpec(bandwidth_hz=0.0)
+
+    def test_phy_spec(self):
+        with pytest.raises(ValueError, match="pulse_design"):
+            PhySpec(pulse_design="sinc")
+        with pytest.raises(ValueError):
+            PhySpec(oversampling=0)
+
+    def test_coding_spec(self):
+        with pytest.raises(ValueError, match="family"):
+            CodingSpec(family="turbo")
+        with pytest.raises(ValueError):
+            CodingSpec(window_size=0)
+
+    def test_noc_spec(self):
+        with pytest.raises(ValueError, match="topology"):
+            NocSpec(topology="torus")
+        with pytest.raises(ValueError, match="dimensions"):
+            NocSpec(topology="mesh2d", dimensions=(4, 4, 4))
+        with pytest.raises(ValueError, match="dimensions"):
+            NocSpec(topology="mesh3d", dimensions=(4, 4))
+
+    def test_noc_spec_zero_pipeline_is_a_valid_simulator_regime(self):
+        # The cycle-level simulator explicitly supports zero pipeline
+        # latency (regression-tested in test_noc_simulator); the spec
+        # must be able to express it.
+        spec = NocSpec(dimensions=(2, 2, 2), pipeline_latency_cycles=0.0)
+        assert spec.make_simulator().pipeline_latency_cycles == 0
+        # The analytic model rejects it with its own clear error.
+        with pytest.raises(ValueError):
+            spec.make_model()
+
+    def test_noc_spec_simulator_rejects_fractional_pipeline(self):
+        # int() truncation would silently compare an analytic model and
+        # a simulator running different pipeline latencies.
+        spec = NocSpec(dimensions=(2, 2, 2), pipeline_latency_cycles=2.5)
+        assert spec.make_model().router.pipeline_latency_cycles == 2.5
+        with pytest.raises(ValueError, match="integer"):
+            spec.make_simulator()
+
+    def test_system_spec(self):
+        with pytest.raises(ValueError):
+            SystemSpec(n_boards=1)
+        with pytest.raises(ValueError):
+            SystemSpec(stack_mesh_shape=(4, 4))
+
+    def test_replace_revalidates(self):
+        spec = ChannelSpec()
+        assert spec.replace(distance_m=0.2).distance_m == 0.2
+        with pytest.raises(ValueError):
+            spec.replace(distance_m=-1.0)
+
+    @pytest.mark.parametrize("spec_class", ALL_SPECS)
+    def test_specs_are_hashable_and_frozen(self, spec_class):
+        spec = spec_class()
+        assert hash(spec) == hash(spec_class())
+        with pytest.raises(AttributeError):
+            spec.some_field = 1
+
+
+class TestBuilders:
+    def test_channel_spec_builds_table1_budget(self):
+        budget = ChannelSpec().link_budget()
+        entries = budget.table_entries()
+        assert abs(entries["path_loss_shortest_link_db"] - 59.8) <= 0.1
+        assert entries["rx_noise_figure_db"] == 10.0
+
+    def test_phy_spec_builds_pulse(self):
+        pulse = PhySpec(pulse_design="rectangular", oversampling=3).make_pulse()
+        assert pulse.oversampling == 3
+
+    def test_coding_spec_builds_both_families(self):
+        cc = CodingSpec(lifting_factor=25)
+        bc = CodingSpec(family="ldpc-bc", lifting_factor=100)
+        assert cc.make_code().design_rate == pytest.approx(0.5)
+        assert bc.make_code().n == 200
+        # Eq. (4): W * N * rate; Eq. (5): N * 2 * rate.
+        assert cc.replace(window_size=3).structural_latency_bits() == 75.0
+        assert bc.structural_latency_bits() == 100.0
+
+    def test_noc_spec_builds_named_topologies(self):
+        assert NocSpec(topology="mesh2d", dimensions=(8, 8)) \
+            .make_topology().name == "8x8 2D mesh"
+        star = NocSpec(topology="starmesh", dimensions=(4, 4),
+                       concentration=4).make_topology()
+        assert star.n_modules == 64
+        model = NocSpec().make_model()
+        assert model.zero_load_latency() > 0.0
+
+    def test_system_spec_builds_system(self):
+        system = SystemSpec(n_boards=2).make_system()
+        assert system.total_modules == 2 * system.stacks_per_board * 64

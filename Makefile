@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint smoke bench scenarios run-scenario
+.PHONY: test lint smoke bench scenarios run-scenario run-all
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks.
 test:
@@ -37,3 +37,9 @@ scenarios:
 run-scenario:
 	@test -n "$(NAME)" || { echo "usage: make run-scenario NAME=<scenario> [ARGS=...]"; exit 2; }
 	$(PYTHON) -m repro run $(NAME) $(ARGS)
+
+# The whole registry as one campaign, persisted into .repro-store so a
+# re-run (or an interrupted run) is served from disk.  Narrow or scale:
+#   make run-all ARGS="--only 'fig8*' --workers 4"
+run-all:
+	$(PYTHON) -m repro run-all --store .repro-store $(ARGS)

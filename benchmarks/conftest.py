@@ -5,9 +5,28 @@ reproduced rows/series so the output can be compared against the original
 (see EXPERIMENTS.md for the side-by-side record).  Heavy computations run
 exactly once per benchmark (``rounds=1``) — the interesting output is the
 reproduced data, not a timing distribution.
+
+The ``run_store`` fixture gives every benchmark a shared, content-addressed
+result store.  By default it is an in-process ``MemoryStore``; export
+``REPRO_BENCH_STORE=DIR`` to back it with a ``DiskStore`` so warm re-runs
+of the heavy figures (Fig. 8, Fig. 10, Table I) are served from disk and
+finish near-instantly.
 """
 
 from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.store import DiskStore, MemoryStore
+
+
+@pytest.fixture(scope="session")
+def run_store():
+    """Session-shared RunStore (DiskStore when REPRO_BENCH_STORE is set)."""
+    path = os.environ.get("REPRO_BENCH_STORE")
+    return DiskStore(path) if path else MemoryStore()
 
 
 def run_once(benchmark, function):

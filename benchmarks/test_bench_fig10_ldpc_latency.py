@@ -37,9 +37,10 @@ MC_SEED = 3
 MC_SLACK_DB = 0.18
 
 
-def test_fig10_required_ebn0_vs_latency(benchmark):
+def test_fig10_required_ebn0_vs_latency(benchmark, run_store):
     result = run_once(benchmark,
-                      lambda: run_scenario("fig10", rng=MC_SEED))
+                      lambda: run_scenario("fig10", rng=MC_SEED,
+                                           store=run_store))
     de = {window: result.value_where(mode="de", family="ldpc-cc",
                                      window=window)["de_threshold_ebn0_db"]
           for window in DE_WINDOWS}

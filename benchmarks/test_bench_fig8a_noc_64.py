@@ -21,8 +21,9 @@ PAPER_VALUES = {
 }
 
 
-def test_fig8a_latency_64_modules(benchmark):
-    result = run_once(benchmark, lambda: run_scenario("fig8a"))
+def test_fig8a_latency_64_modules(benchmark, run_store):
+    result = run_once(benchmark,
+                      lambda: run_scenario("fig8a", rng=0, store=run_store))
     results = result.series("topology")
     rates = results["8x8 2D mesh"]["injection_rates"]
     rows = []

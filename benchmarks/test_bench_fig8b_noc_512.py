@@ -14,8 +14,9 @@ from conftest import print_table, run_once
 from repro.scenarios import run_scenario
 
 
-def test_fig8b_latency_512_modules(benchmark):
-    result = run_once(benchmark, lambda: run_scenario("fig8b"))
+def test_fig8b_latency_512_modules(benchmark, run_store):
+    result = run_once(benchmark,
+                      lambda: run_scenario("fig8b", rng=0, store=run_store))
     results = result.series("topology")
     rates = results["32x16 2D mesh"]["injection_rates"]
     rows = []

@@ -20,8 +20,9 @@ PAPER_TABLE_I = {
 }
 
 
-def test_table1_link_budget_parameters(benchmark):
-    result = run_once(benchmark, lambda: run_scenario("table1"))
+def test_table1_link_budget_parameters(benchmark, run_store):
+    result = run_once(benchmark,
+                      lambda: run_scenario("table1", rng=0, store=run_store))
     table = result.series("parameter")
     rows = [f"  {key:32s} {table[key]:10.2f} {PAPER_TABLE_I[key]:10.2f}"
             for key in PAPER_TABLE_I]

@@ -13,30 +13,42 @@ The library is organised as four substrates plus integration layers:
 * :mod:`repro.core` — the end-to-end wireless interconnect system composing
   all of the above, plus :class:`repro.core.engine.SweepEngine`, the
   batched Monte-Carlo sweep engine (per-point independent seeding,
-  optional process parallelism, in-memory caching).
+  optional process parallelism), and :mod:`repro.core.store`, the
+  content-addressed result stores (:class:`~repro.core.store.MemoryStore`
+  in process, :class:`~repro.core.store.DiskStore` across processes and
+  days) the engine caches into.
 * :mod:`repro.scenarios` — the declarative scenario API: per-layer spec
   dataclasses, a registry of named scenarios covering every paper figure
-  and table (plus off-paper workloads), and structured, JSON-exportable
-  results.  ``python -m repro list`` shows the catalog.
+  and table (plus off-paper workloads), structured, JSON-exportable
+  results, and :class:`~repro.scenarios.campaign.Campaign` for running
+  many scenarios through one shared process pool.  ``python -m repro
+  list`` shows the catalog; ``python -m repro run-all`` runs it.
 
 The user-facing surface is re-exported here, so a single ``import repro``
 gives the links, the system, the sweep engine and the scenario registry;
 :mod:`repro.api` is the same facade as a flat importable module.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 from repro import channel, coding, core, noc, phy, utils
 from repro.core import (
+    DiskStore,
     LinkReport,
+    MemoryStore,
+    RunStore,
     SweepEngine,
     SweepOutcome,
+    SweepPointError,
     SystemReport,
     WirelessBoardLink,
     WirelessInterconnectSystem,
     parameter_grid,
 )
 from repro.scenarios import (
+    Campaign,
+    CampaignEntry,
+    CampaignResult,
     ChannelSpec,
     CodingSpec,
     NocSpec,
@@ -46,6 +58,7 @@ from repro.scenarios import (
     SystemSpec,
     build_scenario,
     describe_scenario,
+    run_campaign,
     run_scenario,
     scenario_names,
 )
@@ -69,7 +82,12 @@ __all__ = [
     "SystemReport",
     "SweepEngine",
     "SweepOutcome",
+    "SweepPointError",
     "parameter_grid",
+    # execution stores
+    "RunStore",
+    "MemoryStore",
+    "DiskStore",
     # scenario API
     "ChannelSpec",
     "PhySpec",
@@ -82,4 +100,9 @@ __all__ = [
     "describe_scenario",
     "run_scenario",
     "scenario_names",
+    # campaign API
+    "Campaign",
+    "CampaignEntry",
+    "CampaignResult",
+    "run_campaign",
 ]

@@ -19,15 +19,22 @@ from repro.channel import (
     PAPER_LINK_BUDGET,
 )
 from repro.core import (
+    DiskStore,
     LinkReport,
+    MemoryStore,
+    RunStore,
     SweepEngine,
     SweepOutcome,
+    SweepPointError,
     SystemReport,
     WirelessBoardLink,
     WirelessInterconnectSystem,
     parameter_grid,
 )
 from repro.scenarios import (
+    Campaign,
+    CampaignEntry,
+    CampaignResult,
     ChannelSpec,
     CodingSpec,
     NocSpec,
@@ -37,6 +44,7 @@ from repro.scenarios import (
     SystemSpec,
     build_scenario,
     describe_scenario,
+    run_campaign,
     run_scenario,
     scenario_entries,
     scenario_names,
@@ -52,7 +60,11 @@ __all__ = [
     "SystemReport",
     "SweepEngine",
     "SweepOutcome",
+    "SweepPointError",
     "parameter_grid",
+    "RunStore",
+    "MemoryStore",
+    "DiskStore",
     "ChannelSpec",
     "PhySpec",
     "CodingSpec",
@@ -65,4 +77,8 @@ __all__ = [
     "run_scenario",
     "scenario_entries",
     "scenario_names",
+    "Campaign",
+    "CampaignEntry",
+    "CampaignResult",
+    "run_campaign",
 ]

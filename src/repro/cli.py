@@ -1,4 +1,5 @@
-"""Command-line entry point: ``python -m repro {list,describe,run}``.
+"""Command-line entry point: ``python -m repro
+{list,describe,run,run-all,cache}``.
 
 The zero-code path to every experiment in the scenario registry:
 
@@ -8,10 +9,24 @@ The zero-code path to every experiment in the scenario registry:
     python -m repro describe fig10
     python -m repro run fig10 --seed 0 --json fig10.json
     python -m repro run fig4 --set channel.rx_noise_figure_db=7
+    python -m repro run-all --store .repro-store
+    python -m repro run-all --only 'fig8*' --store .repro-store --resume
+    python -m repro cache info --store .repro-store
+    python -m repro cache clear --store .repro-store
 
 ``run`` defaults to ``--seed 0`` so that the command line is reproducible
 out of the box (the Python API keeps the library-wide opt-in default of
 fresh entropy); pass ``--seed -1`` explicitly for a non-deterministic run.
+
+``run-all`` executes every registered scenario (optionally glob-filtered
+by ``--only``) as one campaign through a single shared process pool
+(``--workers``).  With ``--store DIR`` every computed point is persisted
+into a content-addressed :class:`repro.core.store.DiskStore` under DIR the
+moment it completes, so an interrupted campaign re-run resumes from what
+already finished and a warm re-run serves every point from disk
+(``--resume`` additionally reports how many stored points the run starts
+from, and fails early when the store is missing).  ``cache info`` /
+``cache clear`` inspect and empty such a store.
 """
 
 from __future__ import annotations
@@ -23,7 +38,9 @@ import os
 import sys
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro.core.store import DiskStore, MemoryStore
 from repro.scenarios import (
+    Campaign,
     build_scenario,
     scenario_entries,
 )
@@ -37,7 +54,9 @@ def _parse_set(assignments: Sequence[str]) -> Dict[str, Any]:
 
     ``true``/``false``/``none`` are accepted case-insensitively — the raw
     string ``"false"`` would be truthy and silently flip boolean spec
-    fields the wrong way.
+    fields the wrong way.  Repeating a key is an error: the later value
+    would silently win, and a long command line with two conflicting
+    ``--set`` flags almost certainly does not mean what it ran.
     """
     overrides: Dict[str, Any] = {}
     for assignment in assignments:
@@ -45,6 +64,11 @@ def _parse_set(assignments: Sequence[str]) -> Dict[str, Any]:
         if not separator or not key:
             raise SystemExit(
                 f"--set expects key=value, got {assignment!r}")
+        key = key.strip()
+        if key in overrides:
+            raise SystemExit(
+                f"--set key {key!r} given more than once "
+                f"(second value: {assignment!r}); pass each key once")
         if raw.strip().lower() in _SET_KEYWORDS:
             value = _SET_KEYWORDS[raw.strip().lower()]
         else:
@@ -52,7 +76,7 @@ def _parse_set(assignments: Sequence[str]) -> Dict[str, Any]:
                 value = ast.literal_eval(raw)
             except (ValueError, SyntaxError):
                 value = raw
-        overrides[key.strip()] = value
+        overrides[key] = value
     return overrides
 
 
@@ -93,7 +117,8 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     scenario = build_scenario(args.name, _parse_set(args.set))
     seed = None if args.seed is not None and args.seed < 0 else args.seed
-    result = scenario.run(rng=seed, n_workers=args.workers)
+    store = DiskStore(args.store) if args.store else None
+    result = scenario.run(rng=seed, n_workers=args.workers, store=store)
     if not args.quiet:
         print(f"scenario {result.name} ({result.artifact}): "
               f"{result.summary}")
@@ -108,6 +133,66 @@ def _cmd_run(args: argparse.Namespace) -> int:
         result.save_json(args.json)
         if not args.quiet:
             print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_run_all(args: argparse.Namespace) -> int:
+    if args.resume and not args.store:
+        raise SystemExit("--resume requires --store DIR (there is nothing "
+                         "to resume from without a persistent store)")
+    if args.resume and not os.path.isdir(args.store):
+        # Fail early: silently "resuming" from a mistyped path would
+        # recompute the whole campaign — the one thing --resume exists
+        # to prevent.
+        raise SystemExit(f"--resume: store directory {args.store!r} does "
+                         "not exist")
+    seed = None if args.seed is not None and args.seed < 0 else args.seed
+    campaign = Campaign.from_registry(only=args.only, seed=seed)
+    store = DiskStore(args.store) if args.store else MemoryStore()
+    if args.resume:
+        # Explicitly requested — always report what the run starts from.
+        print(f"resuming from {args.store}: "
+              f"{store.info()['entries']} stored point(s)")
+    result = campaign.run(store=store, n_workers=args.workers)
+    if not args.quiet:
+        # Per-entry "served" folds store hits and points shared from a
+        # same-key twin entry ("this entry computed nothing itself") —
+        # the summary line below splits hits/shared/misses precisely.
+        width = max(len(label) for label in result.labels())
+        for entry, scenario_result in zip(result.entries, result.results):
+            execution = scenario_result.execution
+            print(f"  {entry.label:<{width}}  "
+                  f"{len(scenario_result):3d} points · "
+                  f"served {execution['cache_hits']:3d} · "
+                  f"computed {execution['cache_misses']:3d}")
+    execution = result.execution
+    # One machine-parsable summary line (the CI smoke job greps it).
+    # "hits" are points served from pre-existing store content, "shared"
+    # are points deduplicated against a same-key entry computed this
+    # run, "misses" are points actually computed.
+    print(f"campaign: {execution['n_scenarios']} scenarios · "
+          f"{execution['n_points']} points · "
+          f"hits {execution['cache_hits']} · "
+          f"shared {execution['shared_points']} · "
+          f"misses {execution['cache_misses']} · "
+          f"elapsed {execution['elapsed_s']:.3f}s")
+    if args.json:
+        result.save_json(args.json)
+        if not args.quiet:
+            print(f"wrote {args.json}")
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = DiskStore(args.store)
+    if args.action == "info":
+        info = store.info()
+        for key in ("backend", "path", "entries", "total_bytes"):
+            print(f"{key} {info[key]}")
+    else:  # clear
+        removed = store.clear()
+        print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
+              f"from {store.info()['path']}")
     return 0
 
 
@@ -147,9 +232,57 @@ def build_parser() -> argparse.ArgumentParser:
         "--set", action="append", default=[], metavar="KEY=VALUE",
         help="override a spec field, e.g. channel.distance_m=0.2")
     run_parser.add_argument(
+        "--store", metavar="DIR",
+        help="persist/serve results through a content-addressed DiskStore "
+             "under DIR (warm re-runs are served from disk)")
+    run_parser.add_argument(
         "--quiet", action="store_true",
         help="suppress the per-point summary table")
     run_parser.set_defaults(handler=_cmd_run)
+
+    run_all_parser = subparsers.add_parser(
+        "run-all",
+        help="run every registered scenario as one campaign through a "
+             "shared process pool")
+    run_all_parser.add_argument(
+        "--only", metavar="GLOB", default=None,
+        help="glob filter on scenario names, e.g. 'fig8*'")
+    run_all_parser.add_argument(
+        "--store", metavar="DIR",
+        help="persist/serve results through a content-addressed DiskStore "
+             "under DIR; completed points are stored immediately, so "
+             "re-running resumes an interrupted campaign")
+    run_all_parser.add_argument(
+        "--resume", action="store_true",
+        help="report how many points the store already holds before "
+             "running (requires --store; resumption itself is automatic "
+             "with any --store)")
+    run_all_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed for every scenario (default 0, reproducible; "
+             "negative for fresh entropy — disables the store)")
+    run_all_parser.add_argument(
+        "--workers", type=int, default=None,
+        help="size of the one shared process pool (default: serial)")
+    run_all_parser.add_argument(
+        "--json", metavar="PATH",
+        help="write the structured CampaignResult to PATH")
+    run_all_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the per-scenario summary table (the final "
+             "campaign summary line is always printed)")
+    run_all_parser.set_defaults(handler=_cmd_run_all)
+
+    cache_parser = subparsers.add_parser(
+        "cache", help="inspect or clear a DiskStore result cache")
+    cache_parser.add_argument(
+        "action", choices=("info", "clear"),
+        help="'info' prints backend/path/entries/total_bytes; 'clear' "
+             "removes every stored result")
+    cache_parser.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="DiskStore directory (as passed to run/run-all)")
+    cache_parser.set_defaults(handler=_cmd_cache)
     return parser
 
 

@@ -15,15 +15,19 @@ coding layers into a single board-to-board link abstraction;
 links plus the per-stack NoCs into a system-level model with throughput and
 latency reports.  :class:`repro.core.engine.SweepEngine` is the shared
 Monte-Carlo sweep engine (per-point independent seeding, optional process
-parallelism, result caching) behind the BER/NoC parameter sweeps.
+parallelism, content-addressed result caching) behind the BER/NoC parameter
+sweeps, and :mod:`repro.core.store` holds the durable
+:class:`~repro.core.store.RunStore` backends it caches into.
 """
 
 from repro.core.engine import (
     SweepEngine,
     SweepOutcome,
+    SweepPointError,
     parameter_grid,
 )
 from repro.core.link import LinkReport, WirelessBoardLink
+from repro.core.store import DiskStore, MemoryStore, RunStore
 from repro.core.system import SystemReport, WirelessInterconnectSystem
 
 __all__ = [
@@ -33,5 +37,9 @@ __all__ = [
     "SystemReport",
     "SweepEngine",
     "SweepOutcome",
+    "SweepPointError",
     "parameter_grid",
+    "RunStore",
+    "MemoryStore",
+    "DiskStore",
 ]

@@ -15,10 +15,17 @@ that pattern:
     random stream, and results are invariant to evaluation order;
   - **optional process-level parallelism** (``n_workers > 1``), useful on
     multi-core hosts — workers and parameter values must then be
-    picklable;
-  - **in-memory result caching** keyed by ``(worker, params, seed)``:
-    re-running a sweep with the same worker instance, points and integer
-    seed returns cached results instead of re-simulating.
+    picklable; on either path the first worker exception cancels every
+    outstanding point and re-raises as :class:`SweepPointError` naming
+    the failing point's params;
+  - **content-addressed result caching** through a
+    :class:`repro.core.store.RunStore`: keys are stable SHA-256 hashes of
+    ``(worker key, params, seed, spawn key, repro version)`` — see
+    :mod:`repro.utils.hashing` — so equivalent workers share results, and
+    a :class:`repro.core.store.DiskStore` serves them across processes
+    and days.  The default store is an in-process
+    :class:`~repro.core.store.MemoryStore`, preserving the historical
+    in-memory cache behaviour.
 
 A worker is any callable ``worker(params, rng)`` taking the parameter
 mapping of one point and a dedicated :class:`numpy.random.Generator`.
@@ -26,19 +33,22 @@ mapping of one point and a dedicated :class:`numpy.random.Generator`.
 :meth:`repro.coding.ber.BerSimulator.ber_curve`,
 :func:`repro.coding.ber.required_ebn0_db` (probe seeding) and
 :meth:`repro.noc.simulator.NocSimulator.latency_sweep` route their grids
-through this engine; the Fig. 8/Fig. 10 benchmarks and the example
-scripts use it directly.
+through this engine; the Fig. 8/Fig. 10 benchmarks, the example scripts
+and the campaign runner (:mod:`repro.scenarios.campaign`) use it directly.
 """
 
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
+                    Sequence, Tuple)
 
 import numpy as np
 
+from repro.core.store import MemoryStore, RunStore, store_and_canonicalize
+from repro.utils.hashing import sweep_point_key, worker_cache_key
 from repro.utils.rng import RngLike, ensure_seed_sequence
 
 SweepWorker = Callable[[Mapping[str, Any], np.random.Generator], Any]
@@ -64,6 +74,20 @@ def parameter_grid(**axes: Iterable) -> List[Dict[str, Any]]:
             for combination in itertools.product(*value_lists)]
 
 
+class SweepPointError(RuntimeError):
+    """A worker raised at one sweep point.
+
+    Raised on both the serial and the process-pool path; on the pool
+    path all outstanding futures are cancelled first.  Carries the
+    failing point's parameter mapping as ``params``; the original worker
+    exception is chained as ``__cause__``.
+    """
+
+    def __init__(self, message: str, params: Mapping[str, Any]) -> None:
+        super().__init__(message)
+        self.params = dict(params)
+
+
 @dataclass(frozen=True)
 class SweepOutcome:
     """One evaluated sweep point.
@@ -80,7 +104,7 @@ class SweepOutcome:
         root sequence's spawn tree) — stable across re-runs with the same
         integer seed, recorded so a single point can be reproduced.
     from_cache:
-        True if the value was served from the engine cache.
+        True if the value was served from the engine's store.
     """
 
     params: Dict[str, Any]
@@ -98,10 +122,100 @@ class SweepOutcome:
                 "from_cache": bool(self.from_cache)}
 
 
+@dataclass(frozen=True)
+class PlannedPoint:
+    """One point of a planned sweep: params, seeding and store key."""
+
+    params: Dict[str, Any]
+    seed_sequence: np.random.SeedSequence
+    spawn_key: Tuple[int, ...]
+    store_key: Optional[str]
+
+
+def plan_sweep(worker: SweepWorker, points: Iterable[Mapping[str, Any]],
+               rng: RngLike = None, key: Any = None,
+               cacheable: bool = True) -> List[PlannedPoint]:
+    """Expand a sweep into :class:`PlannedPoint`\\ s with store keys.
+
+    The shared front half of :meth:`SweepEngine.sweep` and the campaign
+    runner: spawn one child seed sequence per point and derive each
+    point's content-addressed store key.  ``store_key`` is ``None`` when
+    the sweep is not cacheable — the root entropy is fresh (``rng`` is
+    not an integer seed) or caching was disabled — so such points are
+    always computed and never stored.
+    """
+    points = [dict(point) for point in points]
+    root = ensure_seed_sequence(rng)
+    children = root.spawn(len(points)) if points else []
+    seeded = isinstance(rng, (int, np.integer))
+    worker_key = worker_cache_key(worker) if key is None else key
+    planned = []
+    for point, child in zip(points, children):
+        spawn_key = tuple(int(k) for k in child.spawn_key)
+        store_key = None
+        if cacheable and seeded:
+            try:
+                store_key = sweep_point_key(worker_key, point, int(rng),
+                                            spawn_key)
+            except TypeError:
+                # Param values the canonical JSON cannot represent (an
+                # enum, an arbitrary object): the point still runs, it
+                # just cannot be cached.
+                store_key = None
+        planned.append(PlannedPoint(params=point, seed_sequence=child,
+                                    spawn_key=spawn_key,
+                                    store_key=store_key))
+    return planned
+
+
 def _evaluate_point(worker: SweepWorker, params: Mapping[str, Any],
                     seed_sequence: np.random.SeedSequence) -> Any:
     """Top-level so the process-pool path can pickle it."""
     return worker(params, np.random.default_rng(seed_sequence))
+
+
+def execute_pending(pending: Sequence[Any],
+                    job: Callable[[Any], Tuple[SweepWorker,
+                                               Mapping[str, Any],
+                                               np.random.SeedSequence]],
+                    record: Callable[[Any, Any], None],
+                    error: Callable[[Any, Exception], SweepPointError],
+                    n_workers: Optional[int]) -> None:
+    """Evaluate opaque tasks serially or through one shared process pool.
+
+    The shared back half of :meth:`SweepEngine.sweep` and
+    :meth:`repro.scenarios.campaign.Campaign.run`: ``job(task)`` yields
+    the ``(worker, params, seed_sequence)`` of a task, ``record(task,
+    value)`` consumes each completion as it happens (durability for
+    interrupted runs), and the first worker exception — on either path —
+    cancels any outstanding futures and re-raises as the
+    :class:`SweepPointError` built by ``error(task, exception)``.
+    """
+    if not pending:
+        return
+    if n_workers is not None and n_workers > 1:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            future_task = {pool.submit(_evaluate_point, *job(task)): task
+                           for task in pending}
+            for future in as_completed(future_task):
+                task = future_task[future]
+                try:
+                    value = future.result()
+                except Exception as exc:
+                    for other in future_task:
+                        other.cancel()
+                    raise error(task, exc) from exc
+                # Outside the except scope: a record() failure (say, a
+                # full disk under a DiskStore) is a storage error and
+                # propagates as itself, not as a worker failure.
+                record(task, value)
+    else:
+        for task in pending:
+            try:
+                value = _evaluate_point(*job(task))
+            except Exception as exc:
+                raise error(task, exc) from exc
+            record(task, value)
 
 
 class SweepEngine:
@@ -114,37 +228,74 @@ class SweepEngine:
         this process.  With more than one process, the worker and every
         parameter value must be picklable.
     cache:
-        Enable the in-memory result cache.  Cache hits require the same
-        worker instance (or an explicit ``key``), identical parameter
-        values and a reproducible seed (an ``int`` passed as ``rng``);
-        sweeps seeded with ``None`` or a generator are never cached at
-        all — their root entropy is fresh on every call, so entries
-        could never be hit and would only grow the cache.  The cache
-        treats workers as immutable: mutating a worker (or an object it
-        wraps, such as a simulator) between sweeps does NOT invalidate
-        earlier entries — call :meth:`clear_cache` after such a change,
-        or use a fresh worker/engine.
+        Enable result caching through the store.  Cache hits require an
+        equivalent worker (same frozen-dataclass state or module-level
+        function — or an explicit ``key``), identical parameter values
+        and a reproducible seed (an ``int`` passed as ``rng``); sweeps
+        seeded with ``None`` or a generator are never cached at all —
+        their root entropy is fresh on every call, so entries could never
+        be hit and would only grow the store.  Stateful workers that are
+        *not* dataclasses are keyed by object identity (the historical
+        behaviour): mutating such a worker between sweeps does NOT
+        invalidate earlier entries — call :meth:`clear_cache`, or use a
+        fresh worker/engine.
+    store:
+        The :class:`repro.core.store.RunStore` backing the cache.
+        Defaults to a private :class:`~repro.core.store.MemoryStore`
+        (results live and die with this engine); pass a
+        :class:`~repro.core.store.DiskStore` to persist every computed
+        point across processes, or share one store between engines.
     """
 
-    def __init__(self, n_workers: Optional[int] = None,
-                 cache: bool = True) -> None:
+    def __init__(self, n_workers: Optional[int] = None, cache: bool = True,
+                 store: Optional[RunStore] = None) -> None:
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         self.n_workers = n_workers
         self.cache_enabled = bool(cache)
-        self._cache: Dict[Tuple, Any] = {}
+        self.store: RunStore = store if store is not None else MemoryStore()
         self._hits = 0
         self._misses = 0
 
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
         """Cache statistics: stored entries, hits and misses so far."""
-        return {"entries": len(self._cache), "hits": self._hits,
+        return {"entries": len(self.store), "hits": self._hits,
                 "misses": self._misses}
 
     def clear_cache(self) -> None:
-        """Drop every cached result."""
-        self._cache.clear()
+        """Drop every stored result."""
+        self.store.clear()
+
+    # ------------------------------------------------------------------
+    def _run_pending(self, worker: SweepWorker, plan: Sequence[PlannedPoint],
+                     pending: Sequence[int]) -> Dict[int, Any]:
+        """Evaluate the pending plan indices, storing each completion.
+
+        Every finished point is written to the store immediately, so an
+        interrupted run (crash, Ctrl-C, killed pool) resumes from the
+        points that already completed.  The first worker exception — on
+        either execution path — cancels outstanding futures and
+        re-raises as :class:`SweepPointError` naming the failing point.
+        """
+        values: Dict[int, Any] = {}
+
+        def record(index: int, value: Any) -> None:
+            store_key = plan[index].store_key
+            if store_key is not None:
+                value = store_and_canonicalize(self.store, store_key, value)
+            values[index] = value
+
+        execute_pending(
+            pending,
+            job=lambda index: (worker, plan[index].params,
+                               plan[index].seed_sequence),
+            record=record,
+            error=lambda index, exc: SweepPointError(
+                f"sweep point {plan[index].params!r} failed: {exc}",
+                params=plan[index].params),
+            n_workers=self.n_workers)
+        return values
 
     # ------------------------------------------------------------------
     def sweep(self, worker: SweepWorker, points: Iterable[Mapping[str, Any]],
@@ -157,70 +308,53 @@ class SweepEngine:
             Callable ``worker(params, rng)``.
         points:
             Iterable of parameter mappings (e.g. from
-            :func:`parameter_grid`); values must be hashable for the cache.
+            :func:`parameter_grid`); values must be JSON-representable
+            for the content-addressed cache.
         rng:
             Root randomness: ``None`` (fresh entropy), an ``int`` seed
             (reproducible — and cacheable across calls) or a generator.
             One child generator is spawned per point.
         key:
-            Optional hashable identity used for the cache instead of the
-            worker object itself; pass a stable key to share cached
-            results between equivalent worker instances.
+            Optional stable identity used for the cache instead of the
+            worker-derived key; pass the same key (any canonically
+            JSON-serializable value) to share cached results between
+            worker instances the automatic derivation would keep apart.
 
         Returns
         -------
         list of :class:`SweepOutcome`, in point order.
         """
-        points = [dict(point) for point in points]
-        root = ensure_seed_sequence(rng)
-        children = root.spawn(len(points))
-        worker_key = key if key is not None else worker
-        # Only integer seeds give a reproducible root: caching unseeded
-        # sweeps would store entries whose entropy-bearing keys can never
-        # be hit again, growing the cache for no benefit.
-        cacheable = self.cache_enabled and isinstance(rng, (int, np.integer))
-
-        plan: List[Tuple[Dict, Tuple, Optional[Tuple]]] = []
-        for point, child in zip(points, children):
-            spawn_key = tuple(int(k) for k in child.spawn_key)
-            cache_key = None
-            if cacheable:
-                cache_key = (worker_key, tuple(sorted(point.items())),
-                             int(rng), spawn_key)
-            plan.append((point, child, cache_key))
-
-        pending = [index for index, (_, _, cache_key) in enumerate(plan)
-                   if cache_key is None or cache_key not in self._cache]
-        values: Dict[int, Any] = {}
-        if pending:
-            if self.n_workers is not None and self.n_workers > 1:
-                with ProcessPoolExecutor(max_workers=self.n_workers) as pool:
-                    futures = [
-                        pool.submit(_evaluate_point, worker,
-                                    plan[index][0], plan[index][1])
-                        for index in pending]
-                    for index, future in zip(pending, futures):
-                        values[index] = future.result()
-            else:
-                for index in pending:
-                    point, child, _ = plan[index]
-                    values[index] = _evaluate_point(worker, point, child)
+        plan = plan_sweep(worker, points, rng=rng, key=key,
+                          cacheable=self.cache_enabled)
+        pending = [index for index, planned in enumerate(plan)
+                   if planned.store_key is None
+                   or planned.store_key not in self.store]
+        values = self._run_pending(worker, plan, pending)
         self._misses += len(pending)
 
         outcomes: List[SweepOutcome] = []
-        for index, (point, child, cache_key) in enumerate(plan):
-            spawn_key = tuple(int(k) for k in child.spawn_key)
+        for index, planned in enumerate(plan):
             if index in values:
                 value = values[index]
-                if cache_key is not None:
-                    self._cache[cache_key] = value
                 from_cache = False
             else:
-                value = self._cache[cache_key]
-                self._hits += 1
-                from_cache = True
-            outcomes.append(SweepOutcome(params=dict(point), value=value,
-                                         spawn_key=spawn_key,
+                try:
+                    value = self.store.get(planned.store_key)
+                    self._hits += 1
+                    from_cache = True
+                except KeyError:
+                    # The entry vanished between planning and now (e.g.
+                    # `cache clear` from another process): recompute the
+                    # point instead of aborting the sweep.
+                    value = _evaluate_point(worker, planned.params,
+                                            planned.seed_sequence)
+                    value = store_and_canonicalize(
+                        self.store, planned.store_key, value)
+                    self._misses += 1
+                    from_cache = False
+            outcomes.append(SweepOutcome(params=dict(planned.params),
+                                         value=value,
+                                         spawn_key=planned.spawn_key,
                                          from_cache=from_cache))
         return outcomes
 

@@ -1,0 +1,191 @@
+"""Durable, content-addressed result stores for the execution layer.
+
+A *run store* maps content-hash keys (:mod:`repro.utils.hashing`) to the
+JSON-serializable values sweep workers return.  The sweep engine and the
+campaign runner write every computed point into their store as soon as it
+completes, and consult the store before computing anything — so results
+survive the process, transfer between equivalent workers, and interrupted
+campaigns resume from whatever already finished.
+
+Two implementations:
+
+* :class:`MemoryStore` — a plain in-process dict; the engine's default,
+  preserving the historical in-memory cache behaviour.
+* :class:`DiskStore` — one canonical-JSON file per key under a root
+  directory (sharded by key prefix, written atomically via rename), so a
+  warm re-run in a *new process* serves every point from disk.  Values
+  must round-trip JSON; everything the scenario catalog returns does.
+
+Anything implementing the small :class:`RunStore` protocol — ``get`` /
+``put`` / ``__contains__`` / ``__len__`` / ``clear`` / ``info`` — can be
+passed wherever a store is accepted (``SweepEngine(store=...)``,
+``Scenario.run(store=...)``, ``Campaign.run(store=...)``).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from typing import Any, Dict, Iterator, Protocol, runtime_checkable
+
+from repro.utils.serialization import to_plain
+
+
+@runtime_checkable
+class RunStore(Protocol):
+    """Protocol of a content-addressed result store."""
+
+    def get(self, key: str) -> Any:
+        """Value stored under ``key``; raises ``KeyError`` when absent."""
+
+    def put(self, key: str, value: Any) -> None:
+        """Durably associate ``value`` (JSON-serializable) with ``key``."""
+
+    def __contains__(self, key: str) -> bool: ...
+
+    def __len__(self) -> int: ...
+
+    def clear(self) -> int:
+        """Drop every entry, returning how many were removed."""
+
+    def info(self) -> Dict[str, Any]:
+        """Store statistics (backend, entry count, ...) — may cost a
+        full store walk; see :meth:`describe` for the cheap form."""
+
+    def describe(self) -> Dict[str, Any]:
+        """Cheap identification (backend, location) — never walks
+        entries, safe to record per run."""
+
+
+def store_and_canonicalize(store: "RunStore", key: str, value: Any) -> Any:
+    """Write ``value`` under ``key`` and serve it back through the store.
+
+    The shared write idiom of the sweep engine and the campaign runner:
+    returning ``store.get(key)`` after a successful put means cold and
+    warm runs see the identical value representation (a DiskStore JSON
+    round-trip turns tuples into lists and non-string dict keys into
+    strings — that must not depend on which run computed the point).
+    A value the store cannot represent (``TypeError``) is returned
+    unchanged and the point simply stays uncached — a storage limitation
+    must not read as a worker failure.
+    """
+    try:
+        store.put(key, value)
+    except TypeError:
+        return value
+    return store.get(key)
+
+
+class MemoryStore:
+    """In-process dict-backed store — the engine's default backend."""
+
+    def __init__(self) -> None:
+        self._entries: Dict[str, Any] = {}
+
+    def get(self, key: str) -> Any:
+        return self._entries[key]
+
+    def put(self, key: str, value: Any) -> None:
+        self._entries[key] = value
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> int:
+        removed = len(self._entries)
+        self._entries.clear()
+        return removed
+
+    def info(self) -> Dict[str, Any]:
+        return {"backend": "memory", "entries": len(self._entries)}
+
+    def describe(self) -> Dict[str, Any]:
+        return {"backend": "memory"}
+
+
+class DiskStore:
+    """One JSON file per key under ``root`` — results that survive days.
+
+    Layout: ``<root>/objects/<key[:2]>/<key>.json`` (two-level sharding
+    keeps directories small for large campaigns).  Writes go through a
+    temporary file in the final directory followed by ``os.replace``, so
+    a crash mid-write never leaves a truncated entry and concurrent
+    writers of the same key are safe (last complete write wins — both
+    wrote the same content-addressed value anyway).
+    """
+
+    _SUFFIX = ".json"
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        self._objects = os.path.join(self.root, "objects")
+        os.makedirs(self._objects, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> str:
+        key = str(key)
+        if not key or os.sep in key or key.startswith("."):
+            raise ValueError(f"invalid store key {key!r}")
+        return os.path.join(self._objects, key[:2], key + self._SUFFIX)
+
+    def _iter_paths(self) -> Iterator[str]:
+        for shard in sorted(os.listdir(self._objects)):
+            shard_dir = os.path.join(self._objects, shard)
+            if not os.path.isdir(shard_dir):
+                continue
+            for name in sorted(os.listdir(shard_dir)):
+                if name.endswith(self._SUFFIX):
+                    yield os.path.join(shard_dir, name)
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Any:
+        try:
+            with open(self._path(key), "r", encoding="utf-8") as stream:
+                return json.load(stream)
+        except FileNotFoundError:
+            raise KeyError(key) from None
+
+    def put(self, key: str, value: Any) -> None:
+        path = self._path(key)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        payload = json.dumps(to_plain(value), sort_keys=True,
+                             separators=(",", ":"))
+        handle, temp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(payload)
+            os.replace(temp_path, path)
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return os.path.exists(self._path(key))
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._iter_paths())
+
+    def clear(self) -> int:
+        removed = 0
+        for path in list(self._iter_paths()):
+            os.unlink(path)
+            removed += 1
+        return removed
+
+    def info(self) -> Dict[str, Any]:
+        entries = 0
+        total_bytes = 0
+        for path in self._iter_paths():
+            entries += 1
+            total_bytes += os.path.getsize(path)
+        return {"backend": "disk", "path": os.path.abspath(self.root),
+                "entries": entries, "total_bytes": total_bytes}
+
+    def describe(self) -> Dict[str, Any]:
+        return {"backend": "disk", "path": os.path.abspath(self.root)}

@@ -23,6 +23,11 @@ Layers:
 * :mod:`repro.scenarios.registry` / :mod:`repro.scenarios.catalog` — the
   named-scenario registry covering every paper artifact plus off-paper
   workloads.
+* :mod:`repro.scenarios.campaign` — :class:`Campaign` /
+  :class:`CampaignResult`: run many scenarios (or the whole registry)
+  through one shared process pool against a durable
+  :class:`repro.core.store.RunStore`; ``python -m repro run-all`` is the
+  zero-code surface.
 """
 
 from repro.scenarios.specs import (
@@ -46,8 +51,18 @@ from repro.scenarios.registry import (
     scenario_names,
 )
 from repro.scenarios import catalog  # noqa: F401  (registers the catalog)
+from repro.scenarios.campaign import (
+    Campaign,
+    CampaignEntry,
+    CampaignResult,
+    run_campaign,
+)
 
 __all__ = [
+    "Campaign",
+    "CampaignEntry",
+    "CampaignResult",
+    "run_campaign",
     "SpecBase",
     "ChannelSpec",
     "PhySpec",

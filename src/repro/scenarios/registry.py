@@ -129,7 +129,13 @@ def describe_scenario(name: str,
 def run_scenario(name: str, rng: RngLike = None,
                  n_workers: Optional[int] = None,
                  overrides: Optional[Mapping[str, Any]] = None,
-                 engine=None) -> ScenarioResult:
-    """Build and run a named scenario in one call (the blessed path)."""
+                 engine=None, store=None) -> ScenarioResult:
+    """Build and run a named scenario in one call (the blessed path).
+
+    ``store`` (a :class:`repro.core.store.RunStore`) makes the run durable
+    and shareable: with a :class:`~repro.core.store.DiskStore`, a warm
+    re-run — even in a new process, days later — serves every point from
+    the store instead of recomputing it.
+    """
     return build_scenario(name, overrides).run(rng=rng, n_workers=n_workers,
-                                               engine=engine)
+                                               engine=engine, store=store)

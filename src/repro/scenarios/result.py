@@ -5,7 +5,12 @@ run: the per-point parameter/value pairs, plus everything needed to
 reproduce them — the layer specs, the root seed, each point's spawn key in
 the seed tree, and the library version.  ``to_json`` is deterministic
 (sorted keys, no timestamps), so two runs with the same seed serialize
-byte-for-byte identically.
+byte-for-byte identically — **including** a warm run served entirely from
+a result store: cache provenance (which points hit the store, timings)
+lives in the separate ``execution`` attribute, outside the deterministic
+payload, and is only exported on request
+(``to_dict(include_execution=True)``, rendered as a top-level
+``"execution"`` block).
 """
 
 from __future__ import annotations
@@ -40,6 +45,11 @@ class ScenarioResult:
     points:
         One entry per sweep point: ``{"params", "value", "spawn_key"}``,
         all plain JSON-serializable values, in point order.
+    execution:
+        Run-time provenance that must *not* influence the deterministic
+        payload: per-point ``from_cache`` flags, hit/miss totals, wall
+        time and store statistics.  ``None`` for results rebuilt from
+        JSON.
     """
 
     name: str
@@ -49,6 +59,7 @@ class ScenarioResult:
     seed: Optional[int]
     version: str
     points: Tuple[Dict[str, Any], ...] = field(default_factory=tuple)
+    execution: Optional[Dict[str, Any]] = field(default=None, compare=False)
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -87,9 +98,15 @@ class ScenarioResult:
                 for point in self.points}
 
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form carrying the full provenance."""
-        return {
+    def to_dict(self, include_execution: bool = False) -> Dict[str, Any]:
+        """Plain-dict form carrying the full provenance.
+
+        The default payload is deterministic: two runs with the same seed
+        produce equal dicts whether their points were computed or served
+        from a store.  ``include_execution=True`` adds the top-level
+        ``"execution"`` block (cache provenance, timing) for diagnostics.
+        """
+        payload = {
             "scenario": self.name,
             "artifact": self.artifact,
             "summary": self.summary,
@@ -101,9 +118,13 @@ class ScenarioResult:
             "n_points": len(self.points),
             "points": to_plain(list(self.points)),
         }
+        if include_execution and self.execution is not None:
+            payload["execution"] = to_plain(self.execution)
+        return payload
 
     def to_json(self, indent: int = 2) -> str:
-        """Deterministic JSON (sorted keys, no timestamps)."""
+        """Deterministic JSON (sorted keys, no timestamps, no cache
+        provenance) — byte-identical for cold and warm runs alike."""
         return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
 
     def save_json(self, path: str, indent: int = 2) -> None:

@@ -7,17 +7,27 @@ independently spawned :class:`numpy.random.Generator`, integer seeds make
 the whole run reproducible and cacheable, and ``n_workers`` fans points
 out over processes.  The outcome is a structured
 :class:`repro.scenarios.result.ScenarioResult`.
+
+Runs are **content-addressed**: :meth:`Scenario.cache_key` derives the
+sweep-engine cache identity from the spec dicts and the worker's frozen
+state — not from Python object identity — so two equivalent scenarios
+(same specs, same worker configuration) share cached points, including
+across processes and days when executed against a
+:class:`repro.core.store.DiskStore` (``Scenario.run(store=...)``).
 """
 
 from __future__ import annotations
 
+import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.engine import SweepEngine
+from repro.core.store import RunStore
 from repro.scenarios.result import ScenarioResult
 from repro.scenarios.specs import SpecBase
+from repro.utils.hashing import worker_cache_key
 from repro.utils.rng import RngLike
 from repro.utils.serialization import to_plain
 
@@ -78,8 +88,25 @@ class Scenario:
         }
 
     # ------------------------------------------------------------------
+    def cache_key(self) -> Dict[str, Any]:
+        """Content identity of this scenario's computation.
+
+        Derived from the spec dicts and the worker's frozen state — the
+        registry *name* is deliberately excluded, so two scenarios that
+        describe the same computation share cached points no matter what
+        they are called, which process built them, or when they ran.
+        """
+        return {
+            "specs": {layer: {"spec_type": type(spec).__name__,
+                              **to_plain(spec.to_dict())}
+                      for layer, spec in self.specs.items()},
+            "worker": worker_cache_key(self.worker),
+        }
+
+    # ------------------------------------------------------------------
     def run(self, rng: RngLike = None, n_workers: Optional[int] = None,
-            engine: Optional[SweepEngine] = None) -> ScenarioResult:
+            engine: Optional[SweepEngine] = None,
+            store: Optional[RunStore] = None) -> ScenarioResult:
         """Execute every point through a sweep engine.
 
         Parameters
@@ -92,20 +119,60 @@ class Scenario:
             given); ``None``/1 evaluates serially.
         engine:
             Optional shared :class:`SweepEngine`, e.g. to reuse its
-            in-memory cache across scenarios.
+            store across scenarios.
+        store:
+            Optional :class:`repro.core.store.RunStore` for the engine
+            (ignored when ``engine`` is given) — pass a
+            :class:`~repro.core.store.DiskStore` so a warm re-run in a
+            new process serves every point from disk.
         """
-        import repro  # local import: repro.__init__ imports this package
-
         if engine is None:
-            engine = SweepEngine(n_workers=n_workers)
-        outcomes = engine.sweep(self.worker, self.points, rng=rng)
-        seed = int(rng) if isinstance(rng, (int, np.integer)) else None
+            engine = SweepEngine(n_workers=n_workers, store=store)
+        started = time.perf_counter()
+        outcomes = engine.sweep(self.worker, self.points, rng=rng,
+                                key=self.cache_key())
+        elapsed_s = time.perf_counter() - started
         points = tuple(
             {"params": to_plain(outcome.params),
              "value": to_plain(outcome.value),
              "spawn_key": list(outcome.spawn_key)}
             for outcome in outcomes)
-        return ScenarioResult(name=self.name, artifact=self.artifact,
-                              summary=self.summary, specs=dict(self.specs),
-                              seed=seed, version=repro.__version__,
-                              points=points)
+        # describe(), not info(): a full DiskStore walk per run would
+        # cost O(store size) just to fill a diagnostic block.
+        return self.assemble_result(
+            seed=rng if isinstance(rng, (int, np.integer)) else None,
+            points=points,
+            from_cache=[bool(outcome.from_cache) for outcome in outcomes],
+            elapsed_s=elapsed_s, store_info=engine.store.describe())
+
+    # ------------------------------------------------------------------
+    def assemble_result(self, seed: Optional[int],
+                        points: Sequence[Dict[str, Any]],
+                        from_cache: Sequence[bool],
+                        elapsed_s: Optional[float] = None,
+                        store_info: Optional[Dict[str, Any]] = None
+                        ) -> ScenarioResult:
+        """Build the :class:`ScenarioResult` for already-evaluated points.
+
+        The one place the result/execution schema is defined — used by
+        :meth:`run` and by the campaign runner, so ``repro run`` and
+        ``repro run-all`` can never drift apart.  ``elapsed_s`` is
+        ``None`` for campaign entries (per-entry wall time is
+        meaningless under interleaved execution).
+        """
+        import repro  # local import: repro.__init__ imports this package
+
+        from_cache = [bool(flag) for flag in from_cache]
+        execution = {
+            "from_cache": from_cache,
+            "cache_hits": sum(from_cache),
+            "cache_misses": len(from_cache) - sum(from_cache),
+            "elapsed_s": elapsed_s,
+            "store": store_info,
+        }
+        return ScenarioResult(
+            name=self.name, artifact=self.artifact, summary=self.summary,
+            specs=dict(self.specs),
+            seed=int(seed) if seed is not None else None,
+            version=repro.__version__, points=tuple(points),
+            execution=execution)

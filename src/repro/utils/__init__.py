@@ -23,6 +23,12 @@ from repro.utils.units import (
     ebn0_db_to_snr_db,
     snr_db_to_ebn0_db,
 )
+from repro.utils.hashing import (
+    canonical_json,
+    content_hash,
+    sweep_point_key,
+    worker_cache_key,
+)
 from repro.utils.rng import ensure_rng
 from repro.utils.validation import (
     check_positive,
@@ -48,6 +54,10 @@ __all__ = [
     "ebn0_db_to_snr_db",
     "snr_db_to_ebn0_db",
     "ensure_rng",
+    "canonical_json",
+    "content_hash",
+    "sweep_point_key",
+    "worker_cache_key",
     "check_positive",
     "check_non_negative",
     "check_probability",

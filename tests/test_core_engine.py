@@ -3,7 +3,13 @@
 import numpy as np
 import pytest
 
-from repro.core.engine import SweepEngine, SweepOutcome, parameter_grid
+from repro.core.engine import (
+    SweepEngine,
+    SweepOutcome,
+    SweepPointError,
+    parameter_grid,
+)
+from repro.core.store import DiskStore, MemoryStore
 from repro.utils.rng import ensure_seed_sequence, spawn_generators
 
 
@@ -14,6 +20,12 @@ def _draw(params, rng):
 
 def _failing(params, rng):
     raise RuntimeError("boom")
+
+
+def _failing_at_three(params, rng):
+    if params["scale"] == 3.0:
+        raise ValueError("bad point")
+    return _draw(params, rng)
 
 
 class TestParameterGrid:
@@ -159,6 +171,115 @@ class TestCaching:
         assert enabled.cache_info()["entries"] == 0
 
 
+class TestSharedStore:
+    def test_equivalent_workers_share_results_across_engines(self):
+        # Content-addressed keys: a different engine with the same store
+        # and the same (module-level) worker serves from the store — no
+        # shared Python objects required.
+        store = MemoryStore()
+        points = parameter_grid(scale=(1.0, 2.0))
+        first = SweepEngine(store=store).sweep(_draw, points, rng=5)
+        second = SweepEngine(store=store).sweep(_draw, points, rng=5)
+        assert [outcome.from_cache for outcome in second] == [True, True]
+        assert [o.value for o in first] == [o.value for o in second]
+
+    def test_disk_store_roundtrip_between_engines(self, tmp_path):
+        # run -> fresh engine on a reopened store -> all points served.
+        root = str(tmp_path / "store")
+        points = parameter_grid(scale=(1.0, 2.0, 3.0))
+        cold = SweepEngine(store=DiskStore(root)).sweep_values(
+            _draw, points, rng=5)
+        warm_engine = SweepEngine(store=DiskStore(root))
+        warm = warm_engine.sweep(_draw, points, rng=5)
+        assert [outcome.from_cache for outcome in warm] == [True] * 3
+        assert [outcome.value for outcome in warm] == cold
+        assert warm_engine.cache_info() == {"entries": 3, "hits": 3,
+                                            "misses": 0}
+
+    def test_unseeded_sweeps_never_touch_the_store(self, tmp_path):
+        store = DiskStore(str(tmp_path / "store"))
+        SweepEngine(store=store).sweep(_draw, parameter_grid(scale=(1.0,)))
+        assert len(store) == 0
+
+    def test_points_are_stored_as_they_complete(self):
+        # Durability for interrupted runs: by the time a later point
+        # fails, every earlier completed point is already in the store.
+        store = MemoryStore()
+        engine = SweepEngine(store=store)
+        points = parameter_grid(scale=(1.0, 2.0, 3.0))
+        with pytest.raises(SweepPointError) as excinfo:
+            engine.sweep(_failing_at_three, points, rng=5)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+        assert len(store) == 2
+        resumed = engine.sweep(_failing_at_three, points[:2], rng=5)
+        assert [outcome.from_cache for outcome in resumed] == [True, True]
+
+    def test_unrepresentable_params_run_uncached(self):
+        # Param values canonical JSON cannot express must not crash the
+        # sweep — the point simply runs without a store key.
+        class Mode:
+            pass
+
+        store = MemoryStore()
+        engine = SweepEngine(store=store)
+
+        def worker(params, rng):
+            return 1.0
+
+        outcomes = engine.sweep(worker, [{"mode": Mode()}], rng=0)
+        assert outcomes[0].value == 1.0
+        assert not outcomes[0].from_cache
+        assert len(store) == 0
+
+    def test_disk_store_values_have_identical_shape_cold_and_warm(
+            self, tmp_path):
+        # The store round-trip (tuples -> lists, int dict keys -> str)
+        # must apply to the COLD run too, so code consuming
+        # outcome.value behaves the same on both runs.
+        def worker(params, rng):
+            return {"curve": (1.0, 2.0), "windows": {9: 75.0, 10: 100.0}}
+
+        root = str(tmp_path / "store")
+        cold = SweepEngine(store=DiskStore(root)).sweep(
+            worker, [{"x": 1}], rng=0)
+        warm = SweepEngine(store=DiskStore(root)).sweep(
+            worker, [{"x": 1}], rng=0)
+        assert warm[0].from_cache
+        assert cold[0].value == warm[0].value == \
+            {"curve": [1.0, 2.0], "windows": {"9": 75.0, "10": 100.0}}
+
+    def test_entry_vanishing_mid_sweep_recomputes_instead_of_crashing(
+            self):
+        # Race with `cache clear` from another process: a point judged
+        # warm at planning time whose entry is gone by read time must be
+        # recomputed, not abort the sweep with KeyError.
+        class VanishingStore(MemoryStore):
+            def __contains__(self, key):
+                return True  # claims every point is already stored
+
+        store = VanishingStore()
+        outcomes = SweepEngine(store=store).sweep(
+            _draw, parameter_grid(scale=(1.0, 2.0)), rng=5)
+        reference = SweepEngine(cache=False).sweep_values(
+            _draw, parameter_grid(scale=(1.0, 2.0)), rng=5)
+        assert [outcome.value for outcome in outcomes] == reference
+        assert [outcome.from_cache for outcome in outcomes] == [False,
+                                                                False]
+        assert len(store) == 2  # recomputed points were stored after all
+
+    def test_unstorable_value_degrades_to_uncached(self, tmp_path):
+        # A value the DiskStore cannot serialize must not read as a
+        # worker failure — the point runs and simply stays uncached.
+        def worker(params, rng):
+            return {"mixed": 1, 2: "keys"}  # unsortable for json.dumps
+
+        store = DiskStore(str(tmp_path / "store"))
+        outcomes = SweepEngine(store=store).sweep(worker, [{"x": 1}],
+                                                  rng=0)
+        assert outcomes[0].value == {"mixed": 1, 2: "keys"}
+        assert len(store) == 0
+
+
 class TestParallelism:
     def test_process_pool_matches_serial(self):
         # Workers must be picklable for the process path; module-level
@@ -173,6 +294,42 @@ class TestParallelism:
     def test_worker_errors_propagate(self):
         with pytest.raises(RuntimeError):
             SweepEngine().sweep(_failing, parameter_grid(scale=(1.0,)))
+
+    def test_pool_failure_names_the_failing_point(self):
+        # The pool path must not hang collecting remaining futures: the
+        # first exception cancels outstanding work and surfaces as a
+        # SweepPointError carrying the failing params.
+        points = parameter_grid(scale=(1.0, 2.0, 3.0, 4.0))
+        engine = SweepEngine(n_workers=2, cache=False)
+        with pytest.raises(SweepPointError) as excinfo:
+            engine.sweep(_failing_at_three, points, rng=8)
+        assert excinfo.value.params == {"scale": 3.0}
+        assert "'scale': 3.0" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_pool_engine_wraps_even_a_single_pending_point(self):
+        # Regression: n_workers > 1 with one remaining point must honour
+        # the same SweepPointError contract as a full pool run.
+        store = MemoryStore()
+        engine = SweepEngine(n_workers=2, store=store)
+        good = parameter_grid(scale=(1.0, 2.0))
+        engine.sweep(_failing_at_three, good, rng=8)  # warm the store
+        with pytest.raises(SweepPointError) as excinfo:
+            engine.sweep(_failing_at_three,
+                         parameter_grid(scale=(1.0, 2.0, 3.0)), rng=8)
+        assert excinfo.value.params == {"scale": 3.0}
+
+    def test_pool_serves_warm_points_from_disk_store(self, tmp_path):
+        root = str(tmp_path / "store")
+        points = parameter_grid(scale=(1.0, 2.0, 3.0, 4.0))
+        cold = SweepEngine(n_workers=2, store=DiskStore(root)).sweep_values(
+            _draw, points, rng=8)
+        warm = SweepEngine(n_workers=2, store=DiskStore(root)).sweep(
+            _draw, points, rng=8)
+        assert [outcome.from_cache for outcome in warm] == [True] * 4
+        assert [outcome.value for outcome in warm] == cold
+        assert cold == SweepEngine(cache=False).sweep_values(_draw, points,
+                                                             rng=8)
 
     def test_n_workers_validation(self):
         with pytest.raises(ValueError):

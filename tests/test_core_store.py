@@ -1,0 +1,115 @@
+"""Tests for the content-addressed result stores (repro.core.store)."""
+
+import json
+import os
+
+import pytest
+
+from repro.core.store import DiskStore, MemoryStore, RunStore
+
+KEY_A = "a" * 64
+KEY_B = "b" * 64
+
+
+@pytest.fixture(params=["memory", "disk"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryStore()
+    return DiskStore(str(tmp_path / "store"))
+
+
+class TestRunStoreContract:
+    def test_both_backends_satisfy_the_protocol(self, store):
+        assert isinstance(store, RunStore)
+
+    def test_put_get_roundtrip(self, store):
+        value = {"ber": 1.5e-3, "curve": [1.0, 2.5], "label": "x",
+                 "flag": True, "missing": None}
+        store.put(KEY_A, value)
+        assert KEY_A in store
+        assert store.get(KEY_A) == value
+        assert len(store) == 1
+
+    def test_missing_key_raises_keyerror(self, store):
+        assert KEY_A not in store
+        with pytest.raises(KeyError):
+            store.get(KEY_A)
+
+    def test_overwrite_wins(self, store):
+        store.put(KEY_A, 1.0)
+        store.put(KEY_A, 2.0)
+        assert store.get(KEY_A) == 2.0
+        assert len(store) == 1
+
+    def test_clear_reports_removed_count(self, store):
+        store.put(KEY_A, 1)
+        store.put(KEY_B, 2)
+        assert store.clear() == 2
+        assert len(store) == 0
+        assert store.clear() == 0
+
+    def test_info_reports_entries(self, store):
+        store.put(KEY_A, [1, 2, 3])
+        info = store.info()
+        assert info["entries"] == 1
+        assert info["backend"] in ("memory", "disk")
+
+    def test_describe_is_cheap_identification(self, store):
+        description = store.describe()
+        assert description["backend"] in ("memory", "disk")
+        assert "entries" not in description  # never walks the store
+
+
+class TestDiskStore:
+    def test_survives_a_new_store_instance(self, tmp_path):
+        # The whole point: a second process opening the same directory
+        # sees every stored value.
+        root = str(tmp_path / "store")
+        DiskStore(root).put(KEY_A, {"x": [1.5, float("inf")]})
+        reopened = DiskStore(root)
+        assert KEY_A in reopened
+        assert reopened.get(KEY_A) == {"x": [1.5, float("inf")]}
+
+    def test_values_are_canonical_json_files(self, tmp_path):
+        store = DiskStore(str(tmp_path / "store"))
+        store.put(KEY_A, {"b": 1, "a": (1, 2)})
+        path = os.path.join(str(tmp_path / "store"), "objects", KEY_A[:2],
+                            KEY_A + ".json")
+        with open(path, "r", encoding="utf-8") as stream:
+            assert stream.read() == '{"a":[1,2],"b":1}'
+        assert store.info()["total_bytes"] > 0
+
+    def test_sharded_layout_keeps_directories_small(self, tmp_path):
+        store = DiskStore(str(tmp_path / "store"))
+        store.put(KEY_A, 1)
+        store.put(KEY_B, 2)
+        objects = os.path.join(str(tmp_path / "store"), "objects")
+        assert sorted(os.listdir(objects)) == [KEY_A[:2], KEY_B[:2]]
+        assert len(store) == 2
+
+    def test_numpy_values_are_coerced_on_put(self, tmp_path):
+        import numpy as np
+
+        store = DiskStore(str(tmp_path / "store"))
+        store.put(KEY_A, {"x": np.float64(1.5), "n": np.arange(2)})
+        assert store.get(KEY_A) == {"x": 1.5, "n": [0, 1]}
+
+    def test_invalid_keys_rejected(self, tmp_path):
+        store = DiskStore(str(tmp_path / "store"))
+        for bad in ("", "..", ".hidden", f"a{os.sep}b"):
+            with pytest.raises(ValueError):
+                store.put(bad, 1)
+
+    def test_no_temp_file_debris_after_put(self, tmp_path):
+        store = DiskStore(str(tmp_path / "store"))
+        store.put(KEY_A, {"x": 1})
+        shard = os.path.join(str(tmp_path / "store"), "objects", KEY_A[:2])
+        assert [name for name in os.listdir(shard)
+                if name.endswith(".tmp")] == []
+
+    def test_unserializable_value_fails_without_corrupting(self, tmp_path):
+        store = DiskStore(str(tmp_path / "store"))
+        with pytest.raises(TypeError):
+            store.put(KEY_A, object())
+        assert KEY_A not in store
+        assert len(store) == 0

@@ -85,17 +85,110 @@ class TestRun:
         with pytest.raises(SystemExit):
             main(["run", "fig4", "--set", "no-equals-sign"])
 
+    def test_duplicate_set_key_raises_system_exit(self):
+        # A later duplicate --set must not silently win.
+        with pytest.raises(SystemExit, match="more than once") as excinfo:
+            main(["run", "fig4", "--quiet",
+                  "--set", "channel.rx_noise_figure_db=7",
+                  "--set", "channel.rx_noise_figure_db=9"])
+        assert "channel.rx_noise_figure_db" in str(excinfo.value)
+
+    def test_run_with_store_serves_warm_rerun(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run", "fig7", "--quiet", "--store", store]) == 0
+        capsys.readouterr()
+        assert main(["run", "fig7", "--quiet", "--store", store,
+                     "--json", str(tmp_path / "warm.json")]) == 0
+        # All four fig7 points served from the DiskStore on the re-run.
+        from repro.core.store import DiskStore
+
+        assert DiskStore(store).info()["entries"] == 4
+
+
+class TestRunAllAndCache:
+    def test_run_all_only_glob(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run-all", "--only", "table1", "--store", store]) == 0
+        out = capsys.readouterr().out
+        assert ("campaign: 1 scenarios · 9 points · hits 0 · shared 0 · "
+                "misses 9") in out
+
+    def test_run_all_warm_rerun_is_all_hits(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        json_cold = str(tmp_path / "cold.json")
+        json_warm = str(tmp_path / "warm.json")
+        assert main(["run-all", "--only", "fig[47]", "--store", store,
+                     "--quiet", "--json", json_cold]) == 0
+        capsys.readouterr()
+        assert main(["run-all", "--only", "fig[47]", "--store", store,
+                     "--resume", "--quiet", "--json", json_warm]) == 0
+        out = capsys.readouterr().out
+        assert "resuming" in out
+        assert "hits 12 · shared 0 · misses 0" in out
+        with open(json_cold, "rb") as cold, open(json_warm, "rb") as warm:
+            assert cold.read() == warm.read()
+
+    def test_run_all_resume_requires_store(self):
+        with pytest.raises(SystemExit, match="--resume requires --store"):
+            main(["run-all", "--only", "table1", "--resume"])
+
+    def test_run_all_resume_rejects_missing_store_dir(self, tmp_path):
+        # A mistyped --store path must fail early, not silently
+        # recompute the whole campaign from an empty store.
+        with pytest.raises(SystemExit, match="does not exist"):
+            main(["run-all", "--only", "table1", "--resume",
+                  "--store", str(tmp_path / "no-such-store")])
+
+    def test_run_all_unknown_glob_fails_cleanly(self, capsys):
+        assert main(["run-all", "--only", "fig99*"]) == 2
+        assert "no scenario matches" in capsys.readouterr().err
+
+    def test_cache_info_and_clear(self, tmp_path, capsys):
+        store = str(tmp_path / "store")
+        assert main(["run-all", "--only", "table1", "--store", store,
+                     "--quiet"]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--store", store]) == 0
+        lines = dict(line.split(" ", 1)
+                     for line in capsys.readouterr().out.splitlines())
+        assert lines["backend"] == "disk"
+        assert lines["entries"] == "9"
+        assert int(lines["total_bytes"]) > 0
+        assert main(["cache", "clear", "--store", store]) == 0
+        assert "cleared 9 entries" in capsys.readouterr().out
+        assert main(["cache", "info", "--store", store]) == 0
+        assert "entries 0" in capsys.readouterr().out
+
 
 class TestModuleEntryPoint:
-    def test_python_dash_m_repro_list(self):
-        # End to end through the real interpreter: `python -m repro list`.
+    @staticmethod
+    def _module_env():
         env = dict(os.environ)
         src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
         env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
             env.get("PYTHONPATH", "")
+        return env
+
+    def test_python_dash_m_repro_list(self):
+        # End to end through the real interpreter: `python -m repro list`.
         completed = subprocess.run(
             [sys.executable, "-m", "repro", "list"],
-            capture_output=True, text=True, env=env, check=True)
+            capture_output=True, text=True, env=self._module_env(),
+            check=True)
         listed = [line.split()[0]
                   for line in completed.stdout.splitlines() if line]
         assert set(listed) == set(scenario_names())
+
+    def test_disk_store_serves_a_genuinely_new_process(self, tmp_path):
+        # The full content-addressing claim: run in one interpreter,
+        # re-run in another — every point comes from the DiskStore.
+        env = self._module_env()
+        store = str(tmp_path / "store")
+        command = [sys.executable, "-m", "repro", "run-all",
+                   "--only", "table1", "--store", store, "--quiet"]
+        cold = subprocess.run(command, capture_output=True, text=True,
+                              env=env, check=True)
+        assert "misses 9" in cold.stdout
+        warm = subprocess.run(command, capture_output=True, text=True,
+                              env=env, check=True)
+        assert "hits 9 · shared 0 · misses 0" in warm.stdout

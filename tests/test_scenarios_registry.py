@@ -144,6 +144,41 @@ class TestScenarioResult:
         scenario.run(rng=3, engine=engine)
         assert engine.cache_info()["hits"] == len(scenario.points)
 
+    def test_equivalent_scenarios_share_cached_points(self):
+        # Content-addressed keys: a *rebuilt* scenario (new Scenario, new
+        # worker object) against a shared store hits every point — the
+        # historical object-identity cache could never do this.
+        from repro.core.store import MemoryStore
+
+        store = MemoryStore()
+        cold = run_scenario("fig1", rng=5, store=store)
+        warm = run_scenario("fig1", rng=5, store=store)
+        assert warm.execution["cache_hits"] == len(warm)
+        assert warm.execution["cache_misses"] == 0
+        assert cold.values() == warm.values()
+
+    def test_cold_and_warm_runs_export_byte_identical_json(self, tmp_path):
+        # Regression: cache provenance must never leak into the
+        # deterministic payload — a warm re-run from a DiskStore (fresh
+        # store object, as a new process would build) serializes byte-for-
+        # byte identically to the cold run at the same seed.
+        from repro.core.store import DiskStore
+
+        root = str(tmp_path / "store")
+        cold_path = tmp_path / "cold.json"
+        warm_path = tmp_path / "warm.json"
+        cold = run_scenario("fig1", rng=5, store=DiskStore(root))
+        warm = run_scenario("fig1", rng=5, store=DiskStore(root))
+        cold.save_json(str(cold_path))
+        warm.save_json(str(warm_path))
+        assert cold_path.read_bytes() == warm_path.read_bytes()
+        # The provenance lives in the separate execution block instead.
+        assert cold.execution["from_cache"] == [False, False]
+        assert warm.execution["from_cache"] == [True, True]
+        assert warm.to_dict(include_execution=True)["execution"][
+            "cache_hits"] == 2
+        assert "execution" not in json.loads(warm.to_json())
+
     def test_sanity_of_off_paper_link_sweep(self):
         result = run_scenario("tx-power-sweep")
         reports = result.series("tx_power_dbm")

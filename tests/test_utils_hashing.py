@@ -1,0 +1,245 @@
+"""Tests for the content-addressed key derivation (repro.utils.hashing)."""
+
+from dataclasses import dataclass
+
+import numpy as np
+import pytest
+
+import repro
+from repro.utils.hashing import (
+    canonical_json,
+    content_hash,
+    sweep_point_key,
+    worker_cache_key,
+)
+
+
+@dataclass(frozen=True)
+class _Worker:
+    scale: float
+    label: str = "x"
+
+    def __call__(self, params, rng):
+        return self.scale
+
+
+def _free_function(params, rng):
+    return 0.0
+
+
+class TestCanonicalJson:
+    def test_dict_order_does_not_matter(self):
+        assert canonical_json({"a": 1, "b": 2}) == \
+            canonical_json({"b": 2, "a": 1})
+
+    def test_tuples_and_lists_coincide(self):
+        assert canonical_json((1, 2, 3)) == canonical_json([1, 2, 3])
+
+    def test_numpy_scalars_are_coerced(self):
+        assert canonical_json({"x": np.float64(1.5), "n": np.int64(3)}) == \
+            canonical_json({"x": 1.5, "n": 3})
+        assert canonical_json(np.arange(3)) == canonical_json([0, 1, 2])
+
+    def test_compact_and_sorted(self):
+        assert canonical_json({"b": 1, "a": [1, 2]}) == '{"a":[1,2],"b":1}'
+
+
+class TestContentHash:
+    def test_stable_and_hex(self):
+        digest = content_hash({"a": 1})
+        assert digest == content_hash({"a": 1})
+        assert len(digest) == 64
+        assert all(c in "0123456789abcdef" for c in digest)
+
+    def test_different_values_differ(self):
+        assert content_hash({"a": 1}) != content_hash({"a": 2})
+
+
+class TestWorkerCacheKey:
+    def test_equal_dataclass_state_shares_key(self):
+        # Two separately constructed but equal workers — including one
+        # built in a hypothetical other process — address the same
+        # results.
+        assert worker_cache_key(_Worker(2.0)) == worker_cache_key(
+            _Worker(2.0))
+
+    def test_different_dataclass_state_separates(self):
+        assert worker_cache_key(_Worker(2.0)) != worker_cache_key(
+            _Worker(3.0))
+
+    def test_module_level_function_keyed_by_qualname_and_code(self):
+        key = worker_cache_key(_free_function)
+        assert key == worker_cache_key(_free_function)
+        assert "test_utils_hashing._free_function" in key["function"]
+        assert "code" in key
+
+    def test_function_key_is_stable_across_processes(self):
+        # A comprehension puts a nested code object into co_consts whose
+        # repr embeds a memory address — the digest must recurse instead
+        # of repr-ing it, or DiskStore sharing across processes silently
+        # breaks for such workers.
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.utils.hashing import worker_cache_key\n"
+            "def worker(params, rng):\n"
+            "    return [x * 2 for x in range(3)]\n"
+            "print(worker_cache_key(worker)['code'])\n")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        runs = [subprocess.run([sys.executable, "-c", script],
+                               capture_output=True, text=True, env=env,
+                               check=True).stdout
+                for _ in range(2)]
+        assert runs[0] == runs[1]
+
+    def test_distinct_lambdas_do_not_collide(self):
+        # Both have qualname "<lambda>" — the code digest must separate
+        # them, or one would silently serve the other's cached results.
+        first = lambda params, rng: 1.0  # noqa: E731
+        second = lambda params, rng: 2.0  # noqa: E731
+        assert worker_cache_key(first) != worker_cache_key(second)
+        # Same-body lambdas legitimately coincide (same computation).
+        third = lambda params, rng: 1.0  # noqa: E731
+        assert worker_cache_key(first) == worker_cache_key(third)
+
+    def test_closure_falls_back_to_identity(self):
+        def make(scale):
+            def worker(params, rng):
+                return scale
+            return worker
+
+        first, second = make(1.0), make(2.0)
+        # Closures carry hidden state — they must NOT share by qualname.
+        assert worker_cache_key(first) != worker_cache_key(second)
+        assert "identity" in worker_cache_key(first)
+
+    def test_opaque_object_keyed_by_identity(self):
+        class Opaque:
+            def __call__(self, params, rng):
+                return 0.0
+
+        key = worker_cache_key(Opaque())
+        assert "identity" in key and "process" in key
+
+    def test_dataclass_wrapping_opaque_object_shares_by_that_identity(self):
+        # The NocSimulator/BerSimulator pattern: a frozen dataclass worker
+        # around one opaque simulator instance.  Two wrappers of the SAME
+        # instance share a key (the historical equality-cache behaviour);
+        # wrappers of different instances do not.
+        @dataclass(frozen=True)
+        class Wrapper:
+            simulator: object
+            n_cycles: int
+
+        class Simulator:  # opaque: not a dataclass, no to_dict
+            pass
+
+        shared = Simulator()
+        assert worker_cache_key(Wrapper(shared, 800)) == \
+            worker_cache_key(Wrapper(shared, 800))
+        assert worker_cache_key(Wrapper(shared, 800)) != \
+            worker_cache_key(Wrapper(shared, 900))
+        assert worker_cache_key(Wrapper(Simulator(), 800)) != \
+            worker_cache_key(Wrapper(shared, 800))
+
+    def test_equal_state_different_worker_types_do_not_collide(self):
+        @dataclass(frozen=True)
+        class Other:
+            scale: float
+            label: str = "x"
+
+        assert worker_cache_key(_Worker(2.0)) != worker_cache_key(
+            Other(2.0))
+
+    def test_dataclass_call_body_is_part_of_the_key(self):
+        # Editing a worker's __call__ must invalidate stored results
+        # even when type name and field state are unchanged.
+        def make(body):
+            namespace = {}
+            exec("from dataclasses import dataclass\n"          # noqa: S102
+                 "@dataclass(frozen=True)\n"
+                 "class W:\n"
+                 "    s: float\n"
+                 "    def __call__(self, params, rng):\n"
+                 f"        return {body}\n", namespace)
+            return namespace["W"]
+
+        first, second, third = make("1.0"), make("2.0"), make("1.0")
+        assert worker_cache_key(first(0.5)) != worker_cache_key(second(0.5))
+        assert worker_cache_key(first(0.5)) == worker_cache_key(third(0.5))
+        assert "call" in worker_cache_key(first(0.5))
+
+    def test_nested_dataclasses_keep_their_type_tags(self):
+        # A dataclass nested inside a container field must keep its type
+        # in the description — two configurations differing only in a
+        # nested type must not serve each other's cached results.
+        @dataclass(frozen=True)
+        class A:
+            x: int
+
+        @dataclass(frozen=True)
+        class B:
+            x: int
+
+        @dataclass(frozen=True)
+        class Wrapper:
+            config: dict
+
+        assert worker_cache_key(Wrapper({"inner": A(1)})) != \
+            worker_cache_key(Wrapper({"inner": B(1)}))
+        assert worker_cache_key(Wrapper({"inner": A(1)})) == \
+            worker_cache_key(Wrapper({"inner": A(1)}))
+
+    def test_set_literals_do_not_leak_hash_randomisation(self):
+        # frozenset constants in a worker's code repr in PYTHONHASHSEED
+        # order; the digest must be order-independent or cross-process
+        # DiskStore sharing silently breaks.
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "from repro.utils.hashing import worker_cache_key\n"
+            "def worker(params, rng):\n"
+            "    return params['mode'] in {'alpha', 'beta', 'gamma'}\n"
+            "print(worker_cache_key(worker)['code'])\n")
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        digests = set()
+        for seed in ("1", "2"):
+            env["PYTHONHASHSEED"] = seed
+            digests.add(subprocess.run(
+                [sys.executable, "-c", script], capture_output=True,
+                text=True, env=env, check=True).stdout)
+        assert len(digests) == 1
+
+
+class TestSweepPointKey:
+    def test_full_tuple_is_covered(self):
+        base = sweep_point_key({"w": 1}, {"a": 1}, 0, (0,))
+        assert base == sweep_point_key({"w": 1}, {"a": 1}, 0, (0,))
+        assert base != sweep_point_key({"w": 2}, {"a": 1}, 0, (0,))
+        assert base != sweep_point_key({"w": 1}, {"a": 2}, 0, (0,))
+        assert base != sweep_point_key({"w": 1}, {"a": 1}, 1, (0,))
+        assert base != sweep_point_key({"w": 1}, {"a": 1}, 0, (1,))
+
+    def test_version_is_folded_in(self, monkeypatch):
+        before = sweep_point_key({"w": 1}, {"a": 1}, 0, (0,))
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert sweep_point_key({"w": 1}, {"a": 1}, 0, (0,)) != before
+
+    def test_numpy_seed_and_params_normalise(self):
+        assert sweep_point_key({"w": 1}, {"a": np.float64(1.0)},
+                               np.int64(3), (np.int64(0),)) == \
+            sweep_point_key({"w": 1}, {"a": 1.0}, 3, (0,))
+
+    def test_unserializable_params_fail_loudly(self):
+        with pytest.raises(TypeError):
+            sweep_point_key({"w": 1}, {"a": object()}, 0, (0,))

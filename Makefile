@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint smoke bench scenarios run-scenario run-all
+.PHONY: test lint smoke bench scenarios run-scenario run-all noc
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks.
 test:
@@ -31,6 +31,15 @@ bench:
 # The scenario registry: list everything runnable by name.
 scenarios:
 	$(PYTHON) -m repro list
+
+# The cross-layer NoC engine scenarios: analytic-vs-simulated crosscheck,
+# hotspot traffic, buffer-depth (backpressure) ablation and lossy links
+# whose flit error rate is derived from the coding layer.
+noc:
+	$(PYTHON) -m repro run noc-transpose-crosscheck
+	$(PYTHON) -m repro run noc-hotspot-sweep
+	$(PYTHON) -m repro run noc-buffer-depth-sweep
+	$(PYTHON) -m repro run noc-lossy-link-sweep
 
 # Run one named scenario, e.g.:
 #   make run-scenario NAME=table1 ARGS="--json out.json"

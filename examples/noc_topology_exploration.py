@@ -2,15 +2,18 @@
 
 Reproduces the Fig. 8 comparison through the scenario registry — 2D mesh
 vs star-mesh vs 3D mesh at 64 modules (``fig8a``), the scaling to 512
-modules (``fig8b``) — and cross-checks the analytic model against the
-cycle-level simulator with the ``noc-sim-crosscheck`` scenario.
+modules (``fig8b``) — cross-checks the analytic model against the
+cycle-level simulator with the ``noc-sim-crosscheck`` scenario, and
+closes with the cross-layer engine: both engines behind the unified
+``NocModel`` interface, and intra-stack links whose flit error rate is
+derived from the coding layer's operating Eb/N0.
 
 Run with:  python examples/noc_topology_exploration.py
 """
 
 import numpy as np
 
-from repro import run_scenario
+from repro import NocSpec, run_scenario
 
 
 def compare_64_modules() -> None:
@@ -66,10 +69,48 @@ def validate_with_simulator() -> None:
               f"({value['delivered_packets']} packets)")
 
 
+def unified_model_interface() -> None:
+    """One NocModel interface, two engines: analytic and vectorized sim."""
+    spec = NocSpec(topology="mesh3d", dimensions=(4, 4, 4))
+    analytic = spec.make_model()
+    simulated = spec.make_simulated_model(n_cycles=3_000, warmup_cycles=600)
+    print("\nUnified NocModel interface (4x4x4 3D mesh at 0.1 "
+          "flits/cycle/module):")
+    for model in (analytic, simulated):
+        point = model.evaluate(0.1, rng=0)
+        print(f"  {point.source:10s} latency "
+              f"{point.mean_latency_cycles:6.2f} cycles, throughput "
+              f"{point.accepted_throughput:5.3f}, saturated "
+              f"{point.saturated}")
+
+
+def lossy_links_from_the_coding_layer() -> None:
+    """Cross-layer coupling: NoC latency vs the link's coded Eb/N0.
+
+    ``noc-lossy-link-sweep`` derives each point's per-hop flit error
+    probability from the LDPC-CC window decoder's operating point and
+    feeds it into the lossy vectorized simulator: latency grows as the
+    link approaches the FEC threshold and the network collapses below it.
+    """
+    result = run_scenario("noc-lossy-link-sweep", rng=0)
+    print("\nNoC latency vs link Eb/N0 (flit errors fed from coding):")
+    print("  Eb/N0 [dB]  flit error rate   latency [cycles]  retransmissions")
+    for point in result.points:
+        value = point["value"]
+        latency = value["mean_latency_cycles"]
+        latency_cell = (f"{latency:16.2f}" if np.isfinite(latency)
+                        else f"{'collapsed':>16s}")
+        print(f"  {point['params']['ebn0_db']:9.1f} "
+              f"{value['link_flit_error_rate']:16.2e} {latency_cell} "
+              f"{value['retransmitted_flits']:16d}")
+
+
 def main() -> None:
     compare_64_modules()
     compare_512_modules()
     validate_with_simulator()
+    unified_model_interface()
+    lossy_links_from_the_coding_layer()
 
 
 if __name__ == "__main__":

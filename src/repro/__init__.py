@@ -29,7 +29,7 @@ gives the links, the system, the sweep engine and the scenario registry;
 :mod:`repro.api` is the same facade as a flat importable module.
 """
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 from repro import channel, coding, core, noc, phy, utils
 from repro.core import (
@@ -43,8 +43,10 @@ from repro.core import (
     SystemReport,
     WirelessBoardLink,
     WirelessInterconnectSystem,
+    link_flit_error_rate,
     parameter_grid,
 )
+from repro.noc import NocEvaluation, NocModel, SimulatedNocModel
 from repro.scenarios import (
     Campaign,
     CampaignEntry,
@@ -84,6 +86,11 @@ __all__ = [
     "SweepOutcome",
     "SweepPointError",
     "parameter_grid",
+    # cross-layer NoC engine
+    "NocModel",
+    "NocEvaluation",
+    "SimulatedNocModel",
+    "link_flit_error_rate",
     # execution stores
     "RunStore",
     "MemoryStore",

@@ -29,8 +29,10 @@ from repro.core import (
     SystemReport,
     WirelessBoardLink,
     WirelessInterconnectSystem,
+    link_flit_error_rate,
     parameter_grid,
 )
+from repro.noc import NocEvaluation, NocModel, SimulatedNocModel
 from repro.scenarios import (
     Campaign,
     CampaignEntry,
@@ -62,6 +64,10 @@ __all__ = [
     "SweepOutcome",
     "SweepPointError",
     "parameter_grid",
+    "NocModel",
+    "NocEvaluation",
+    "SimulatedNocModel",
+    "link_flit_error_rate",
     "RunStore",
     "MemoryStore",
     "DiskStore",

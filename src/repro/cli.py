@@ -6,6 +6,7 @@ The zero-code path to every experiment in the scenario registry:
 .. code-block:: console
 
     python -m repro list
+    python -m repro list --only 'noc-*'
     python -m repro describe fig10
     python -m repro run fig10 --seed 0 --json fig10.json
     python -m repro run fig4 --set channel.rx_noise_figure_db=7
@@ -33,6 +34,7 @@ from __future__ import annotations
 
 import argparse
 import ast
+import fnmatch
 import json
 import os
 import sys
@@ -100,6 +102,11 @@ def _format_value(value: Any) -> str:
 
 def _cmd_list(args: argparse.Namespace) -> int:
     entries = scenario_entries()
+    if args.only:
+        entries = [entry for entry in entries
+                   if fnmatch.fnmatch(entry.name, args.only)]
+        if not entries:
+            raise SystemExit(f"no scenario matches {args.only!r}")
     width = max(len(entry.name) for entry in entries)
     artifact_width = max(len(entry.artifact) for entry in entries)
     for entry in entries:
@@ -205,6 +212,9 @@ def build_parser() -> argparse.ArgumentParser:
 
     list_parser = subparsers.add_parser(
         "list", help="list every registered scenario")
+    list_parser.add_argument(
+        "--only", metavar="GLOB", default=None,
+        help="glob filter on scenario names, e.g. 'noc-*'")
     list_parser.set_defaults(handler=_cmd_list)
 
     describe_parser = subparsers.add_parser(

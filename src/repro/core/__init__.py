@@ -18,8 +18,16 @@ Monte-Carlo sweep engine (per-point independent seeding, optional process
 parallelism, content-addressed result caching) behind the BER/NoC parameter
 sweeps, and :mod:`repro.core.store` holds the durable
 :class:`~repro.core.store.RunStore` backends it caches into.
+:mod:`repro.core.crosslayer` bridges the layers the paper keeps separate:
+it turns a PHY/coding operating point into the per-link flit error
+probability the lossy NoC simulator consumes.
 """
 
+from repro.core.crosslayer import (
+    coded_residual_ber,
+    link_flit_error_rate,
+    link_operating_ebn0_db,
+)
 from repro.core.engine import (
     SweepEngine,
     SweepOutcome,
@@ -42,4 +50,7 @@ __all__ = [
     "RunStore",
     "MemoryStore",
     "DiskStore",
+    "link_flit_error_rate",
+    "coded_residual_ber",
+    "link_operating_ebn0_db",
 ]

@@ -1,0 +1,154 @@
+"""Cross-layer bridge: PHY/coding operating point → NoC link error rate.
+
+The paper's latency results (Fig. 8) assume ideal intra-stack channels,
+yet its premise is that the board/stack interconnect is *wireless* — so
+the NoC layer and the PHY/coding layers are coupled: a link running close
+to the FEC threshold corrupts flits, and every corrupted flit costs a
+retransmission cycle in the network.  This module computes that coupling
+explicitly:
+
+* :func:`link_operating_ebn0_db` — the Eb/N0 a wireless board link
+  actually delivers, from the Section II link budget (reusing
+  :class:`repro.core.link.WirelessBoardLink`).
+* :func:`coded_residual_ber` — the post-decoding bit error rate of the
+  Section V LDPC-CC at that Eb/N0.  By default a deterministic
+  *threshold-anchored waterfall surrogate* is used (raw channel BER
+  times an erfc roll-off centred on the density-evolution threshold of
+  the configured window decoder); pass ``mc_codewords`` to measure it by
+  Monte-Carlo through :meth:`CodingSpec.make_ber_simulator` instead.
+* :func:`link_flit_error_rate` — the probability that at least one of a
+  flit's payload bits survives decoding in error, i.e. the per-traversal
+  flit error probability the lossy
+  :class:`repro.noc.simulator.NocSimulator` consumes.
+
+All functions take the frozen spec dataclasses of
+:mod:`repro.scenarios.specs` (duck-typed — only their documented methods
+are used), so a scenario can thread one ``CodingSpec``/``PhySpec``/
+``ChannelSpec`` triple through both the link report and the NoC model.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+from typing import Optional
+
+from repro.utils.rng import RngLike
+from repro.utils.units import db_to_linear
+
+#: Bits per 4-ASK symbol (the paper's modem; same constant as
+#: :meth:`repro.core.link.WirelessBoardLink.evaluate`).
+BITS_PER_SYMBOL = 2.0
+
+#: Waterfall steepness of the surrogate residual-BER model, in units of
+#: 1/dB.  Chosen so the surrogate drops roughly five decades within the
+#: ~2 dB the finite-length measurements of Fig. 10 put between the DE
+#: threshold and quasi-error-free operation.
+DEFAULT_WATERFALL_SLOPE_PER_DB = 1.5
+
+
+@lru_cache(maxsize=None)
+def _de_threshold_db(family: str, window_size: int) -> float:
+    """Memoised DE threshold (independent of lifting factor)."""
+    from repro.scenarios.specs import CodingSpec
+
+    return CodingSpec(family=family,
+                      window_size=window_size).de_threshold_db()
+
+
+def raw_channel_ber(ebn0_db: float, rate: float) -> float:
+    """Pre-decoding BPSK bit error probability at a coded Eb/N0.
+
+    ``Q(sqrt(2 * R * Eb/N0))`` — the matched-filter error rate of the
+    unit-energy binary channel the BER harness of
+    :mod:`repro.coding.ber` simulates.
+    """
+    if not 0.0 < rate <= 1.0:
+        raise ValueError("rate must lie in (0, 1]")
+    ebn0 = float(db_to_linear(ebn0_db))
+    return 0.5 * math.erfc(math.sqrt(rate * ebn0))
+
+
+def coded_residual_ber(coding, ebn0_db: float, *,
+                       mc_codewords: Optional[int] = None,
+                       rng: RngLike = 0,
+                       waterfall_slope_per_db: float =
+                       DEFAULT_WATERFALL_SLOPE_PER_DB) -> float:
+    """Post-decoding bit error rate of a :class:`CodingSpec` at an Eb/N0.
+
+    Default path (``mc_codewords=None``): a deterministic surrogate —
+    the raw channel BER multiplied by ``0.5 * erfc(slope * (Eb/N0 -
+    threshold))``, where the threshold is the window decoder's
+    density-evolution limit.  Below threshold decoding barely helps
+    (the factor approaches 1), at threshold the waterfall begins, and a
+    couple of dB above it the residual BER is negligible; the surrogate
+    is monotone decreasing in Eb/N0 by construction.
+
+    Monte-Carlo path (``mc_codewords`` set): measure the BER with
+    ``mc_codewords`` codewords through the spec's batched
+    :class:`~repro.coding.ber.BerSimulator` — slower, but the genuine
+    decoder.  ``rng`` seeds the measurement (default 0, reproducible).
+    """
+    if mc_codewords is not None:
+        simulator = coding.make_ber_simulator()
+        point = simulator.simulate(float(ebn0_db),
+                                   n_codewords=int(mc_codewords), rng=rng)
+        return float(point.bit_error_rate)
+    raw = raw_channel_ber(ebn0_db, coding.design_rate)
+    threshold_db = _de_threshold_db(coding.family, coding.window_size)
+    waterfall = 0.5 * math.erfc(waterfall_slope_per_db
+                                * (float(ebn0_db) - threshold_db))
+    return raw * waterfall
+
+
+def link_operating_ebn0_db(channel, phy, coding,
+                           tx_power_dbm: Optional[float] = None) -> float:
+    """Coded Eb/N0 a wireless board link delivers at its operating point.
+
+    Builds the :class:`repro.core.link.WirelessBoardLink` the specs
+    describe, takes its received SNR and converts to Eb/N0 with the same
+    ``SNR = Eb/N0 * R * bits_per_symbol`` relation the link report uses
+    (4-ASK carrying 2 bits/symbol).
+    """
+    from repro.core.link import WirelessBoardLink
+
+    link = WirelessBoardLink(
+        distance_m=channel.distance_m,
+        budget_parameters=channel.budget_parameters(),
+        include_butler_mismatch=channel.include_butler_mismatch,
+        pulse=phy.make_pulse(),
+        window_size=coding.window_size,
+        lifting_factor=coding.lifting_factor,
+        dual_polarization=phy.dual_polarization)
+    power = channel.tx_power_dbm if tx_power_dbm is None else tx_power_dbm
+    snr_db = link.received_snr_db(float(power))
+    return snr_db - 10.0 * math.log10(coding.design_rate * BITS_PER_SYMBOL)
+
+
+def link_flit_error_rate(coding, phy, channel,
+                         ebn0_db: Optional[float] = None, *,
+                         flit_payload_bits: int = 64,
+                         tx_power_dbm: Optional[float] = None,
+                         mc_codewords: Optional[int] = None,
+                         rng: RngLike = 0) -> float:
+    """Per-traversal flit error probability for the lossy NoC simulator.
+
+    A flit of ``flit_payload_bits`` information bits is lost/corrupted
+    when at least one bit survives decoding in error:
+    ``1 - (1 - BER)^bits``.  ``ebn0_db`` pins the coded operating point
+    directly (the usual scenario knob); when ``None`` it is derived from
+    the channel spec's link budget via :func:`link_operating_ebn0_db`
+    (``tx_power_dbm`` overrides the spec's transmit power).  The result
+    is clipped just below 1 so a hopeless link saturates the simulator
+    instead of dividing it by zero.
+    """
+    if flit_payload_bits < 1:
+        raise ValueError("flit_payload_bits must be at least 1")
+    if ebn0_db is None:
+        ebn0_db = link_operating_ebn0_db(channel, phy, coding,
+                                         tx_power_dbm=tx_power_dbm)
+    bit_error_rate = coded_residual_ber(coding, ebn0_db,
+                                        mc_codewords=mc_codewords, rng=rng)
+    bit_error_rate = min(max(float(bit_error_rate), 0.0), 1.0 - 1e-12)
+    flit_error = -math.expm1(flit_payload_bits * math.log1p(-bit_error_rate))
+    return min(max(flit_error, 0.0), 1.0 - 1e-9)

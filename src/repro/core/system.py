@@ -140,6 +140,33 @@ class WirelessInterconnectSystem:
                                                router=self.router)
         return self._noc_model
 
+    def simulated_noc_model(self, n_cycles: int = 4_000,
+                            warmup_cycles: int = 1_000,
+                            link_error_rate: float = 0.0):
+        """Cycle-accurate counterpart of :meth:`noc_model`.
+
+        Same router calibration, same topology, but evaluated by the
+        vectorized :class:`repro.noc.simulator.NocSimulator` through the
+        unified :class:`repro.noc.model.NocModel` interface;
+        ``link_error_rate`` makes the intra-stack links lossy (e.g. fed
+        from :func:`repro.core.crosslayer.link_flit_error_rate`).
+        """
+        from repro.noc.model import SimulatedNocModel
+        from repro.noc.simulator import NocSimulator
+
+        pipeline = self.router.pipeline_latency_cycles
+        link_latency = self.router.link_latency_cycles
+        if pipeline != int(pipeline) or link_latency != int(link_latency):
+            raise ValueError(
+                "the cycle-level simulator needs integer pipeline and link "
+                f"latencies, got {pipeline} and {link_latency}")
+        simulator = NocSimulator(self.stack_topology,
+                                 pipeline_latency_cycles=int(pipeline),
+                                 link_latency_cycles=int(link_latency),
+                                 link_error_rate=link_error_rate)
+        return SimulatedNocModel(simulator, n_cycles=n_cycles,
+                                 warmup_cycles=warmup_cycles)
+
     def board_links(self) -> List[WirelessBoardLink]:
         """One link object per distinct cross-board node-pair distance.
 

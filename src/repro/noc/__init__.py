@@ -15,8 +15,11 @@ Modules:
   traffic patterns with Poisson arrivals.
 * :mod:`repro.noc.analytic` — the queueing-theory latency/throughput model
   used for Fig. 8.
-* :mod:`repro.noc.simulator` — a cycle-level flit simulator used to
-  validate the analytic model.
+* :mod:`repro.noc.simulator` — the vectorized cycle-level flit simulator
+  (finite buffers with backpressure, lossy links with retransmission)
+  plus the deque reference implementation it is validated against.
+* :mod:`repro.noc.model` — the unified :class:`~repro.noc.model.NocModel`
+  protocol both engines implement.
 * :mod:`repro.noc.metrics` — hop counts, bisection bandwidth, saturation
   detection.
 """
@@ -28,15 +31,27 @@ from repro.noc.topology import (
     Mesh3D,
     StarMesh,
 )
-from repro.noc.routing import DimensionOrderedRouting, ShortestPathRouting
+from repro.noc.routing import (
+    ROUTING_ALGORITHMS,
+    DimensionOrderedRouting,
+    ShortestPathRouting,
+    make_routing_class,
+)
 from repro.noc.traffic import (
+    TRAFFIC_PATTERNS,
     HotspotTraffic,
     NeighborTraffic,
     TransposeTraffic,
     UniformTraffic,
+    make_traffic_class,
 )
 from repro.noc.analytic import AnalyticNocModel, LatencyResult, RouterParameters
-from repro.noc.simulator import NocSimulator, SimulationResult
+from repro.noc.simulator import (
+    NocSimulator,
+    ReferenceNocSimulator,
+    SimulationResult,
+)
+from repro.noc.model import NocEvaluation, NocModel, SimulatedNocModel
 from repro.noc.metrics import (
     average_hop_count,
     bisection_links,
@@ -59,8 +74,16 @@ __all__ = [
     "AnalyticNocModel",
     "RouterParameters",
     "LatencyResult",
+    "NocModel",
+    "NocEvaluation",
+    "SimulatedNocModel",
     "NocSimulator",
+    "ReferenceNocSimulator",
     "SimulationResult",
+    "TRAFFIC_PATTERNS",
+    "ROUTING_ALGORITHMS",
+    "make_traffic_class",
+    "make_routing_class",
     "average_hop_count",
     "bisection_links",
     "saturation_injection_rate",

@@ -106,14 +106,19 @@ class AnalyticNocModel:
         Traffic pattern class (default uniform, as in Fig. 8); the pattern
         is instantiated per injection rate but its *shape* is assumed
         independent of the rate, which holds for all shipped patterns.
+    routing_class:
+        Routing algorithm class (default dimension-ordered, the paper's
+        assumption); any class from :mod:`repro.noc.routing` works.
     """
 
     def __init__(self, topology: GridTopology,
                  router: RouterParameters = RouterParameters(),
-                 traffic_class=UniformTraffic, **traffic_kwargs) -> None:
+                 traffic_class=UniformTraffic,
+                 routing_class=DimensionOrderedRouting,
+                 **traffic_kwargs) -> None:
         self.topology = topology
         self.router = router
-        self.routing = DimensionOrderedRouting(topology)
+        self.routing = routing_class(topology)
         self.traffic_class = traffic_class
         self.traffic_kwargs = traffic_kwargs
         self._unit_loads, self._weighted_hops = self._analyse_unit_traffic()
@@ -215,8 +220,29 @@ class AnalyticNocModel:
             return base
         return base + waiting_total / total_rate
 
-    def latency_curve(self, injection_rates: Sequence[float]) -> LatencyResult:
-        """Evaluate the latency at a list of injection rates (Fig. 8 curves)."""
+    def evaluate(self, injection_rate: float, rng=None) -> "NocEvaluation":
+        """One operating point in the unified :class:`~repro.noc.model.NocModel` shape.
+
+        ``rng`` is accepted for interface parity with the simulated model
+        and ignored — the analytic model is deterministic.
+        """
+        from repro.noc.model import NocEvaluation
+
+        check_non_negative("injection_rate", injection_rate)
+        return NocEvaluation(
+            injection_rate=float(injection_rate),
+            mean_latency_cycles=float(self.mean_latency(injection_rate)),
+            accepted_throughput=float(self.throughput_at(injection_rate)),
+            saturated=bool(injection_rate >= self.saturation_rate()),
+            source="analytic")
+
+    def latency_curve(self, injection_rates: Sequence[float],
+                      rng=None) -> LatencyResult:
+        """Evaluate the latency at a list of injection rates (Fig. 8 curves).
+
+        ``rng`` is accepted for interface parity with
+        :class:`~repro.noc.model.SimulatedNocModel` and ignored.
+        """
         rates = np.asarray(list(injection_rates), dtype=float)
         if rates.size == 0:
             raise ValueError("at least one injection rate is required")

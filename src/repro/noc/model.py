@@ -1,0 +1,143 @@
+"""The unified ``NocModel`` protocol: one interface, two engines.
+
+The paper's Fig. 8 curves come from an analytic queueing model; the cycle
+simulator cross-checks them.  Historically the two had different shapes
+(``mean_latency(rate)`` vs ``run(rate).mean_latency_cycles``), so nothing
+could be written against "a NoC performance model" in the abstract.  This
+module defines the shared surface:
+
+* :class:`NocEvaluation` — one operating point (latency, throughput,
+  saturation flag, provenance).
+* :class:`NocModel` — a runtime-checkable protocol with
+  ``evaluate(injection_rate, rng=None) -> NocEvaluation`` and
+  ``latency_curve(injection_rates, rng=None) -> LatencyResult``;
+  implemented by :class:`repro.noc.analytic.AnalyticNocModel` and by
+  :class:`SimulatedNocModel` below.
+* :class:`SimulatedNocModel` — adapts a configured
+  :class:`repro.noc.simulator.NocSimulator` (fixed horizon and warm-up)
+  to the protocol, so scenario code can swap the analytic model for the
+  cycle engine (or a lossy cross-layer variant) without changing shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.noc.simulator import NocSimulator, SimulationResult
+from repro.utils.rng import RngLike
+
+
+@dataclass(frozen=True)
+class NocEvaluation:
+    """One evaluated NoC operating point.
+
+    Attributes
+    ----------
+    injection_rate:
+        Offered load per module in flits/cycle/module.
+    mean_latency_cycles:
+        Mean packet latency (``inf`` past saturation or when a simulation
+        delivered nothing).
+    accepted_throughput:
+        Delivered flits/cycle/module (the analytic model caps the offered
+        load at its saturation rate).
+    saturated:
+        Whether the network is past its saturation point.
+    source:
+        ``"analytic"`` or ``"simulated"`` — which engine produced the
+        numbers.
+    delivered_packets, offered_packets:
+        Simulation counters (``None`` for the analytic model).
+    """
+
+    injection_rate: float
+    mean_latency_cycles: float
+    accepted_throughput: float
+    saturated: bool
+    source: str
+    delivered_packets: Optional[int] = None
+    offered_packets: Optional[int] = None
+
+
+@runtime_checkable
+class NocModel(Protocol):
+    """What every NoC performance model answers."""
+
+    def evaluate(self, injection_rate: float,
+                 rng: RngLike = None) -> NocEvaluation:
+        """Latency/throughput/saturation at one injection rate."""
+        ...
+
+    def latency_curve(self, injection_rates,
+                      rng: RngLike = None) -> "LatencyResult":
+        """Mean latency over a grid of injection rates (Fig. 8 shape)."""
+        ...
+
+
+class SimulatedNocModel:
+    """Cycle-accurate :class:`NocModel` wrapping a configured simulator.
+
+    Parameters
+    ----------
+    simulator:
+        A :class:`repro.noc.simulator.NocSimulator` (possibly with lossy
+        links, finite buffers, non-uniform traffic...).
+    n_cycles, warmup_cycles:
+        Fixed simulation horizon applied to every evaluation, so curve
+        points are comparable.
+    """
+
+    def __init__(self, simulator: NocSimulator, n_cycles: int = 4_000,
+                 warmup_cycles: int = 1_000) -> None:
+        if warmup_cycles < 0 or warmup_cycles >= n_cycles:
+            raise ValueError("warmup_cycles must lie in [0, n_cycles)")
+        self.simulator = simulator
+        self.n_cycles = int(n_cycles)
+        self.warmup_cycles = int(warmup_cycles)
+
+    @property
+    def topology(self):
+        """The simulated topology."""
+        return self.simulator.topology
+
+    def evaluate(self, injection_rate: float,
+                 rng: RngLike = None) -> NocEvaluation:
+        """Simulate one injection rate and summarise the run."""
+        result: SimulationResult = self.simulator.run(
+            injection_rate, n_cycles=self.n_cycles,
+            warmup_cycles=self.warmup_cycles, rng=rng)
+        return NocEvaluation(
+            injection_rate=result.injection_rate,
+            mean_latency_cycles=result.mean_latency_cycles,
+            accepted_throughput=result.accepted_throughput,
+            saturated=result.saturated,
+            source="simulated",
+            delivered_packets=result.delivered_packets,
+            offered_packets=result.offered_packets)
+
+    def latency_curve(self, injection_rates, rng: RngLike = None,
+                      engine=None) -> "LatencyResult":
+        """Simulated Fig. 8-style curve with an estimated saturation rate.
+
+        The saturation rate is read off the knee of the simulated curve
+        (:func:`repro.noc.metrics.saturation_injection_rate`) since a
+        simulator has no closed-form busiest-channel bound.
+        """
+        from repro.noc.analytic import LatencyResult
+        from repro.noc.metrics import saturation_injection_rate
+
+        rates = np.asarray(list(injection_rates), dtype=float)
+        if rates.size == 0:
+            raise ValueError("at least one injection rate is required")
+        results = self.simulator.latency_sweep(
+            rates, n_cycles=self.n_cycles, warmup_cycles=self.warmup_cycles,
+            rng=rng, engine=engine)
+        latencies = np.array([point.mean_latency_cycles for point in results])
+        return LatencyResult(
+            injection_rates=rates,
+            mean_latency_cycles=latencies,
+            saturation_rate=saturation_injection_rate(rates, latencies),
+            topology_name=self.simulator.topology.name)

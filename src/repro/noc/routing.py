@@ -8,9 +8,10 @@ extensions and as a cross-check in tests.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Tuple, Type
 
 import networkx as nx
+import numpy as np
 
 from repro.noc.topology import GridTopology
 
@@ -59,6 +60,27 @@ class DimensionOrderedRouting:
         """Number of router-to-router channels traversed."""
         return self.topology.router_distance(source_router, destination_router)
 
+    def next_router_table(self) -> np.ndarray:
+        """``table[current, destination]`` — the next router on the path.
+
+        Diagonal entries equal the router itself (a packet at its
+        destination router leaves through the ejection port).  The table
+        is what the vectorized simulator routes with: one fancy-indexed
+        lookup per cycle instead of one Python path walk per packet.
+        """
+        topology = self.topology
+        n_routers = topology.n_routers
+        coordinates = np.array([topology.router_coordinate(router)
+                                for router in range(n_routers)], dtype=np.int64)
+        strides = np.asarray(topology.strides, dtype=np.int64)
+        # dest - current over all pairs; the first non-matching axis is the
+        # one dimension-ordered routing corrects next.
+        difference = coordinates[None, :, :] - coordinates[:, None, :]
+        first_axis = np.argmax(difference != 0, axis=2)
+        step = np.sign(np.take_along_axis(
+            difference, first_axis[..., None], axis=2))[..., 0]
+        return np.arange(n_routers)[:, None] + step * strides[first_axis]
+
 
 class ShortestPathRouting:
     """Shortest-path routing on the router graph (networkx BFS).
@@ -96,3 +118,38 @@ class ShortestPathRouting:
     def hop_count(self, source_router: int, destination_router: int) -> int:
         """Number of router-to-router channels traversed."""
         return len(self.router_path(source_router, destination_router)) - 1
+
+    def next_router_table(self) -> np.ndarray:
+        """``table[current, destination]`` — the next router on the path.
+
+        Built from the precomputed all-pairs BFS paths; diagonal entries
+        equal the router itself, mirroring
+        :meth:`DimensionOrderedRouting.next_router_table`.
+        """
+        n_routers = self.topology.n_routers
+        table = np.empty((n_routers, n_routers), dtype=np.int64)
+        for source in range(n_routers):
+            paths = self._paths[source]
+            for destination in range(n_routers):
+                path = paths[destination]
+                table[source, destination] = (path[1] if len(path) > 1
+                                              else source)
+        return table
+
+
+#: Routing algorithms addressable by name (the :class:`NocSpec.routing`
+#: knob and the CLI's ``--set noc.routing=...`` both resolve through this).
+ROUTING_ALGORITHMS: Dict[str, Type] = {
+    "dimension_ordered": DimensionOrderedRouting,
+    "shortest_path": ShortestPathRouting,
+}
+
+
+def make_routing_class(name: str) -> Type:
+    """Resolve a routing algorithm class from its registry name."""
+    try:
+        return ROUTING_ALGORITHMS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown routing algorithm {name!r}; known: "
+            f"{sorted(ROUTING_ALGORITHMS)}") from None

@@ -94,6 +94,11 @@ class GridTopology:
         return len(self.dimensions)
 
     @property
+    def strides(self) -> Tuple[int, ...]:
+        """Router-index stride of a unit step along each axis."""
+        return self._strides
+
+    @property
     def n_routers(self) -> int:
         """Number of routers."""
         return int(np.prod(self.dimensions))

@@ -13,7 +13,7 @@ flits/cycle/module, matching the x-axis of Fig. 8.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Dict, Optional, Type
 
 import numpy as np
 
@@ -85,7 +85,6 @@ class HotspotTraffic(_TrafficPattern):
         self.hotspot_fraction = float(hotspot_fraction)
 
     def rate_matrix(self) -> np.ndarray:
-        n = self.topology.n_modules
         uniform = UniformTraffic(self.topology,
                                  self.injection_rate * (1.0 - self.hotspot_fraction))
         rates = uniform.rate_matrix()
@@ -94,6 +93,14 @@ class HotspotTraffic(_TrafficPattern):
         for hotspot in self.hotspot_modules:
             rates[:, hotspot] += per_hotspot
         np.fill_diagonal(rates, 0.0)
+        # Zeroing the diagonal removed the hotspot modules' traffic to
+        # themselves; rescale every sending row so each module offers
+        # exactly ``injection_rate`` flits/cycle (the invariant all
+        # patterns share, asserted by the property tests).
+        row_sums = rates.sum(axis=1, keepdims=True)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            rates = np.where(row_sums > 0.0,
+                             rates * (self.injection_rate / row_sums), 0.0)
         return rates
 
 
@@ -136,3 +143,23 @@ class NeighborTraffic(_TrafficPattern):
             partner = (module + 1) % n
             rates[module, partner] = self.injection_rate
         return rates
+
+
+#: Traffic patterns addressable by name (the :class:`NocSpec.traffic` knob
+#: and the CLI's ``--set noc.traffic=...`` both resolve through this).
+TRAFFIC_PATTERNS: Dict[str, Type[_TrafficPattern]] = {
+    "uniform": UniformTraffic,
+    "hotspot": HotspotTraffic,
+    "transpose": TransposeTraffic,
+    "neighbor": NeighborTraffic,
+}
+
+
+def make_traffic_class(name: str) -> Type[_TrafficPattern]:
+    """Resolve a traffic pattern class from its registry name."""
+    try:
+        return TRAFFIC_PATTERNS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown traffic pattern {name!r}; known: "
+            f"{sorted(TRAFFIC_PATTERNS)}") from None

@@ -43,7 +43,7 @@ from repro.core.store import MemoryStore, RunStore, store_and_canonicalize
 from repro.scenarios.registry import build_scenario, scenario_names
 from repro.scenarios.result import ScenarioResult
 from repro.scenarios.scenario import Scenario
-from repro.utils.serialization import to_plain
+from repro.utils.serialization import jsonify, to_plain
 
 
 @dataclass(frozen=True)
@@ -379,8 +379,11 @@ class CampaignResult:
         return payload
 
     def to_json(self, indent: int = 2) -> str:
-        """Deterministic JSON — byte-identical cold vs warm."""
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        """Deterministic JSON — byte-identical cold vs warm, strictly
+        valid (non-finite floats become the string sentinels of
+        :func:`repro.utils.serialization.jsonify`)."""
+        return json.dumps(jsonify(self.to_dict()), indent=indent,
+                          sort_keys=True, allow_nan=False)
 
     def save_json(self, path: str, indent: int = 2) -> None:
         """Write :meth:`to_json` to ``path`` (trailing newline included)."""

@@ -12,7 +12,11 @@ Paper artifacts: ``fig1`` … ``fig10`` (with ``fig8a``/``fig8b``) and
 transmit powers beyond Table I, alternate ``Mesh3D`` dimensions,
 oversampling factors and window lengths beyond Fig. 10, the Butler-matrix
 penalty over the full geometry, and an analytic-vs-simulation NoC
-cross-check.
+cross-check, plus the cross-layer NoC engine sweeps: hotspot traffic,
+a transpose-traffic crosscheck, a buffer-depth (backpressure) ablation
+and lossy links whose flit error rate is fed from the coding layer
+(``noc-hotspot-sweep``, ``noc-transpose-crosscheck``,
+``noc-buffer-depth-sweep``, ``noc-lossy-link-sweep``).
 """
 
 from __future__ import annotations
@@ -759,6 +763,172 @@ class _NocCrosscheckWorker:
             "accepted_throughput": simulated.accepted_throughput,
             "saturated": simulated.saturated,
         }
+
+
+# ======================================================================
+# Off-paper — the cross-layer NoC engine (unified NocModel interface)
+# ======================================================================
+@dataclass(frozen=True)
+class _NocEngineSweepWorker:
+    """Analytic and simulated evaluations of one NocSpec at one rate."""
+
+    variants: Tuple[Tuple[str, NocSpec], ...]
+    n_cycles: int
+    warmup_cycles: int
+
+    def __call__(self, params: Mapping, rng: np.random.Generator) -> dict:
+        spec = dict(self.variants)[params["topology"]]
+        rate = params["injection_rate"]
+        analytic = spec.make_model().evaluate(rate)
+        simulated = spec.make_simulated_model(
+            n_cycles=self.n_cycles,
+            warmup_cycles=self.warmup_cycles).evaluate(rate, rng=rng)
+        return {
+            "analytic_latency_cycles": analytic.mean_latency_cycles,
+            "simulated_latency_cycles": simulated.mean_latency_cycles,
+            "analytic_saturated": analytic.saturated,
+            "simulated_saturated": simulated.saturated,
+            "delivered_packets": simulated.delivered_packets,
+            "accepted_throughput": simulated.accepted_throughput,
+        }
+
+
+@register_scenario("noc-hotspot-sweep", "off-paper",
+                   "Hotspot-traffic latency: analytic vs vectorized simulator")
+def _noc_hotspot_sweep(overrides: Overrides) -> Scenario:
+    noc = overrides.apply("noc", NocSpec(topology="mesh2d",
+                                         dimensions=(8, 8),
+                                         concentration=1,
+                                         traffic="hotspot"))
+    variants = (("8x8 2D mesh", noc),)
+    rates = (0.01, 0.02, 0.03, 0.045, 0.06, 0.08, 0.12)
+    return Scenario(
+        "noc-hotspot-sweep", "off-paper",
+        "Hotspot-traffic latency: analytic vs vectorized simulator",
+        specs={"noc": noc},
+        points=[{"topology": label, "injection_rate": rate}
+                for label, _ in variants for rate in rates],
+        worker=_NocEngineSweepWorker(variants, n_cycles=2_500,
+                                     warmup_cycles=500))
+
+
+@register_scenario("noc-transpose-crosscheck", "off-paper",
+                   "Analytic vs simulated latency under transpose traffic")
+def _noc_transpose_crosscheck(overrides: Overrides) -> Scenario:
+    base = overrides.apply("noc", NocSpec(traffic="transpose"))
+    variants = (
+        ("4x4 2D mesh", base.replace(topology="mesh2d", dimensions=(4, 4),
+                                     concentration=1)),
+        ("3x3x3 3D mesh", base.replace(topology="mesh3d",
+                                       dimensions=(3, 3, 3),
+                                       concentration=1)),
+    )
+    rates = (0.02, 0.08)
+    return Scenario(
+        "noc-transpose-crosscheck", "off-paper",
+        "Analytic vs simulated latency under transpose traffic",
+        specs={f"noc[{label}]": spec for label, spec in variants},
+        points=[{"topology": label, "injection_rate": rate}
+                for label, _ in variants for rate in rates],
+        worker=_NocEngineSweepWorker(variants, n_cycles=3_000,
+                                     warmup_cycles=750))
+
+
+@dataclass(frozen=True)
+class _BufferDepthWorker:
+    """One finite-buffer simulation per depth at a fixed offered load."""
+
+    noc: NocSpec
+    injection_rate: float
+    n_cycles: int
+    warmup_cycles: int
+
+    def __call__(self, params: Mapping, rng: np.random.Generator) -> dict:
+        spec = self.noc.replace(
+            buffer_depth_flits=params["buffer_depth_flits"])
+        result = spec.make_simulator().run(
+            self.injection_rate, n_cycles=self.n_cycles,
+            warmup_cycles=self.warmup_cycles, rng=rng)
+        return {
+            "mean_latency_cycles": result.mean_latency_cycles,
+            "accepted_throughput": result.accepted_throughput,
+            "delivered_packets": result.delivered_packets,
+            "offered_packets": result.offered_packets,
+            "saturated": result.saturated,
+        }
+
+
+@register_scenario("noc-buffer-depth-sweep", "off-paper",
+                   "Backpressure ablation: latency/throughput vs buffer depth")
+def _noc_buffer_depth_sweep(overrides: Overrides) -> Scenario:
+    noc = overrides.apply("noc", NocSpec(topology="mesh2d",
+                                         dimensions=(8, 8),
+                                         concentration=1))
+    rate = overrides.scalar("sim.injection_rate", 0.25)
+    depths = (1, 2, 4, 8, 16, 0)  # 0 = infinite (the reference regime)
+    return Scenario(
+        "noc-buffer-depth-sweep", "off-paper",
+        "Backpressure ablation: latency/throughput vs buffer depth",
+        specs={"noc": noc},
+        points=[{"buffer_depth_flits": depth} for depth in depths],
+        worker=_BufferDepthWorker(noc, injection_rate=rate,
+                                  n_cycles=2_500, warmup_cycles=500))
+
+
+@dataclass(frozen=True)
+class _LossyLinkWorker:
+    """Cross-layer point: Eb/N0 -> flit error rate -> NoC latency."""
+
+    noc: NocSpec
+    coding: CodingSpec
+    phy: PhySpec
+    channel: ChannelSpec
+    injection_rate: float
+    n_cycles: int
+    warmup_cycles: int
+
+    def __call__(self, params: Mapping, rng: np.random.Generator) -> dict:
+        # Each replace() neutralizes the other loss knob, so a user-set
+        # --set noc.link_error_rate / noc.ebn0_db base spec cannot trip
+        # the spec's mutual-exclusion check: the swept ebn0_db always
+        # defines the operating point of this scenario.
+        error_rate = self.noc.replace(
+            ebn0_db=params["ebn0_db"],
+            link_error_rate=0.0).effective_link_error_rate(
+                self.coding, self.phy, self.channel)
+        # Derive once and pin the probability, so the reported rate and
+        # the rate the simulator ran with can never diverge.
+        simulator = self.noc.replace(
+            link_error_rate=error_rate, ebn0_db=None).make_simulator()
+        result = simulator.run(self.injection_rate, n_cycles=self.n_cycles,
+                               warmup_cycles=self.warmup_cycles, rng=rng)
+        return {
+            "link_flit_error_rate": error_rate,
+            "mean_latency_cycles": result.mean_latency_cycles,
+            "retransmitted_flits": result.retransmitted_flits,
+            "delivered_packets": result.delivered_packets,
+            "accepted_throughput": result.accepted_throughput,
+            "saturated": result.saturated,
+        }
+
+
+@register_scenario("noc-lossy-link-sweep", "off-paper",
+                   "NoC latency vs link Eb/N0 (flit errors fed from coding)")
+def _noc_lossy_link_sweep(overrides: Overrides) -> Scenario:
+    noc = overrides.apply("noc", NocSpec())
+    coding = overrides.apply("coding", CodingSpec())
+    phy = overrides.apply("phy", PhySpec())
+    channel = overrides.apply("channel", ChannelSpec())
+    rate = overrides.scalar("sim.injection_rate", 0.1)
+    return Scenario(
+        "noc-lossy-link-sweep", "off-paper",
+        "NoC latency vs link Eb/N0 (flit errors fed from coding)",
+        specs={"noc": noc, "coding": coding, "phy": phy, "channel": channel},
+        points=[{"ebn0_db": float(ebn0)}
+                for ebn0 in (0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 4.0)],
+        worker=_LossyLinkWorker(noc, coding, phy, channel,
+                                injection_rate=rate, n_cycles=2_500,
+                                warmup_cycles=500))
 
 
 @register_scenario("noc-sim-crosscheck", "off-paper",

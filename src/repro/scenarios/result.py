@@ -19,7 +19,7 @@ import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-from repro.utils.serialization import to_plain
+from repro.utils.serialization import jsonify, to_plain
 
 
 @dataclass(frozen=True)
@@ -124,8 +124,15 @@ class ScenarioResult:
 
     def to_json(self, indent: int = 2) -> str:
         """Deterministic JSON (sorted keys, no timestamps, no cache
-        provenance) — byte-identical for cold and warm runs alike."""
-        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+        provenance) — byte-identical for cold and warm runs alike.
+
+        Strictly valid JSON: infinite latencies (saturated NoC points)
+        and NaNs are exported as the string sentinels of
+        :func:`repro.utils.serialization.jsonify`, never as the bare
+        ``Infinity``/``NaN`` tokens strict parsers reject.
+        """
+        return json.dumps(jsonify(self.to_dict()), indent=indent,
+                          sort_keys=True, allow_nan=False)
 
     def save_json(self, path: str, indent: int = 2) -> None:
         """Write :meth:`to_json` to ``path`` (trailing newline included)."""

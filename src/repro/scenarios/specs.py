@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
-from typing import Any, Dict, Mapping, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro.utils.constants import (
     PAPER_CENTER_FREQUENCY_HZ,
@@ -263,7 +263,18 @@ class CodingSpec(SpecBase):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class NocSpec(SpecBase):
-    """Section IV — the intra-stack Network-in-Chip-Stack."""
+    """Section IV — the intra-stack Network-in-Chip-Stack.
+
+    Beyond the topology and router calibration, the spec carries the
+    cross-layer NoC engine knobs: ``traffic`` and ``routing`` select the
+    pattern/algorithm by registry name, ``buffer_depth_flits`` enables
+    finite channel buffers with backpressure (0 = infinite),
+    ``link_error_rate`` makes every link traversal lossy with that flit
+    error probability, and ``ebn0_db`` derives that probability from the
+    coding layer instead (via
+    :func:`repro.core.crosslayer.link_flit_error_rate`); setting both
+    ``link_error_rate`` and ``ebn0_db`` is rejected as ambiguous.
+    """
 
     TOPOLOGIES = ("mesh2d", "mesh3d", "starmesh", "ciliated3d")
 
@@ -273,9 +284,22 @@ class NocSpec(SpecBase):
     pipeline_latency_cycles: float = 2.0
     service_time_cycles: float = 1.2
     link_latency_cycles: float = 0.0
+    traffic: str = "uniform"
+    routing: str = "dimension_ordered"
+    buffer_depth_flits: int = 0
+    link_error_rate: float = 0.0
+    ebn0_db: Optional[float] = None
 
     def __post_init__(self) -> None:
+        # Traffic/routing names validate against the registries they
+        # resolve through, so adding a pattern or algorithm there is
+        # enough (no second list to keep in sync here).
+        from repro.noc.routing import ROUTING_ALGORITHMS
+        from repro.noc.traffic import TRAFFIC_PATTERNS
+
         _check_choice("topology", self.topology, self.TOPOLOGIES)
+        _check_choice("traffic", self.traffic, tuple(TRAFFIC_PATTERNS))
+        _check_choice("routing", self.routing, tuple(ROUTING_ALGORITHMS))
         object.__setattr__(self, "dimensions",
                            tuple(int(v) for v in self.dimensions))
         expected = 2 if self.topology in ("mesh2d", "starmesh") else 3
@@ -293,6 +317,16 @@ class NocSpec(SpecBase):
                            self.pipeline_latency_cycles)
         check_positive("service_time_cycles", self.service_time_cycles)
         check_non_negative("link_latency_cycles", self.link_latency_cycles)
+        if self.buffer_depth_flits < 0:
+            raise ValueError("buffer_depth_flits must be non-negative "
+                             "(0 models infinite buffers)")
+        if not 0.0 <= self.link_error_rate < 1.0:
+            raise ValueError("link_error_rate must lie in [0, 1)")
+        if self.ebn0_db is not None and self.link_error_rate > 0.0:
+            raise ValueError(
+                "give either link_error_rate (a direct per-hop flit error "
+                "probability) or ebn0_db (derive it from the coding "
+                "layer), not both")
 
     def make_topology(self):
         """Instantiate the :class:`repro.noc.GridTopology` subclass."""
@@ -318,31 +352,86 @@ class NocSpec(SpecBase):
             link_latency_cycles=self.link_latency_cycles,
         )
 
+    def make_traffic_class(self):
+        """Traffic pattern class named by :attr:`traffic`."""
+        from repro.noc.traffic import make_traffic_class
+
+        return make_traffic_class(self.traffic)
+
+    def make_routing_class(self):
+        """Routing algorithm class named by :attr:`routing`."""
+        from repro.noc.routing import make_routing_class
+
+        return make_routing_class(self.routing)
+
     def make_model(self):
-        """Analytic queueing model for this NoC."""
+        """Analytic queueing model for this NoC (traffic/routing-aware)."""
         from repro.noc.analytic import AnalyticNocModel
 
         return AnalyticNocModel(self.make_topology(),
-                                router=self.router_parameters())
+                                router=self.router_parameters(),
+                                traffic_class=self.make_traffic_class(),
+                                routing_class=self.make_routing_class())
 
-    def make_simulator(self):
-        """Cycle-level simulator for this NoC.
+    def effective_link_error_rate(self, coding=None, phy=None,
+                                  channel=None) -> float:
+        """Per-hop flit error probability this spec asks for.
 
-        The simulator counts whole cycles, so a fractional
-        ``pipeline_latency_cycles`` (which the analytic model accepts) is
-        rejected here rather than silently truncated — otherwise a
-        model-vs-simulation comparison would quietly run two different
-        configurations.
+        Plain :attr:`link_error_rate` unless :attr:`ebn0_db` is set, in
+        which case the probability is derived from the coding layer via
+        :func:`repro.core.crosslayer.link_flit_error_rate`; the optional
+        ``coding``/``phy``/``channel`` specs override the cross-layer
+        defaults.
+        """
+        if self.ebn0_db is None:
+            return self.link_error_rate
+        from repro.core.crosslayer import link_flit_error_rate
+
+        return link_flit_error_rate(coding or CodingSpec(),
+                                    phy or PhySpec(),
+                                    channel or ChannelSpec(),
+                                    ebn0_db=self.ebn0_db)
+
+    def _integer_cycles(self, name: str) -> int:
+        value = getattr(self, name)
+        if value != int(value):
+            raise ValueError(
+                f"the cycle-level simulator needs an integer {name}, "
+                f"got {value}")
+        return int(value)
+
+    def make_simulator(self, coding=None, phy=None, channel=None):
+        """Cycle-level simulator for this NoC (all engine knobs threaded).
+
+        The simulator counts whole cycles, so fractional
+        ``pipeline_latency_cycles`` / ``link_latency_cycles`` (which the
+        analytic model accepts) are rejected here rather than silently
+        truncated — otherwise a model-vs-simulation comparison would
+        quietly run two different configurations.  The optional layer
+        specs feed the cross-layer :attr:`ebn0_db` derivation.
         """
         from repro.noc.simulator import NocSimulator
 
-        pipeline = self.pipeline_latency_cycles
-        if pipeline != int(pipeline):
-            raise ValueError(
-                "the cycle-level simulator needs an integer "
-                f"pipeline_latency_cycles, got {pipeline}")
-        return NocSimulator(self.make_topology(),
-                            pipeline_latency_cycles=int(pipeline))
+        return NocSimulator(
+            self.make_topology(),
+            pipeline_latency_cycles=self._integer_cycles(
+                "pipeline_latency_cycles"),
+            traffic_class=self.make_traffic_class(),
+            routing_class=self.make_routing_class(),
+            link_latency_cycles=self._integer_cycles("link_latency_cycles"),
+            buffer_depth_flits=self.buffer_depth_flits or None,
+            link_error_rate=self.effective_link_error_rate(coding, phy,
+                                                           channel))
+
+    def make_simulated_model(self, n_cycles: int = 4_000,
+                             warmup_cycles: int = 1_000,
+                             coding=None, phy=None, channel=None):
+        """Simulator wrapped in the unified :class:`~repro.noc.model.NocModel` shape."""
+        from repro.noc.model import SimulatedNocModel
+
+        return SimulatedNocModel(self.make_simulator(coding, phy, channel),
+                                 n_cycles=n_cycles,
+                                 warmup_cycles=warmup_cycles)
 
 
 # ----------------------------------------------------------------------

@@ -10,6 +10,7 @@ the same seed serialize byte-for-byte identically.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import Any
 
 import numpy as np
@@ -43,3 +44,24 @@ def to_plain(value: Any) -> Any:
                 for field in dataclasses.fields(value)}
     raise TypeError(f"cannot convert {type(value).__name__} to a plain "
                     "JSON-serializable value")
+
+
+def jsonify(value: Any) -> Any:
+    """``to_plain`` output with non-finite floats as string sentinels.
+
+    ``json.dumps`` writes ``inf``/``nan`` as the bare tokens
+    ``Infinity``/``NaN``, which strict JSON parsers (``jq``, JavaScript's
+    ``JSON.parse``) reject.  Saturated NoC latencies are *defined* to be
+    infinite, so the JSON exporters pass their payload through this
+    helper: non-finite floats become the strings ``"Infinity"``,
+    ``"-Infinity"`` and ``"NaN"``, everything else is returned unchanged.
+    """
+    if isinstance(value, float) and not math.isfinite(value):
+        if math.isnan(value):
+            return "NaN"
+        return "Infinity" if value > 0 else "-Infinity"
+    if isinstance(value, dict):
+        return {key: jsonify(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [jsonify(item) for item in value]
+    return value

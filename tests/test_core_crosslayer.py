@@ -1,0 +1,134 @@
+"""Tests for the PHY/coding -> NoC bridge (repro.core.crosslayer)."""
+
+import math
+
+import pytest
+
+from repro.core.crosslayer import (
+    coded_residual_ber,
+    link_flit_error_rate,
+    link_operating_ebn0_db,
+    raw_channel_ber,
+)
+from repro.scenarios.specs import ChannelSpec, CodingSpec, PhySpec
+
+CODING = CodingSpec()
+PHY = PhySpec()
+CHANNEL = ChannelSpec()
+
+
+class TestRawChannelBer:
+    def test_matches_q_function_anchor(self):
+        # Q(1) ~ 0.1587 at R*Eb/N0 = 0.5 (0 dB, rate 1/2).
+        assert raw_channel_ber(0.0, 0.5) == pytest.approx(0.1587, abs=1e-3)
+
+    def test_monotone_decreasing_in_ebn0(self):
+        values = [raw_channel_ber(ebn0, 0.5) for ebn0 in (-2.0, 0.0, 3.0, 6.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rate_validation(self):
+        with pytest.raises(ValueError):
+            raw_channel_ber(1.0, 0.0)
+        with pytest.raises(ValueError):
+            raw_channel_ber(1.0, 1.5)
+
+
+class TestCodedResidualBer:
+    def test_monotone_decreasing_and_bounded(self):
+        grid = (-1.0, 0.5, 1.0, 1.5, 2.0, 3.0, 5.0)
+        values = [coded_residual_ber(CODING, ebn0) for ebn0 in grid]
+        assert values == sorted(values, reverse=True)
+        assert all(0.0 <= value < 0.5 for value in values)
+
+    def test_waterfall_anchored_at_de_threshold(self):
+        threshold = CODING.de_threshold_db()
+        below = coded_residual_ber(CODING, threshold - 1.0)
+        above = coded_residual_ber(CODING, threshold + 2.0)
+        # Below threshold decoding barely helps; 2 dB above it the
+        # residual BER has fallen by orders of magnitude.
+        assert below > 0.5 * raw_channel_ber(threshold - 1.0,
+                                             CODING.design_rate)
+        assert above < 1e-3 * below
+
+    def test_monte_carlo_path_uses_the_real_decoder(self):
+        # A tiny block code far above threshold: the measured BER must be
+        # (near) zero, and the call must be reproducible.
+        coding = CodingSpec(family="ldpc-bc", lifting_factor=10)
+        measured = coded_residual_ber(coding, 6.0, mc_codewords=4, rng=0)
+        assert measured == coded_residual_ber(coding, 6.0, mc_codewords=4,
+                                              rng=0)
+        assert measured <= 1e-2
+
+
+class TestLinkOperatingEbn0:
+    def test_tracks_transmit_power_db_for_db(self):
+        low = link_operating_ebn0_db(CHANNEL, PHY, CODING, tx_power_dbm=0.0)
+        high = link_operating_ebn0_db(CHANNEL, PHY, CODING, tx_power_dbm=10.0)
+        assert high - low == pytest.approx(10.0)
+
+    def test_longer_links_deliver_less_ebn0(self):
+        near = link_operating_ebn0_db(CHANNEL, PHY, CODING)
+        far = link_operating_ebn0_db(ChannelSpec(distance_m=0.3), PHY, CODING)
+        assert far < near
+
+
+class TestLinkFlitErrorRate:
+    def test_latency_relevant_range_and_monotonicity(self):
+        grid = (0.5, 1.0, 2.0, 3.0, 4.0)
+        values = [link_flit_error_rate(CODING, PHY, CHANNEL, ebn0_db=ebn0)
+                  for ebn0 in grid]
+        assert values == sorted(values, reverse=True)
+        assert all(0.0 <= value < 1.0 for value in values)
+        # Below threshold the link is hopeless, well above it pristine.
+        assert values[0] > 0.5
+        assert values[-1] < 1e-6
+
+    def test_more_payload_bits_mean_more_flit_errors(self):
+        small = link_flit_error_rate(CODING, PHY, CHANNEL, ebn0_db=1.5,
+                                     flit_payload_bits=16)
+        large = link_flit_error_rate(CODING, PHY, CHANNEL, ebn0_db=1.5,
+                                     flit_payload_bits=256)
+        assert 0.0 < small < large < 1.0
+
+    def test_single_bit_flit_equals_residual_ber(self):
+        flit = link_flit_error_rate(CODING, PHY, CHANNEL, ebn0_db=1.5,
+                                    flit_payload_bits=1)
+        assert flit == pytest.approx(coded_residual_ber(CODING, 1.5),
+                                     rel=1e-9)
+
+    def test_ebn0_derived_from_channel_budget_when_omitted(self):
+        derived = link_flit_error_rate(CODING, PHY, CHANNEL)
+        pinned = link_flit_error_rate(
+            CODING, PHY, CHANNEL,
+            ebn0_db=link_operating_ebn0_db(CHANNEL, PHY, CODING))
+        assert derived == pytest.approx(pinned)
+
+    def test_payload_validation(self):
+        with pytest.raises(ValueError):
+            link_flit_error_rate(CODING, PHY, CHANNEL, ebn0_db=2.0,
+                                 flit_payload_bits=0)
+
+
+class TestNocSpecIntegration:
+    def test_effective_rate_prefers_direct_probability(self):
+        from repro.scenarios.specs import NocSpec
+
+        assert NocSpec(link_error_rate=0.25).effective_link_error_rate() \
+            == 0.25
+        assert NocSpec().effective_link_error_rate() == 0.0
+
+    def test_effective_rate_derives_from_ebn0(self):
+        from repro.scenarios.specs import NocSpec
+
+        spec = NocSpec(ebn0_db=1.5)
+        expected = link_flit_error_rate(CODING, PHY, CHANNEL, ebn0_db=1.5)
+        assert spec.effective_link_error_rate(CODING, PHY, CHANNEL) == \
+            pytest.approx(expected)
+        simulator = spec.make_simulator(CODING, PHY, CHANNEL)
+        assert simulator.link_error_rate == pytest.approx(expected)
+
+    def test_ambiguous_spec_rejected(self):
+        from repro.scenarios.specs import NocSpec
+
+        with pytest.raises(ValueError, match="not both"):
+            NocSpec(link_error_rate=0.1, ebn0_db=2.0)

@@ -1,0 +1,124 @@
+"""Tests for the unified NocModel protocol (repro.noc.model)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.system import WirelessInterconnectSystem
+from repro.noc.analytic import AnalyticNocModel, LatencyResult
+from repro.noc.model import NocEvaluation, NocModel, SimulatedNocModel
+from repro.noc.simulator import NocSimulator
+from repro.noc.topology import Mesh2D, Mesh3D
+from repro.scenarios.specs import NocSpec
+
+
+class TestProtocolConformance:
+    def test_both_engines_satisfy_the_protocol(self):
+        topology = Mesh2D(4, 4)
+        assert isinstance(AnalyticNocModel(topology), NocModel)
+        assert isinstance(SimulatedNocModel(NocSimulator(topology)), NocModel)
+
+    def test_analytic_evaluate_matches_point_queries(self):
+        model = AnalyticNocModel(Mesh2D(4, 4))
+        evaluation = model.evaluate(0.1)
+        assert isinstance(evaluation, NocEvaluation)
+        assert evaluation.source == "analytic"
+        assert evaluation.mean_latency_cycles == pytest.approx(
+            model.mean_latency(0.1))
+        assert evaluation.accepted_throughput == pytest.approx(0.1)
+        assert not evaluation.saturated
+        assert evaluation.delivered_packets is None
+
+    def test_analytic_evaluate_past_saturation(self):
+        model = AnalyticNocModel(Mesh2D(4, 4))
+        evaluation = model.evaluate(2.0 * model.saturation_rate())
+        assert evaluation.saturated
+        assert evaluation.mean_latency_cycles == math.inf
+        assert evaluation.accepted_throughput == pytest.approx(
+            model.saturation_rate())
+
+    def test_simulated_evaluate_reports_counters(self):
+        model = SimulatedNocModel(NocSimulator(Mesh2D(4, 4)),
+                                  n_cycles=1_500, warmup_cycles=300)
+        evaluation = model.evaluate(0.1, rng=0)
+        assert evaluation.source == "simulated"
+        assert evaluation.delivered_packets > 0
+        assert evaluation.offered_packets >= evaluation.delivered_packets
+        assert math.isfinite(evaluation.mean_latency_cycles)
+
+    def test_simulated_evaluate_is_reproducible(self):
+        model = SimulatedNocModel(NocSimulator(Mesh2D(4, 4)),
+                                  n_cycles=1_000, warmup_cycles=200)
+        assert model.evaluate(0.1, rng=5) == model.evaluate(0.1, rng=5)
+
+
+class TestEngineAgreement:
+    """The point of the shared interface: both engines answer the same
+    question with compatible numbers."""
+
+    @pytest.mark.parametrize("topology_factory", [
+        lambda: Mesh2D(4, 4),
+        lambda: Mesh3D(3, 3, 2),
+    ])
+    def test_low_load_agreement_through_the_protocol(self, topology_factory):
+        topology = topology_factory()
+        models = (AnalyticNocModel(topology),
+                  SimulatedNocModel(NocSimulator(topology),
+                                    n_cycles=4_000, warmup_cycles=1_000))
+        evaluations = [model.evaluate(0.05, rng=3) for model in models]
+        analytic, simulated = evaluations
+        assert simulated.mean_latency_cycles == pytest.approx(
+            analytic.mean_latency_cycles, rel=0.25)
+
+    def test_latency_curves_share_the_result_shape(self):
+        topology = Mesh2D(4, 4)
+        rates = (0.02, 0.1)
+        analytic = AnalyticNocModel(topology).latency_curve(rates)
+        simulated = SimulatedNocModel(
+            NocSimulator(topology), n_cycles=2_000,
+            warmup_cycles=400).latency_curve(rates, rng=0)
+        for curve in (analytic, simulated):
+            assert isinstance(curve, LatencyResult)
+            assert curve.topology_name == topology.name
+            assert curve.mean_latency_cycles.shape == (2,)
+        assert simulated.zero_load_latency() == pytest.approx(
+            analytic.zero_load_latency(), rel=0.25)
+
+    def test_simulated_curve_rejects_empty_grid(self):
+        model = SimulatedNocModel(NocSimulator(Mesh2D(3, 3)))
+        with pytest.raises(ValueError):
+            model.latency_curve([])
+
+    def test_simulated_model_validates_warmup(self):
+        with pytest.raises(ValueError):
+            SimulatedNocModel(NocSimulator(Mesh2D(3, 3)), n_cycles=100,
+                              warmup_cycles=100)
+
+
+class TestSpecAndSystemEntryPoints:
+    def test_nocspec_builds_both_models(self):
+        spec = NocSpec(topology="mesh2d", dimensions=(4, 4))
+        assert isinstance(spec.make_model(), NocModel)
+        model = spec.make_simulated_model(n_cycles=800, warmup_cycles=100)
+        assert isinstance(model, NocModel)
+        assert model.topology.n_modules == 16
+
+    def test_system_exposes_simulated_model_alongside_analytic(self):
+        system = WirelessInterconnectSystem(stack_mesh_shape=(3, 3, 2))
+        analytic = system.noc_model()
+        simulated = system.simulated_noc_model(n_cycles=3_000,
+                                               warmup_cycles=600)
+        assert isinstance(simulated, NocModel)
+        assert simulated.topology is system.stack_topology
+        low = simulated.evaluate(0.05, rng=2)
+        assert low.mean_latency_cycles == pytest.approx(
+            analytic.mean_latency(0.05), rel=0.25)
+
+    def test_system_simulated_model_accepts_link_errors(self):
+        system = WirelessInterconnectSystem(stack_mesh_shape=(3, 3, 2))
+        lossy = system.simulated_noc_model(n_cycles=1_500, warmup_cycles=300,
+                                           link_error_rate=0.2)
+        clean = system.simulated_noc_model(n_cycles=1_500, warmup_cycles=300)
+        assert lossy.evaluate(0.05, rng=4).mean_latency_cycles > \
+            clean.evaluate(0.05, rng=4).mean_latency_cycles

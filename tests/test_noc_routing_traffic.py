@@ -168,3 +168,86 @@ class TestTrafficPatterns:
         base = UniformTraffic(topology, 1.0).rate_matrix()
         scaled = UniformTraffic(topology, rate).rate_matrix()
         np.testing.assert_allclose(scaled, rate * base, atol=1e-12)
+
+
+# ----------------------------------------------------------------------
+# Property tests: routing equivalence and traffic-rate invariants
+# ----------------------------------------------------------------------
+from repro.noc.topology import GridTopology  # noqa: E402
+
+mesh_dimensions = st.lists(st.integers(min_value=1, max_value=4),
+                           min_size=2, max_size=3)
+concentrations = st.integers(min_value=1, max_value=3)
+
+
+class TestRoutingProperties:
+    @given(mesh_dimensions)
+    @settings(max_examples=25, deadline=None)
+    def test_dor_and_shortest_path_hop_counts_agree_on_meshes(self, dims):
+        # Dimension-ordered routing is minimal on every mesh, so its hop
+        # counts must equal BFS shortest paths for all router pairs.
+        topology = GridTopology(dims)
+        dor = DimensionOrderedRouting(topology)
+        spf = ShortestPathRouting(topology)
+        for source in range(topology.n_routers):
+            for destination in range(topology.n_routers):
+                assert dor.hop_count(source, destination) == \
+                    spf.hop_count(source, destination)
+
+    @given(mesh_dimensions)
+    @settings(max_examples=15, deadline=None)
+    def test_next_router_tables_take_one_minimal_step(self, dims):
+        # Every table entry must be the second router of the full path
+        # (DOR) or one hop closer to the destination (both routings).
+        topology = GridTopology(dims)
+        for routing_class in (DimensionOrderedRouting, ShortestPathRouting):
+            routing = routing_class(topology)
+            table = routing.next_router_table()
+            assert table.shape == (topology.n_routers, topology.n_routers)
+            for source in range(topology.n_routers):
+                for destination in range(topology.n_routers):
+                    step = int(table[source, destination])
+                    if source == destination:
+                        assert step == source
+                        continue
+                    assert topology.router_distance(source, step) == 1
+                    assert topology.router_distance(step, destination) == \
+                        topology.router_distance(source, destination) - 1
+
+    @given(mesh_dimensions)
+    @settings(max_examples=15, deadline=None)
+    def test_dor_table_matches_router_path(self, dims):
+        topology = GridTopology(dims)
+        routing = DimensionOrderedRouting(topology)
+        table = routing.next_router_table()
+        for source in range(topology.n_routers):
+            for destination in range(topology.n_routers):
+                path = routing.router_path(source, destination)
+                expected = path[1] if len(path) > 1 else source
+                assert int(table[source, destination]) == expected
+
+
+class TestTrafficRateProperties:
+    @given(mesh_dimensions, concentrations,
+           st.floats(min_value=1e-6, max_value=1.0))
+    @settings(max_examples=25, deadline=None)
+    def test_every_pattern_row_sums_to_injection_rate(self, dims,
+                                                      concentration, rate):
+        # The shared invariant: every module with at least one
+        # destination offers exactly ``injection_rate`` flits/cycle.
+        # (A module without destinations — a 1-module network, or the
+        # transpose fixed point — offers nothing.)
+        topology = GridTopology(dims, concentration=concentration)
+        for pattern_class in (UniformTraffic, HotspotTraffic,
+                              TransposeTraffic, NeighborTraffic):
+            rates = pattern_class(topology, rate).rate_matrix()
+            assert rates.shape == (topology.n_modules, topology.n_modules)
+            assert np.all(rates >= 0.0)
+            assert np.all(np.diag(rates) == 0.0)
+            row_sums = rates.sum(axis=1)
+            has_destinations = row_sums > 0.0
+            np.testing.assert_allclose(row_sums[has_destinations], rate,
+                                       rtol=1e-9)
+            if topology.n_modules > 1 and pattern_class is not TransposeTraffic:
+                # Only the transpose fixed point may be silent.
+                assert has_destinations.all()

@@ -20,12 +20,32 @@ class TestListAndDescribe:
         assert set(listed) == set(scenario_names())
         assert len(listed) >= 15
 
+    def test_list_only_glob_filters(self, capsys):
+        assert main(["list", "--only", "noc-*"]) == 0
+        listed = [line.split()[0]
+                  for line in capsys.readouterr().out.splitlines() if line]
+        assert listed
+        assert all(name.startswith("noc-") for name in listed)
+        assert "noc-lossy-link-sweep" in listed
+
+    def test_list_only_no_match_fails_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["list", "--only", "zzz-*"])
+
     def test_describe_emits_json(self, capsys):
         assert main(["describe", "fig10"]) == 0
         payload = json.loads(capsys.readouterr().out)
         assert payload["scenario"] == "fig10"
         assert payload["specs"]["coding"]["spec_type"] == "CodingSpec"
         assert payload["n_points"] > 0
+
+    def test_describe_cross_layer_noc_scenario(self, capsys):
+        assert main(["describe", "noc-lossy-link-sweep"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["scenario"] == "noc-lossy-link-sweep"
+        assert payload["specs"]["noc"]["spec_type"] == "NocSpec"
+        assert payload["specs"]["coding"]["spec_type"] == "CodingSpec"
+        assert "ebn0_db" in payload["axes"]
 
     def test_unknown_scenario_fails_cleanly(self, capsys):
         assert main(["describe", "fig99"]) == 2

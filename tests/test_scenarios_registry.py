@@ -5,6 +5,7 @@ import json
 import os
 import re
 
+import numpy as np
 import pytest
 
 import repro
@@ -22,9 +23,42 @@ BENCHMARK_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
                              "benchmarks")
 
 
+#: The cross-layer NoC engine scenarios added with the unified NocModel
+#: refactor — all four must stay registered.
+NOC_ENGINE_SCENARIOS = {
+    "noc-hotspot-sweep",
+    "noc-transpose-crosscheck",
+    "noc-buffer-depth-sweep",
+    "noc-lossy-link-sweep",
+}
+
+
 class TestRegistryCompleteness:
-    def test_at_least_15_scenarios(self):
-        assert len(scenario_names()) >= 15
+    def test_at_least_25_scenarios(self):
+        assert len(scenario_names()) >= 25
+
+    def test_cross_layer_noc_scenarios_registered(self):
+        names = set(scenario_names())
+        missing = NOC_ENGINE_SCENARIOS - names
+        assert not missing, f"missing cross-layer NoC scenarios: {missing}"
+
+    def test_cross_layer_noc_scenarios_build_and_describe(self):
+        for name in sorted(NOC_ENGINE_SCENARIOS):
+            description = describe_scenario(name)
+            assert description["scenario"] == name
+            assert description["n_points"] > 0
+            assert "noc" in "".join(description["specs"])
+
+    def test_lossy_link_sweep_accepts_loss_knob_overrides(self):
+        # Regression: a --set noc.ebn0_db / noc.link_error_rate override
+        # used to trip NocSpec's mutual-exclusion check inside the worker
+        # (the swept ebn0_db replace kept the user's other knob).
+        for overrides in ({"noc.ebn0_db": 3.0},
+                          {"noc.link_error_rate": 0.05}):
+            scenario = build_scenario("noc-lossy-link-sweep", overrides)
+            value = scenario.worker({"ebn0_db": 4.0},
+                                    np.random.default_rng(0))
+            assert value["link_flit_error_rate"] < 1e-6
 
     def test_every_benchmark_figure_has_a_scenario(self):
         # Benchmark files are named test_bench_<artifact>_*.py; every
@@ -114,6 +148,19 @@ class TestScenarioResult:
         payload = json.loads(first.to_json())
         assert payload["scenario"] == "fig7"
         assert payload["n_points"] == len(first)
+
+    def test_infinite_latencies_export_as_strict_json(self):
+        # fig8a's analytic curves contain inf past saturation; the JSON
+        # export must stay strictly valid (no bare Infinity tokens) and
+        # represent them as the "Infinity" string sentinel.
+        text = run_scenario("fig8a").to_json()
+
+        def reject(token):  # pragma: no cover - called only on regression
+            raise AssertionError(f"bare non-finite token {token!r} in JSON")
+
+        payload = json.loads(text, parse_constant=reject)
+        latencies = payload["points"][0]["value"]["mean_latency_cycles"]
+        assert "Infinity" in latencies
 
     def test_fixed_seed_reproducibility_of_stochastic_scenario(self):
         # fig1 fits pathloss exponents from VNA noise drawn through the

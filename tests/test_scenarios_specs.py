@@ -21,6 +21,10 @@ CUSTOMISED = (
             dual_polarization=False),
     CodingSpec(family="ldpc-bc", lifting_factor=200),
     NocSpec(topology="starmesh", dimensions=(4, 4), concentration=4),
+    NocSpec(traffic="hotspot", routing="shortest_path",
+            buffer_depth_flits=4, link_error_rate=0.01),
+    NocSpec(topology="mesh2d", dimensions=(4, 4), traffic="transpose",
+            ebn0_db=2.0),
     SystemSpec(n_boards=3, stack_mesh_shape=(2, 2, 2), tx_power_dbm=0.0),
 )
 
@@ -79,6 +83,18 @@ class TestValidation:
             NocSpec(topology="mesh2d", dimensions=(4, 4, 4))
         with pytest.raises(ValueError, match="dimensions"):
             NocSpec(topology="mesh3d", dimensions=(4, 4))
+
+    def test_noc_spec_cross_layer_knobs(self):
+        with pytest.raises(ValueError, match="traffic"):
+            NocSpec(traffic="tornado")
+        with pytest.raises(ValueError, match="routing"):
+            NocSpec(routing="adaptive")
+        with pytest.raises(ValueError, match="buffer_depth_flits"):
+            NocSpec(buffer_depth_flits=-1)
+        with pytest.raises(ValueError, match="link_error_rate"):
+            NocSpec(link_error_rate=1.0)
+        with pytest.raises(ValueError, match="not both"):
+            NocSpec(link_error_rate=0.1, ebn0_db=2.0)
 
     def test_noc_spec_zero_pipeline_is_a_valid_simulator_regime(self):
         # The cycle-level simulator explicitly supports zero pipeline
@@ -146,6 +162,30 @@ class TestBuilders:
         assert star.n_modules == 64
         model = NocSpec().make_model()
         assert model.zero_load_latency() > 0.0
+
+    def test_noc_spec_threads_engine_knobs_into_both_models(self):
+        from repro.noc.routing import ShortestPathRouting
+        from repro.noc.traffic import TransposeTraffic
+
+        spec = NocSpec(topology="mesh2d", dimensions=(4, 4),
+                       traffic="transpose", routing="shortest_path",
+                       buffer_depth_flits=4, link_error_rate=0.05,
+                       link_latency_cycles=1.0)
+        simulator = spec.make_simulator()
+        assert simulator.traffic_class is TransposeTraffic
+        assert isinstance(simulator.routing, ShortestPathRouting)
+        assert simulator.buffer_depth_flits == 4
+        assert simulator.link_error_rate == 0.05
+        assert simulator.link_latency_cycles == 1
+        model = spec.make_model()
+        assert model.traffic_class is TransposeTraffic
+        assert isinstance(model.routing, ShortestPathRouting)
+
+    def test_noc_spec_simulator_rejects_fractional_link_latency(self):
+        spec = NocSpec(dimensions=(2, 2, 2), link_latency_cycles=0.5)
+        assert spec.make_model().router.link_latency_cycles == 0.5
+        with pytest.raises(ValueError, match="integer"):
+            spec.make_simulator()
 
     def test_system_spec_builds_system(self):
         system = SystemSpec(n_boards=2).make_system()

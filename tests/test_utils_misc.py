@@ -1,5 +1,7 @@
 """Unit tests for repro.utils.rng and repro.utils.validation."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -76,3 +78,22 @@ class TestValidation:
         assert check_choice("mode", "a", ("a", "b")) == "a"
         with pytest.raises(ValueError):
             check_choice("mode", "c", ("a", "b"))
+
+
+class TestJsonify:
+    def test_non_finite_floats_become_string_sentinels(self):
+        from repro.utils.serialization import jsonify
+
+        payload = {"a": float("inf"), "b": [float("-inf"), float("nan")],
+                   "c": {"nested": 1.5}, "d": "text", "e": None}
+        cleaned = jsonify(payload)
+        assert cleaned == {"a": "Infinity", "b": ["-Infinity", "NaN"],
+                           "c": {"nested": 1.5}, "d": "text", "e": None}
+        # The result round-trips through a strict JSON serializer.
+        json.dumps(cleaned, allow_nan=False)
+
+    def test_finite_payloads_pass_through_unchanged(self):
+        from repro.utils.serialization import jsonify
+
+        payload = {"x": [1, 2.5, True, "s", None]}
+        assert jsonify(payload) == payload

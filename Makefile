@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint smoke bench scenarios run-scenario run-all noc
+.PHONY: test lint smoke bench scenarios run-scenario run-all noc phy
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks.
 test:
@@ -40,6 +40,18 @@ noc:
 	$(PYTHON) -m repro run noc-hotspot-sweep
 	$(PYTHON) -m repro run noc-buffer-depth-sweep
 	$(PYTHON) -m repro run noc-lossy-link-sweep
+
+# The waveform transceiver pipeline scenarios: coded BER over the real
+# 1-bit PHY vs the BPSK/AWGN baseline, BCJR-vs-symbolwise soft demod and
+# the oversampling x window-size ablation (reduced Monte-Carlo size —
+# raise mc.n_codewords for publication-quality curves).
+phy:
+	$(PYTHON) -m repro run phy-detector-comparison --seed 0 \
+		--set mc.n_codewords=2
+	$(PYTHON) -m repro run coded-ber-waveform-sweep --seed 0 \
+		--set mc.n_codewords=2
+	$(PYTHON) -m repro run phy-oversampling-coding-ablation --seed 0 \
+		--set mc.n_codewords=2
 
 # Run one named scenario, e.g.:
 #   make run-scenario NAME=table1 ARGS="--json out.json"

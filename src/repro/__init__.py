@@ -29,7 +29,7 @@ gives the links, the system, the sweep engine and the scenario registry;
 :mod:`repro.api` is the same facade as a flat importable module.
 """
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 from repro import channel, coding, core, noc, phy, utils
 from repro.core import (
@@ -47,6 +47,12 @@ from repro.core import (
     parameter_grid,
 )
 from repro.noc import NocEvaluation, NocModel, SimulatedNocModel
+from repro.phy import (
+    BpskAwgnFrontend,
+    ChannelFrontend,
+    OneBitWaveformFrontend,
+    TrellisKernel,
+)
 from repro.scenarios import (
     Campaign,
     CampaignEntry,
@@ -91,6 +97,11 @@ __all__ = [
     "NocEvaluation",
     "SimulatedNocModel",
     "link_flit_error_rate",
+    # waveform transceiver pipeline
+    "ChannelFrontend",
+    "BpskAwgnFrontend",
+    "OneBitWaveformFrontend",
+    "TrellisKernel",
     # execution stores
     "RunStore",
     "MemoryStore",

@@ -33,6 +33,12 @@ from repro.core import (
     parameter_grid,
 )
 from repro.noc import NocEvaluation, NocModel, SimulatedNocModel
+from repro.phy import (
+    BpskAwgnFrontend,
+    ChannelFrontend,
+    OneBitWaveformFrontend,
+    TrellisKernel,
+)
 from repro.scenarios import (
     Campaign,
     CampaignEntry,
@@ -68,6 +74,10 @@ __all__ = [
     "NocEvaluation",
     "SimulatedNocModel",
     "link_flit_error_rate",
+    "ChannelFrontend",
+    "BpskAwgnFrontend",
+    "OneBitWaveformFrontend",
+    "TrellisKernel",
     "RunStore",
     "MemoryStore",
     "DiskStore",

@@ -14,7 +14,7 @@ and the generic log-distance model used throughout the link-budget code.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Union
+from typing import Optional, Union
 
 import numpy as np
 
@@ -90,7 +90,7 @@ class LogDistancePathLossModel:
     frequency_hz: float
     exponent: float = PAPER_FREESPACE_EXPONENT
     reference_distance_m: float = 0.01
-    reference_loss_db: float = None  # type: ignore[assignment]
+    reference_loss_db: Optional[float] = None
 
     def __post_init__(self) -> None:
         check_positive("frequency_hz", self.frequency_hz)

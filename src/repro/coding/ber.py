@@ -1,9 +1,16 @@
-"""Monte-Carlo bit-error-rate measurement over the AWGN/BPSK channel.
+"""Monte-Carlo bit-error-rate measurement over a pluggable channel frontend.
 
 The harness transmits the all-zero codeword (valid for any linear code and
 any symmetric decoder, which belief propagation with symmetric channel LLRs
-is), adds Gaussian noise at a given Eb/N0, decodes with an arbitrary
-decoder callback and counts residual bit errors.  On top of the raw BER
+is), runs it through a :class:`repro.phy.frontend.ChannelFrontend` at a
+given Eb/N0, decodes the returned LLRs with an arbitrary decoder callback
+and counts residual bit errors.  The default frontend is the idealized
+:class:`~repro.phy.frontend.BpskAwgnFrontend` — bit-exact with the
+historical AWGN/BPSK noise path at a fixed seed — while
+:class:`~repro.phy.frontend.OneBitWaveformFrontend` measures the same code
+over the paper's actual 1-bit oversampled ASK waveform chain (which is not
+output-symmetric; the frontend's internal scrambler restores the all-zero
+codeword's validity, see its docstring).  On top of the raw BER
 measurement it provides the required-Eb/N0 search used for Fig. 10: the
 smallest Eb/N0 at which the measured BER falls below a target.
 
@@ -84,12 +91,21 @@ class BerSimulator:
         belief-propagation decoders in this package.
     batch_size:
         Codewords per generated noise batch in :meth:`simulate`.
+    frontend:
+        Channel frontend carrying the coded bits
+        (:class:`repro.phy.frontend.ChannelFrontend`).  ``None`` builds a
+        :class:`~repro.phy.frontend.BpskAwgnFrontend` at this simulator's
+        rate — bit-exact with the pre-frontend implementation at a fixed
+        seed (regression-tested).  The frontend's ``rate`` must match the
+        simulator's (both feed the same Eb/N0 conversion).
     """
 
     def __init__(self, codeword_length: int, rate: float,
                  decode: DecoderCallback,
                  decode_batch: Optional[BatchDecoderCallback] = None,
-                 batch_size: int = 32) -> None:
+                 batch_size: int = 32, frontend=None) -> None:
+        from repro.phy.frontend import BpskAwgnFrontend
+
         check_positive("codeword_length", codeword_length)
         if not 0.0 < rate <= 1.0:
             raise ValueError("rate must lie in (0, 1]")
@@ -99,6 +115,13 @@ class BerSimulator:
         self.decode = decode
         self.decode_batch = decode_batch
         self.batch_size = int(batch_size)
+        if frontend is None:
+            frontend = BpskAwgnFrontend(rate=self.rate)
+        elif abs(float(frontend.rate) - self.rate) > 1e-12:
+            raise ValueError(
+                f"frontend rate {frontend.rate} does not match the "
+                f"simulator rate {self.rate}")
+        self.frontend = frontend
 
     def noise_std(self, ebn0_db: float) -> float:
         """Noise standard deviation at an Eb/N0 operating point."""
@@ -131,11 +154,12 @@ class BerSimulator:
                  max_bit_errors: Optional[int] = None) -> BerPoint:
         """Measure the BER at one Eb/N0 (batched path).
 
-        Noise is generated and decoded in batches of ``batch_size``
-        codewords; the per-codeword bookkeeping (and in particular the
-        ``max_bit_errors`` stopping rule) is applied row by row in
-        transmission order, so the returned :class:`BerPoint` is identical
-        to :meth:`simulate_reference` at the same seed.
+        All-zero codewords are carried through the configured frontend
+        and decoded in batches of ``batch_size``; the per-codeword
+        bookkeeping (and in particular the ``max_bit_errors`` stopping
+        rule) is applied row by row in transmission order, so with the
+        default BPSK/AWGN frontend the returned :class:`BerPoint` is
+        identical to :meth:`simulate_reference` at the same seed.
 
         ``max_bit_errors`` stops the measurement once enough errors have
         been collected (useful inside the required-Eb/N0 search).  Note
@@ -150,7 +174,6 @@ class BerSimulator:
         """
         check_positive("n_codewords", n_codewords)
         generator = ensure_rng(rng)
-        sigma = self.noise_std(ebn0_db)
         n_codewords = int(n_codewords)
         total_bits = 0
         total_errors = 0
@@ -159,9 +182,12 @@ class BerSimulator:
         stop = False
         while codewords_done < n_codewords and not stop:
             batch = min(self.batch_size, n_codewords - codewords_done)
-            received = 1.0 + generator.normal(
-                0.0, sigma, size=(batch, self.codeword_length))
-            decisions = self._decode_rows(self.channel_llrs(received, ebn0_db))
+            codewords = np.zeros((batch, self.codeword_length), dtype=np.int8)
+            llrs = np.asarray(self.frontend.transmit_llrs(
+                codewords, ebn0_db, generator), dtype=float)
+            if llrs.shape != codewords.shape:
+                raise ValueError("frontend returned the wrong LLR shape")
+            decisions = self._decode_rows(llrs)
             errors_per_row = np.count_nonzero(decisions, axis=1)
             for errors in errors_per_row:
                 errors = int(errors)
@@ -183,11 +209,13 @@ class BerSimulator:
     def simulate_reference(self, ebn0_db: float, n_codewords: int = 50,
                            rng: RngLike = None,
                            max_bit_errors: Optional[int] = None) -> BerPoint:
-        """Per-codeword reference path (the pre-batching implementation).
+        """Per-codeword BPSK/AWGN reference (the pre-batching implementation).
 
         Kept as the ground truth the batched :meth:`simulate` is checked
-        against; see the module docstring for why both paths agree bit for
-        bit at a fixed seed.
+        against for the default BPSK/AWGN frontend; see the module
+        docstring for why both paths agree bit for bit at a fixed seed.
+        This path is always BPSK/AWGN regardless of the configured
+        frontend.
         """
         check_positive("n_codewords", n_codewords)
         generator = ensure_rng(rng)

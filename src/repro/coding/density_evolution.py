@@ -216,7 +216,7 @@ def gaussian_de_threshold(protograph: Protograph, rate: float,
 
 
 def window_de_threshold(spreading: EdgeSpreading, window_size: int,
-                        rate: float, termination_length: int = None,
+                        rate: float, termination_length: Optional[int] = None,
                         low_db: float = 0.0, high_db: float = 8.0,
                         tolerance_db: float = 0.02,
                         max_iterations: int = 200,

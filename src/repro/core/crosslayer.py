@@ -15,7 +15,10 @@ explicitly:
   *threshold-anchored waterfall surrogate* is used (raw channel BER
   times an erfc roll-off centred on the density-evolution threshold of
   the configured window decoder); pass ``mc_codewords`` to measure it by
-  Monte-Carlo through :meth:`CodingSpec.make_ber_simulator` instead.
+  Monte-Carlo through :meth:`CodingSpec.make_ber_simulator` instead, or
+  a :class:`~repro.phy.frontend.ChannelFrontend` to measure it over the
+  actual 1-bit oversampled waveform PHY (``method="waveform"`` on
+  :func:`link_flit_error_rate`).
 * :func:`link_flit_error_rate` — the probability that at least one of a
   flit's payload bits survives decoding in error, i.e. the per-traversal
   flit error probability the lossy
@@ -46,6 +49,16 @@ BITS_PER_SYMBOL = 2.0
 #: threshold and quasi-error-free operation.
 DEFAULT_WATERFALL_SLOPE_PER_DB = 1.5
 
+#: Codewords per Monte-Carlo residual-BER measurement when the caller
+#: selects an MC method without pinning the sample size — enough to place
+#: an operating point on the right side of the waterfall, cheap enough
+#: for a per-scenario-point derivation.
+DEFAULT_MC_CODEWORDS = 8
+
+#: The residual-BER derivation methods :func:`link_flit_error_rate`
+#: accepts (``None`` means "surrogate unless mc_codewords is given").
+LINK_ERROR_METHODS = ("surrogate", "mc", "waveform")
+
 
 @lru_cache(maxsize=None)
 def _de_threshold_db(family: str, window_size: int) -> float:
@@ -73,24 +86,32 @@ def coded_residual_ber(coding, ebn0_db: float, *,
                        mc_codewords: Optional[int] = None,
                        rng: RngLike = 0,
                        waterfall_slope_per_db: float =
-                       DEFAULT_WATERFALL_SLOPE_PER_DB) -> float:
+                       DEFAULT_WATERFALL_SLOPE_PER_DB,
+                       frontend=None) -> float:
     """Post-decoding bit error rate of a :class:`CodingSpec` at an Eb/N0.
 
-    Default path (``mc_codewords=None``): a deterministic surrogate —
-    the raw channel BER multiplied by ``0.5 * erfc(slope * (Eb/N0 -
-    threshold))``, where the threshold is the window decoder's
-    density-evolution limit.  Below threshold decoding barely helps
-    (the factor approaches 1), at threshold the waterfall begins, and a
-    couple of dB above it the residual BER is negligible; the surrogate
-    is monotone decreasing in Eb/N0 by construction.
+    Default path (``mc_codewords=None``, ``frontend=None``): a
+    deterministic surrogate — the raw channel BER multiplied by ``0.5 *
+    erfc(slope * (Eb/N0 - threshold))``, where the threshold is the
+    window decoder's density-evolution limit.  Below threshold decoding
+    barely helps (the factor approaches 1), at threshold the waterfall
+    begins, and a couple of dB above it the residual BER is negligible;
+    the surrogate is monotone decreasing in Eb/N0 by construction.
 
-    Monte-Carlo path (``mc_codewords`` set): measure the BER with
-    ``mc_codewords`` codewords through the spec's batched
-    :class:`~repro.coding.ber.BerSimulator` — slower, but the genuine
-    decoder.  ``rng`` seeds the measurement (default 0, reproducible).
+    Monte-Carlo path (``mc_codewords`` and/or ``frontend`` set): measure
+    the BER with ``mc_codewords`` codewords (default
+    :data:`DEFAULT_MC_CODEWORDS` when only ``frontend`` is given)
+    through the spec's batched :class:`~repro.coding.ber.BerSimulator`
+    — slower, but the genuine decoder.  ``frontend`` carries the coded
+    bits over an arbitrary :class:`~repro.phy.frontend.ChannelFrontend`
+    (e.g. the 1-bit oversampled waveform PHY) instead of the idealized
+    BPSK/AWGN channel.  ``rng`` seeds the measurement (default 0,
+    reproducible).
     """
-    if mc_codewords is not None:
-        simulator = coding.make_ber_simulator()
+    if mc_codewords is not None or frontend is not None:
+        if mc_codewords is None:
+            mc_codewords = DEFAULT_MC_CODEWORDS
+        simulator = coding.make_ber_simulator(frontend=frontend)
         point = simulator.simulate(float(ebn0_db),
                                    n_codewords=int(mc_codewords), rng=rng)
         return float(point.bit_error_rate)
@@ -130,7 +151,8 @@ def link_flit_error_rate(coding, phy, channel,
                          flit_payload_bits: int = 64,
                          tx_power_dbm: Optional[float] = None,
                          mc_codewords: Optional[int] = None,
-                         rng: RngLike = 0) -> float:
+                         rng: RngLike = 0,
+                         method: Optional[str] = None) -> float:
     """Per-traversal flit error probability for the lossy NoC simulator.
 
     A flit of ``flit_payload_bits`` information bits is lost/corrupted
@@ -138,17 +160,51 @@ def link_flit_error_rate(coding, phy, channel,
     ``1 - (1 - BER)^bits``.  ``ebn0_db`` pins the coded operating point
     directly (the usual scenario knob); when ``None`` it is derived from
     the channel spec's link budget via :func:`link_operating_ebn0_db`
-    (``tx_power_dbm`` overrides the spec's transmit power).  The result
-    is clipped just below 1 so a hopeless link saturates the simulator
-    instead of dividing it by zero.
+    (``tx_power_dbm`` overrides the spec's transmit power).
+
+    ``method`` selects how the residual BER behind the flit error is
+    obtained:
+
+    * ``"surrogate"`` — the deterministic DE-threshold-anchored
+      waterfall model (the default when ``mc_codewords`` is not given);
+    * ``"mc"`` — Monte-Carlo through the genuine decoder over the
+      idealized BPSK/AWGN channel (the default when ``mc_codewords`` is
+      given);
+    * ``"waveform"`` — Monte-Carlo through the genuine decoder over the
+      phy spec's **actual 1-bit oversampled waveform chain**
+      (``phy.make_frontend(..., kind="one-bit-waveform")``), so NoC
+      lossy-link scenarios ride the real PHY end to end.
+
+    The result is clipped just below 1 so a hopeless link saturates the
+    simulator instead of dividing it by zero.
     """
     if flit_payload_bits < 1:
         raise ValueError("flit_payload_bits must be at least 1")
+    if method is None:
+        method = "mc" if mc_codewords is not None else "surrogate"
+    if method not in LINK_ERROR_METHODS:
+        raise ValueError(f"method must be one of {LINK_ERROR_METHODS}, "
+                         f"got {method!r}")
+    if mc_codewords is not None and int(mc_codewords) < 1:
+        raise ValueError("mc_codewords must be at least 1")
+    if method == "surrogate" and mc_codewords is not None:
+        raise ValueError(
+            "mc_codewords has no effect with method='surrogate'; use "
+            "method='mc' or 'waveform' for a Monte-Carlo measurement")
     if ebn0_db is None:
         ebn0_db = link_operating_ebn0_db(channel, phy, coding,
                                          tx_power_dbm=tx_power_dbm)
-    bit_error_rate = coded_residual_ber(coding, ebn0_db,
-                                        mc_codewords=mc_codewords, rng=rng)
+    if method == "surrogate":
+        bit_error_rate = coded_residual_ber(coding, ebn0_db, rng=rng)
+    else:
+        frontend = (phy.make_frontend(rate=coding.design_rate,
+                                      kind="one-bit-waveform")
+                    if method == "waveform" else None)
+        bit_error_rate = coded_residual_ber(
+            coding, ebn0_db,
+            mc_codewords=(DEFAULT_MC_CODEWORDS if mc_codewords is None
+                          else int(mc_codewords)),
+            rng=rng, frontend=frontend)
     bit_error_rate = min(max(float(bit_error_rate), 0.0), 1.0 - 1e-12)
     flit_error = -math.expm1(flit_payload_bits * math.log1p(-bit_error_rate))
     return min(max(flit_error, 0.0), 1.0 - 1e-9)

@@ -17,6 +17,8 @@ from __future__ import annotations
 from dataclasses import dataclass, fields
 from typing import Optional
 
+import numpy as np
+
 from repro.channel.link_budget import LinkBudget, PAPER_LINK_BUDGET, LinkBudgetParameters
 from repro.coding.density_evolution import window_de_threshold
 from repro.coding.latency import window_decoder_structural_latency
@@ -50,6 +52,15 @@ class LinkReport:
     closes:
         True if the received SNR exceeds the coding threshold expressed as
         SNR (i.e. the link closes with the chosen code).
+    waveform_ber:
+        Measured pre-FEC bit error rate of the actual 1-bit oversampled
+        waveform receiver (vectorized Viterbi sequence detection) at the
+        link SNR — the Monte-Carlo counterpart of the analytic
+        information rate (``None`` when the measurement was skipped).
+    frontend_data_rate_gbps:
+        Net data rate the waveform frontend carries when the link closes:
+        modulation bits per channel use times symbol rate, code rate and
+        polarisations (``None`` when the measurement was skipped).
     """
 
     distance_m: float
@@ -60,6 +71,8 @@ class LinkReport:
     coding_threshold_ebn0_db: float
     coding_latency_information_bits: float
     closes: bool
+    waveform_ber: Optional[float] = None
+    frontend_data_rate_gbps: Optional[float] = None
 
     def to_dict(self) -> dict:
         """Plain JSON-serializable form (NumPy scalars coerced)."""
@@ -139,6 +152,49 @@ class WirelessBoardLink:
         return sequence_information_rate(self.pulse, snr_db,
                                          n_symbols=n_symbols, rng=0)
 
+    def frontend(self, detector: str = "bcjr"):
+        """The waveform :class:`~repro.phy.frontend.OneBitWaveformFrontend`
+        this link's PHY configuration describes (pulse, 4-ASK, code rate)."""
+        from repro.phy.frontend import OneBitWaveformFrontend
+
+        return OneBitWaveformFrontend(pulse=self.pulse, rate=self._code_rate,
+                                      detector=detector)
+
+    def waveform_ber(self, snr_db: float, n_symbols: int = 2_000,
+                     rng: int = 0) -> float:
+        """Measured pre-FEC BER of the 1-bit waveform receiver at an SNR.
+
+        Simulates the oversampled 1-bit channel at the link SNR, runs the
+        vectorized Viterbi sequence detector and counts Gray-mapped bit
+        errors (the first ``memory`` transient symbols are skipped, as in
+        the information-rate estimators).
+        """
+        from repro.phy.channel_model import OversampledOneBitChannel
+        from repro.phy.receiver import ViterbiSequenceDetector
+
+        channel = OversampledOneBitChannel(pulse=self.pulse, snr_db=snr_db)
+        indices, signs = channel.simulate(int(n_symbols), rng=rng)
+        detected = ViterbiSequenceDetector(channel).detect(signs)
+        skip = channel.memory
+        sent_bits = channel.constellation.indices_to_bits(indices[skip:])
+        seen_bits = channel.constellation.indices_to_bits(detected[skip:])
+        return float(np.mean(sent_bits != seen_bits))
+
+    def frontend_data_rate_gbps(self) -> float:
+        """Net data rate carried by the waveform frontend when it closes.
+
+        Unlike :meth:`data_rate_gbps` (which prices in the achievable
+        information rate at the operating SNR), this is the rate the
+        fixed 4-ASK modulation actually clocks through the link:
+        bits per channel use times symbol rate, code rate and
+        polarisations.
+        """
+        frontend = self.frontend()
+        symbol_rate = self.budget.parameters.bandwidth_hz
+        polarisations = 2.0 if self.dual_polarization else 1.0
+        return float(frontend.bits_per_channel_use * symbol_rate
+                     * self._code_rate * polarisations / 1e9)
+
     def data_rate_gbps(self, snr_db: float, n_symbols: int = 10_000) -> float:
         """Net data rate in Gbit/s at an SNR.
 
@@ -152,9 +208,17 @@ class WirelessBoardLink:
         return float(rate_bpcu * symbol_rate * self._code_rate
                      * polarisations / 1e9)
 
-    def evaluate(self, tx_power_dbm: float,
-                 n_symbols: int = 10_000) -> LinkReport:
-        """Full link report at a given transmit power."""
+    def evaluate(self, tx_power_dbm: float, n_symbols: int = 10_000,
+                 measure_waveform: bool = True) -> LinkReport:
+        """Full link report at a given transmit power.
+
+        ``measure_waveform`` additionally runs the 1-bit waveform
+        receiver (Monte-Carlo, vectorized trellis detection) at the
+        operating SNR and reports its measured pre-FEC BER and the
+        frontend's carried data rate next to the analytic information
+        rate; pass ``False`` to skip the measurement (the two fields are
+        then ``None``).
+        """
         snr_db = self.received_snr_db(tx_power_dbm)
         information_rate = self.information_rate_bpcu(snr_db,
                                                       n_symbols=n_symbols)
@@ -165,11 +229,14 @@ class WirelessBoardLink:
         # Convert the coding threshold (Eb/N0) to the SNR the modem needs:
         # SNR = Eb/N0 * R * bits-per-symbol for the 4-ASK carrying 2 bits.
         bits_per_symbol = 2.0
-        import numpy as np
-
         required_snr_db = threshold + 10.0 * np.log10(
             self._code_rate * bits_per_symbol)
         closes = bool(snr_db >= required_snr_db)
+        waveform_ber = None
+        frontend_rate = None
+        if measure_waveform:
+            waveform_ber = self.waveform_ber(snr_db, n_symbols=n_symbols)
+            frontend_rate = self.frontend_data_rate_gbps()
         return LinkReport(distance_m=self.distance_m,
                           tx_power_dbm=float(tx_power_dbm),
                           snr_db=snr_db,
@@ -177,4 +244,6 @@ class WirelessBoardLink:
                           data_rate_gbps=data_rate,
                           coding_threshold_ebn0_db=threshold,
                           coding_latency_information_bits=latency,
-                          closes=closes)
+                          closes=closes,
+                          waveform_ber=waveform_ber,
+                          frontend_data_rate_gbps=frontend_rate)

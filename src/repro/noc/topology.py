@@ -19,7 +19,7 @@ one flit/cycle each.
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import networkx as nx
 import numpy as np
@@ -42,7 +42,7 @@ class GridTopology:
     """
 
     def __init__(self, dimensions: Sequence[int], concentration: int = 1,
-                 name: str = None) -> None:
+                 name: Optional[str] = None) -> None:
         dimensions = tuple(int(d) for d in dimensions)
         if not dimensions or any(d < 1 for d in dimensions):
             raise ValueError("every dimension must be a positive integer")

@@ -19,8 +19,14 @@ Modules:
   its finite-state (trellis) description.
 * :mod:`repro.phy.information_rate` — achievable-rate computations behind
   Fig. 6.
+* :mod:`repro.phy.trellis` — vectorized trellis kernels (batched Viterbi,
+  max-log BCJR, state-marginalised soft demod) over the finite-state
+  channel.
 * :mod:`repro.phy.receiver` — symbol-by-symbol and Viterbi sequence
   detectors.
+* :mod:`repro.phy.frontend` — the :class:`ChannelFrontend` protocol tying
+  coded bits to decoder LLRs over either the idealized BPSK/AWGN channel
+  or the full 1-bit oversampled waveform chain.
 * :mod:`repro.phy.filter_design` — ISI filter optimisation strategies.
 """
 
@@ -42,7 +48,13 @@ from repro.phy.information_rate import (
     sequence_information_rate,
     symbolwise_information_rate,
 )
+from repro.phy.trellis import TrellisKernel
 from repro.phy.receiver import SymbolBySymbolDetector, ViterbiSequenceDetector
+from repro.phy.frontend import (
+    BpskAwgnFrontend,
+    ChannelFrontend,
+    OneBitWaveformFrontend,
+)
 from repro.phy.filter_design import (
     FilterDesignResult,
     optimize_pulse,
@@ -65,8 +77,12 @@ __all__ = [
     "one_bit_no_oversampling_rate",
     "sequence_information_rate",
     "symbolwise_information_rate",
+    "TrellisKernel",
     "SymbolBySymbolDetector",
     "ViterbiSequenceDetector",
+    "ChannelFrontend",
+    "BpskAwgnFrontend",
+    "OneBitWaveformFrontend",
     "FilterDesignResult",
     "optimize_pulse",
     "unique_detection_fraction",

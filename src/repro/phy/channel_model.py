@@ -184,24 +184,25 @@ class OversampledOneBitChannel:
         Parameters
         ----------
         signs:
-            Array of shape ``(n_symbols, oversampling)`` with entries ±1.
+            Array of shape ``(..., n_symbols, oversampling)`` with entries
+            ±1; leading axes (e.g. a batch of sequences) broadcast through.
 
         Returns
         -------
-        Array of shape ``(n_symbols, n_states, order)`` holding
+        Array of shape ``(..., n_symbols, n_states, order)`` holding
         ``log P(z_k | state, input)`` for every symbol period ``k``.
         """
         signs = np.asarray(signs)
-        if signs.ndim != 2 or signs.shape[1] != self._oversampling:
+        if signs.ndim < 2 or signs.shape[-1] != self._oversampling:
             raise ValueError(
-                f"signs must have shape (n, {self._oversampling})"
+                f"signs must have shape (..., n, {self._oversampling})"
             )
         positive = (signs > 0)
         log_p = np.log(self._prob_plus)
         log_q = np.log1p(-self._prob_plus)
-        # Broadcast: (n, 1, 1, M) selecting between log_p/log_q of shape
-        # (1, S, O, M), then sum over the sample axis.
-        chosen = np.where(positive[:, None, None, :], log_p[None], log_q[None])
+        # Broadcast: (..., n, 1, 1, M) selecting between log_p/log_q of
+        # shape (S, O, M), then sum over the sample axis.
+        chosen = np.where(positive[..., None, None, :], log_p, log_q)
         return chosen.sum(axis=-1)
 
     # ------------------------------------------------------------------

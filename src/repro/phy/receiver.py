@@ -11,16 +11,68 @@ Two receiver architectures are compared in the paper:
 Both detectors work on the sign blocks produced by
 :meth:`repro.phy.channel_model.OversampledOneBitChannel.simulate` and
 return hard symbol-index decisions, so symbol-error-rate comparisons are a
-one-liner.
+one-liner.  The trellis search runs through the vectorized
+:class:`repro.phy.trellis.TrellisKernel` (NumPy operations over the state
+dimension, batch-capable); the historical per-(state, input) Python loop
+survives as :func:`viterbi_loop_reference` /
+:meth:`ViterbiSequenceDetector.detect_reference`, the ground truth the
+vectorized kernel is benchmarked and regression-tested against.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 
 from repro.phy.channel_model import OversampledOneBitChannel
+from repro.phy.trellis import TrellisKernel
+
+
+def viterbi_loop_reference(channel: OversampledOneBitChannel,
+                           log_obs: np.ndarray) -> np.ndarray:
+    """The pre-vectorization Viterbi search (per-(state, input) Python loop).
+
+    Takes observation log-probabilities of shape ``(n, n_states, order)``
+    and returns the ML symbol-index sequence.  Kept as the reference the
+    vectorized :meth:`TrellisKernel.viterbi` is tested and benchmarked
+    against (``benchmarks/test_bench_trellis_demod.py``).
+    """
+    n_symbols = log_obs.shape[0]
+    n_states = channel.n_states
+    order = channel.order
+    successors = np.array([
+        [channel.next_state(state, inp) for inp in range(order)]
+        for state in range(n_states)
+    ])
+    metrics = np.full(n_states, -np.inf)
+    metrics[0] = 0.0  # transmissions start from the all-zero state
+    backpointers = np.zeros((n_symbols, n_states), dtype=np.int32)
+    decisions = np.zeros((n_symbols, n_states), dtype=np.int32)
+    for k in range(n_symbols):
+        candidate = metrics[:, None] + log_obs[k]          # (state, input)
+        new_metrics = np.full(n_states, -np.inf)
+        new_back = np.zeros(n_states, dtype=np.int32)
+        new_decision = np.zeros(n_states, dtype=np.int32)
+        for state in range(n_states):
+            for inp in range(order):
+                succ = successors[state, inp]
+                if candidate[state, inp] > new_metrics[succ]:
+                    new_metrics[succ] = candidate[state, inp]
+                    new_back[succ] = state
+                    new_decision[succ] = inp
+        metrics = new_metrics
+        backpointers[k] = new_back
+        decisions[k] = new_decision
+    # Trace back from the best final state.
+    best_state = int(np.argmax(metrics))
+    detected = np.zeros(n_symbols, dtype=int)
+    state = best_state
+    for k in range(n_symbols - 1, -1, -1):
+        detected[k] = decisions[k, state]
+        state = backpointers[k, state]
+    return detected
 
 
 @dataclass
@@ -33,12 +85,17 @@ class SymbolBySymbolDetector:
         """Detect symbol indices from sign blocks of shape ``(n, M)``."""
         log_obs = self.channel.log_observation_probabilities(signs)
         # Marginalise the unknown state with a uniform prior:
-        # P(z | a) = mean over states of P(z | state, a).
-        marginal = np.log(np.exp(log_obs).mean(axis=1))
-        return np.argmax(marginal, axis=1)
+        # P(z | a) = mean over states of P(z | state, a), computed in the
+        # log domain (logsumexp) so strongly negative observation
+        # log-probabilities — e.g. high SNR with many samples per symbol —
+        # cannot underflow to exp() = 0 and leave a -inf/argmax-ties mess.
+        # (Static helper: no trellis structure is needed or built.)
+        marginal = TrellisKernel.symbolwise_log_marginals(log_obs)
+        return np.argmax(marginal, axis=-1)
 
     def symbol_error_rate(self, transmitted_indices: np.ndarray,
-                          signs: np.ndarray, skip: int = None) -> float:
+                          signs: np.ndarray,
+                          skip: Optional[int] = None) -> float:
         """Symbol error rate against the transmitted indices."""
         decisions = self.detect(signs)
         return _symbol_error_rate(self.channel, transmitted_indices, decisions,
@@ -50,48 +107,28 @@ class ViterbiSequenceDetector:
     """Maximum-likelihood sequence estimation over the ISI trellis."""
 
     channel: OversampledOneBitChannel
+    _kernel: TrellisKernel = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        self._kernel = TrellisKernel(self.channel)
 
     def detect(self, signs: np.ndarray) -> np.ndarray:
-        """Detect the ML symbol-index sequence from sign blocks."""
-        channel = self.channel
-        log_obs = channel.log_observation_probabilities(signs)
-        n_symbols = log_obs.shape[0]
-        n_states = channel.n_states
-        order = channel.order
-        successors = np.array([
-            [channel.next_state(state, inp) for inp in range(order)]
-            for state in range(n_states)
-        ])
-        metrics = np.full(n_states, -np.inf)
-        metrics[0] = 0.0  # transmissions start from the all-zero state
-        backpointers = np.zeros((n_symbols, n_states), dtype=np.int32)
-        decisions = np.zeros((n_symbols, n_states), dtype=np.int32)
-        for k in range(n_symbols):
-            candidate = metrics[:, None] + log_obs[k]          # (state, input)
-            new_metrics = np.full(n_states, -np.inf)
-            new_back = np.zeros(n_states, dtype=np.int32)
-            new_decision = np.zeros(n_states, dtype=np.int32)
-            for state in range(n_states):
-                for inp in range(order):
-                    succ = successors[state, inp]
-                    if candidate[state, inp] > new_metrics[succ]:
-                        new_metrics[succ] = candidate[state, inp]
-                        new_back[succ] = state
-                        new_decision[succ] = inp
-            metrics = new_metrics
-            backpointers[k] = new_back
-            decisions[k] = new_decision
-        # Trace back from the best final state.
-        best_state = int(np.argmax(metrics))
-        detected = np.zeros(n_symbols, dtype=int)
-        state = best_state
-        for k in range(n_symbols - 1, -1, -1):
-            detected[k] = decisions[k, state]
-            state = backpointers[k, state]
-        return detected
+        """Detect the ML symbol-index sequence from sign blocks.
+
+        Accepts a single block of shape ``(n, oversampling)`` or a batch
+        ``(B, n, oversampling)`` (returning ``(B, n)`` decisions).
+        """
+        log_obs = self.channel.log_observation_probabilities(signs)
+        return self._kernel.viterbi(log_obs)
+
+    def detect_reference(self, signs: np.ndarray) -> np.ndarray:
+        """The historical Python-loop Viterbi search (single block only)."""
+        log_obs = self.channel.log_observation_probabilities(signs)
+        return viterbi_loop_reference(self.channel, log_obs)
 
     def symbol_error_rate(self, transmitted_indices: np.ndarray,
-                          signs: np.ndarray, skip: int = None) -> float:
+                          signs: np.ndarray,
+                          skip: Optional[int] = None) -> float:
         """Symbol error rate against the transmitted indices."""
         decisions = self.detect(signs)
         return _symbol_error_rate(self.channel, transmitted_indices, decisions,
@@ -100,14 +137,22 @@ class ViterbiSequenceDetector:
 
 def _symbol_error_rate(channel: OversampledOneBitChannel,
                        transmitted: np.ndarray, detected: np.ndarray,
-                       skip: int = None) -> float:
-    transmitted = np.asarray(transmitted, dtype=int).reshape(-1)
-    detected = np.asarray(detected, dtype=int).reshape(-1)
+                       skip: Optional[int] = None) -> float:
+    """SER with the first ``skip`` symbols of *each sequence* discarded.
+
+    Accepts matching ``(n,)`` or batched ``(B, n)`` index arrays; every
+    row starts from the zero state with its own start-up transient, so
+    the skip applies per row, never to a flattened stream.
+    """
+    transmitted = np.asarray(transmitted, dtype=int)
+    detected = np.asarray(detected, dtype=int)
     if transmitted.shape != detected.shape:
-        raise ValueError("transmitted and detected sequences differ in length")
+        raise ValueError("transmitted and detected sequences differ in shape")
+    if transmitted.ndim not in (1, 2):
+        raise ValueError("sequences must have shape (n,) or (B, n)")
     if skip is None:
         skip = channel.memory
-    if skip >= transmitted.size:
+    if skip >= transmitted.shape[-1]:
         raise ValueError("skip removes every symbol")
-    errors = transmitted[skip:] != detected[skip:]
+    errors = transmitted[..., skip:] != detected[..., skip:]
     return float(np.mean(errors))

@@ -1,0 +1,212 @@
+"""Vectorized trellis kernels for the 1-bit oversampled finite-state channel.
+
+One :class:`TrellisKernel` serves every trellis algorithm in the PHY:
+
+* :meth:`TrellisKernel.viterbi` — maximum-likelihood sequence detection
+  (hard symbol decisions), the engine behind
+  :class:`repro.phy.receiver.ViterbiSequenceDetector`;
+* :meth:`TrellisKernel.symbol_log_posteriors` — max-log BCJR a-posteriori
+  symbol probabilities, the soft output consumed by
+  :class:`repro.phy.frontend.OneBitWaveformFrontend`;
+* :meth:`TrellisKernel.symbolwise_log_marginals` — the state-marginalised
+  (ISI-as-dither) per-symbol likelihoods of the symbol-by-symbol receiver,
+  computed with ``logsumexp`` so strongly negative observation
+  log-probabilities cannot underflow to ``-inf``.
+
+All methods take batched observation log-probabilities of shape
+``(B, n, n_states, order)`` (``B`` codewords/sequences on the leading
+axis) and run a Python loop only over the ``n`` symbol periods; the state
+and batch dimensions are pure NumPy array operations.  The trellis
+structure is exploited through *predecessor* index tables: for the
+shift-register state encoding of
+:class:`repro.phy.channel_model.OversampledOneBitChannel`
+(``next_state = input * order**(memory-1) + state // order``) every state
+``s'`` has exactly ``order`` predecessors ``(s' % order**(memory-1)) *
+order + j`` and a unique arriving input ``s' // order**(memory-1)``, so
+one fancy-indexed ``max`` per step replaces the historical
+states-by-inputs Python double loop.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.special import logsumexp
+
+from repro.phy.channel_model import OversampledOneBitChannel
+
+
+@dataclass
+class TrellisKernel:
+    """Batched trellis algorithms over one finite-state channel.
+
+    Parameters
+    ----------
+    channel:
+        The finite-state channel whose trellis (state count, successor
+        structure, observation model) the kernel operates on.
+    """
+
+    channel: OversampledOneBitChannel
+    _pred_state: np.ndarray = field(init=False, repr=False)
+    _pred_input: np.ndarray = field(init=False, repr=False)
+    _successors: np.ndarray = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        order = self.channel.order
+        memory = self.channel.memory
+        n_states = self.channel.n_states
+        self._successors = np.array(
+            [[self.channel.next_state(state, inp) for inp in range(order)]
+             for state in range(n_states)], dtype=np.int64)
+        if memory == 0:
+            self._pred_input = np.zeros(1, dtype=np.int64)
+            self._pred_state = np.zeros((1, order), dtype=np.int64)
+            return
+        # Predecessor tables inverted from the successor table itself, so
+        # the forward (predecessor-indexed) and backward (successor-
+        # indexed) recursions can never drift apart: sorting the flat
+        # (state, input) pairs by their successor groups each state's
+        # predecessors together (stable sort keeps them in ascending
+        # (state, input) order, matching the reference loop's tie-breaks).
+        flat = self._successors.reshape(-1)
+        counts = np.bincount(flat, minlength=n_states)
+        if not np.all(counts == order):
+            raise ValueError(
+                "channel trellis is not a shift register: every state "
+                f"needs exactly {order} predecessors, got {counts}")
+        pairs = np.argsort(flat, kind="stable").reshape(n_states, order)
+        self._pred_state = pairs // order
+        arriving = pairs % order
+        if not np.all(arriving == arriving[:, :1]):
+            raise ValueError(
+                "channel trellis is not a shift register: the arriving "
+                "input of a state must be unique")
+        # Input that *arrives in* each state (its most-recent symbol).
+        self._pred_input = arriving[:, 0].copy()
+
+    # ------------------------------------------------------------------
+    def log_observations(self, signs: np.ndarray) -> np.ndarray:
+        """Batched ``log P(z_k | state, input)`` for sign blocks.
+
+        ``signs`` has shape ``(..., n, oversampling)``; the result has
+        shape ``(..., n, n_states, order)``.
+        """
+        return self.channel.log_observation_probabilities(signs)
+
+    @staticmethod
+    def _as_batch(log_obs: np.ndarray) -> tuple:
+        log_obs = np.asarray(log_obs, dtype=float)
+        if log_obs.ndim == 3:
+            return log_obs[None], True
+        if log_obs.ndim != 4:
+            raise ValueError(
+                "log_obs must have shape (n, S, M) or (B, n, S, M), got "
+                f"{log_obs.shape}")
+        return log_obs, False
+
+    def _initial_metrics(self, n_rows: int, initial: str) -> np.ndarray:
+        n_states = self.channel.n_states
+        if initial == "zero-state":
+            metrics = np.full((n_rows, n_states), -np.inf)
+            metrics[:, 0] = 0.0
+            return metrics
+        if initial == "uniform":
+            return np.zeros((n_rows, n_states))
+        raise ValueError("initial must be 'zero-state' or 'uniform'")
+
+    # ------------------------------------------------------------------
+    def viterbi(self, log_obs: np.ndarray,
+                initial: str = "zero-state") -> np.ndarray:
+        """ML symbol-index sequences for a batch of observation blocks.
+
+        ``log_obs`` has shape ``(B, n, n_states, order)`` (a single
+        ``(n, n_states, order)`` block is also accepted); the result has
+        shape ``(B, n)`` (respectively ``(n,)``).  ``initial`` selects
+        the start-of-block state prior: ``"zero-state"`` (transmissions
+        start from the all-index-0 state, the convention of the loop
+        reference detector) or ``"uniform"``.
+        """
+        log_obs, squeeze = self._as_batch(log_obs)
+        n_rows, n_symbols = log_obs.shape[:2]
+        if self.channel.memory == 0:
+            detected = np.argmax(log_obs[:, :, 0, :], axis=-1)
+            return detected[0] if squeeze else detected
+        pred_state = self._pred_state
+        pred_input = self._pred_input
+        # Branch metrics pre-gathered into predecessor order for the whole
+        # block at once — one large fancy index instead of one per symbol.
+        obs_pred = log_obs[:, :, pred_state, pred_input[:, None]]
+        metrics = self._initial_metrics(n_rows, initial)
+        backpointers = np.empty((n_symbols, n_rows, pred_state.shape[0]),
+                                dtype=np.int32)
+        for k in range(n_symbols):
+            candidate = metrics[:, pred_state]                   # (B, S, J)
+            candidate += obs_pred[:, k]
+            backpointers[k] = candidate.argmax(axis=2)
+            metrics = candidate.max(axis=2)
+        rows = np.arange(n_rows)
+        state = np.argmax(metrics, axis=1)
+        detected = np.empty((n_rows, n_symbols), dtype=np.int64)
+        for k in range(n_symbols - 1, -1, -1):
+            detected[:, k] = pred_input[state]
+            state = pred_state[state, backpointers[k, rows, state]]
+        return detected[0] if squeeze else detected
+
+    # ------------------------------------------------------------------
+    def symbol_log_posteriors(self, log_obs: np.ndarray,
+                              initial: str = "zero-state") -> np.ndarray:
+        """Max-log BCJR a-posteriori symbol log-probabilities.
+
+        Returns ``(B, n, order)`` (or ``(n, order)`` for a single block)
+        holding ``log P(a_k = m | z_1^n)`` up to a per-symbol additive
+        constant (each row is normalised to a zero maximum; only
+        differences matter for the bit LLRs built on top).
+        """
+        log_obs, squeeze = self._as_batch(log_obs)
+        n_rows, n_symbols = log_obs.shape[:2]
+        order = self.channel.order
+        if self.channel.memory == 0:
+            app = log_obs[:, :, 0, :]
+            app = app - app.max(axis=-1, keepdims=True)
+            return app[0] if squeeze else app
+        pred_state = self._pred_state
+        pred_input = self._pred_input
+        successors = self._successors
+        n_states = self.channel.n_states
+        # Forward pass (max-log alphas), one slice per symbol boundary;
+        # branch metrics pre-gathered into predecessor order like viterbi().
+        obs_pred = log_obs[:, :, pred_state, pred_input[:, None]]
+        alphas = np.empty((n_symbols + 1, n_rows, n_states))
+        alphas[0] = self._initial_metrics(n_rows, initial)
+        for k in range(n_symbols):
+            candidate = alphas[k][:, pred_state]
+            candidate += obs_pred[:, k]
+            alphas[k + 1] = candidate.max(axis=2)
+        # Backward pass and per-symbol combination in the same sweep.
+        beta = np.zeros((n_rows, n_states))
+        app = np.empty((n_rows, n_symbols, order))
+        for k in range(n_symbols - 1, -1, -1):
+            step = log_obs[:, k]                                  # (B, S, M)
+            combined = step + beta[:, successors]                 # (B, S, M)
+            app[:, k] = (alphas[k][:, :, None] + combined).max(axis=1)
+            beta = combined.max(axis=2)
+        app -= app.max(axis=-1, keepdims=True)
+        return app[0] if squeeze else app
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def symbolwise_log_marginals(log_obs: np.ndarray) -> np.ndarray:
+        """State-marginalised per-symbol log-likelihoods (ISI as dither).
+
+        ``log mean_state P(z_k | state, a)`` computed with ``logsumexp``,
+        so blocks whose every-state likelihood is tiny yield very negative
+        — but finite and correctly ordered — scores instead of the
+        ``log(exp(...).mean())`` underflow of the historical
+        implementation.  Shape ``(..., n, order)``.  Static — it needs
+        only the observation array, no trellis structure.
+        """
+        log_obs = np.asarray(log_obs, dtype=float)
+        n_states = log_obs.shape[-2]
+        return logsumexp(log_obs, axis=-2) - np.log(n_states)

@@ -132,21 +132,41 @@ class ChannelSpec(SpecBase):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class PhySpec(SpecBase):
-    """Section III — the 1-bit oversampling PHY."""
+    """Section III — the 1-bit oversampling PHY.
+
+    Beyond the pulse design, the spec carries the waveform-frontend
+    knobs: ``modulation_order`` sizes the ASK constellation (the paper
+    uses 4), ``detector`` selects the soft demodulator of the waveform
+    frontend (``"bcjr"`` max-log sequence demod or ``"symbolwise"``
+    state-marginalised demod), and ``frontend`` names the default
+    :class:`~repro.phy.frontend.ChannelFrontend` built by
+    :meth:`make_frontend` (``"bpsk-awgn"`` keeps the idealized channel,
+    ``"one-bit-waveform"`` runs the full waveform chain).
+    """
 
     PULSE_DESIGNS = ("rectangular", "ramp", "raised_cosine_tail",
                      "sequence_optimized", "symbolwise_optimized",
                      "suboptimal_unique")
+    DETECTORS = ("bcjr", "symbolwise")
+    FRONTENDS = ("bpsk-awgn", "one-bit-waveform")
 
     pulse_design: str = "sequence_optimized"
     oversampling: int = 5
     n_symbols: int = 5_000
     dual_polarization: bool = True
+    modulation_order: int = 4
+    detector: str = "bcjr"
+    frontend: str = "bpsk-awgn"
 
     def __post_init__(self) -> None:
         _check_choice("pulse_design", self.pulse_design, self.PULSE_DESIGNS)
         check_positive("oversampling", self.oversampling)
         check_positive("n_symbols", self.n_symbols)
+        order = self.modulation_order
+        if order < 2 or (order & (order - 1)) != 0:
+            raise ValueError("modulation_order must be a power of two >= 2")
+        _check_choice("detector", self.detector, self.DETECTORS)
+        _check_choice("frontend", self.frontend, self.FRONTENDS)
 
     def make_pulse(self):
         """Construct the :class:`repro.phy.Pulse` this spec describes."""
@@ -161,6 +181,32 @@ class PhySpec(SpecBase):
             "suboptimal_unique": pulse_module.suboptimal_unique_detection_pulse,
         }
         return factories[self.pulse_design](self.oversampling)
+
+    def make_constellation(self):
+        """The :class:`repro.phy.AskConstellation` this spec describes."""
+        from repro.phy.modulation import AskConstellation
+
+        return AskConstellation(self.modulation_order)
+
+    def make_frontend(self, rate: float = 0.5, kind: Optional[str] = None):
+        """Build the :class:`~repro.phy.frontend.ChannelFrontend` described.
+
+        ``rate`` is the code rate folded into the Eb/N0 conversion (take
+        it from the :class:`CodingSpec` riding the same scenario);
+        ``kind`` overrides the spec's :attr:`frontend` field, e.g. to
+        force the waveform chain for a ``method="waveform"`` cross-layer
+        derivation.
+        """
+        from repro.phy.frontend import BpskAwgnFrontend, OneBitWaveformFrontend
+
+        kind = self.frontend if kind is None else kind
+        _check_choice("frontend", kind, self.FRONTENDS)
+        if kind == "bpsk-awgn":
+            return BpskAwgnFrontend(rate=float(rate))
+        return OneBitWaveformFrontend(pulse=self.make_pulse(),
+                                      constellation=self.make_constellation(),
+                                      rate=float(rate),
+                                      detector=self.detector)
 
 
 # ----------------------------------------------------------------------
@@ -211,8 +257,13 @@ class CodingSpec(SpecBase):
         return LdpcBlockCode(PAPER_BLOCK_PROTOGRAPH, self.lifting_factor,
                              rng=self.construction_seed)
 
-    def make_ber_simulator(self, batch_size: int = 16):
-        """Code + decoder + batched BER harness in one call."""
+    def make_ber_simulator(self, batch_size: int = 16, frontend=None):
+        """Code + decoder + batched BER harness in one call.
+
+        ``frontend`` selects the channel the coded bits ride
+        (:class:`~repro.phy.frontend.ChannelFrontend`); ``None`` keeps
+        the idealized BPSK/AWGN channel.
+        """
         from repro.coding.ber import BerSimulator
         from repro.coding.window_decoder import WindowDecoder
 
@@ -222,11 +273,11 @@ class CodingSpec(SpecBase):
                                     max_iterations=self.max_iterations)
             return BerSimulator(code.n, self.design_rate, decoder.decode_bits,
                                 decode_batch=decoder.decode_bits_batch,
-                                batch_size=batch_size)
+                                batch_size=batch_size, frontend=frontend)
         return BerSimulator(code.n, self.design_rate,
                             lambda llrs: code.decode(llrs).hard_decisions,
                             decode_batch=code.decode_bits_batch,
-                            batch_size=batch_size)
+                            batch_size=batch_size, frontend=frontend)
 
     def structural_latency_bits(self) -> float:
         """Structural latency in information bits (Eqs. (4) / (5))."""
@@ -274,6 +325,10 @@ class NocSpec(SpecBase):
     coding layer instead (via
     :func:`repro.core.crosslayer.link_flit_error_rate`); setting both
     ``link_error_rate`` and ``ebn0_db`` is rejected as ambiguous.
+    ``link_error_method`` selects how the ``ebn0_db`` derivation obtains
+    the residual BER: the deterministic DE-anchored ``"surrogate"``
+    (default), ``"mc"`` Monte-Carlo over BPSK/AWGN, or ``"waveform"``
+    Monte-Carlo over the phy spec's actual 1-bit waveform chain.
     """
 
     TOPOLOGIES = ("mesh2d", "mesh3d", "starmesh", "ciliated3d")
@@ -289,6 +344,7 @@ class NocSpec(SpecBase):
     buffer_depth_flits: int = 0
     link_error_rate: float = 0.0
     ebn0_db: Optional[float] = None
+    link_error_method: str = "surrogate"
 
     def __post_init__(self) -> None:
         # Traffic/routing names validate against the registries they
@@ -327,6 +383,16 @@ class NocSpec(SpecBase):
                 "give either link_error_rate (a direct per-hop flit error "
                 "probability) or ebn0_db (derive it from the coding "
                 "layer), not both")
+        # Validate against the authoritative method list of the function
+        # this field is forwarded to, so the two can never drift.
+        from repro.core.crosslayer import LINK_ERROR_METHODS
+
+        _check_choice("link_error_method", self.link_error_method,
+                      LINK_ERROR_METHODS)
+        if self.link_error_method != "surrogate" and self.ebn0_db is None:
+            raise ValueError(
+                "link_error_method only applies to the ebn0_db derivation; "
+                "set ebn0_db (or keep the default 'surrogate')")
 
     def make_topology(self):
         """Instantiate the :class:`repro.noc.GridTopology` subclass."""
@@ -379,9 +445,9 @@ class NocSpec(SpecBase):
 
         Plain :attr:`link_error_rate` unless :attr:`ebn0_db` is set, in
         which case the probability is derived from the coding layer via
-        :func:`repro.core.crosslayer.link_flit_error_rate`; the optional
-        ``coding``/``phy``/``channel`` specs override the cross-layer
-        defaults.
+        :func:`repro.core.crosslayer.link_flit_error_rate` using
+        :attr:`link_error_method`; the optional ``coding``/``phy``/
+        ``channel`` specs override the cross-layer defaults.
         """
         if self.ebn0_db is None:
             return self.link_error_rate
@@ -390,7 +456,8 @@ class NocSpec(SpecBase):
         return link_flit_error_rate(coding or CodingSpec(),
                                     phy or PhySpec(),
                                     channel or ChannelSpec(),
-                                    ebn0_db=self.ebn0_db)
+                                    ebn0_db=self.ebn0_db,
+                                    method=self.link_error_method)
 
     def _integer_cycles(self, name: str) -> int:
         value = getattr(self, name)

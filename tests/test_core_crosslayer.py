@@ -59,6 +59,22 @@ class TestCodedResidualBer:
                                               rng=0)
         assert measured <= 1e-2
 
+    def test_waveform_frontend_path(self):
+        # Measured through the actual 1-bit waveform chain: hopeless at an
+        # Eb/N0 where the BPSK measurement is already clean, fine well
+        # above the (offset) waveform waterfall.
+        coding = CodingSpec(lifting_factor=25, termination_length=10)
+        frontend = PHY.make_frontend(rate=coding.design_rate,
+                                     kind="one-bit-waveform")
+        low = coded_residual_ber(coding, 3.5, mc_codewords=4, rng=0,
+                                 frontend=frontend)
+        high = coded_residual_ber(coding, 16.0, mc_codewords=4, rng=0,
+                                  frontend=frontend)
+        bpsk = coded_residual_ber(coding, 3.5, mc_codewords=4, rng=0)
+        assert low > 0.05
+        assert bpsk < 1e-3
+        assert high < 1e-2
+
 
 class TestLinkOperatingEbn0:
     def test_tracks_transmit_power_db_for_db(self):
@@ -108,6 +124,34 @@ class TestLinkFlitErrorRate:
             link_flit_error_rate(CODING, PHY, CHANNEL, ebn0_db=2.0,
                                  flit_payload_bits=0)
 
+    def test_method_validation(self):
+        with pytest.raises(ValueError, match="method"):
+            link_flit_error_rate(CODING, PHY, CHANNEL, ebn0_db=2.0,
+                                 method="magic")
+        # An explicit surrogate must not silently drop a requested
+        # Monte-Carlo sample size, and zero codewords is never valid.
+        with pytest.raises(ValueError, match="no effect"):
+            link_flit_error_rate(CODING, PHY, CHANNEL, ebn0_db=2.0,
+                                 method="surrogate", mc_codewords=100)
+        with pytest.raises(ValueError, match="at least 1"):
+            link_flit_error_rate(CODING, PHY, CHANNEL, ebn0_db=2.0,
+                                 method="mc", mc_codewords=0)
+
+    def test_waveform_method_rides_the_real_phy(self):
+        coding = CodingSpec(lifting_factor=25, termination_length=10)
+        # Clean for BPSK at 3.5 dB, hopeless for the 1-bit waveform chain
+        # (its waterfall sits ~10 dB further right) — the two methods must
+        # disagree exactly there.
+        mc = link_flit_error_rate(coding, PHY, CHANNEL, ebn0_db=3.5,
+                                  method="mc", mc_codewords=4)
+        waveform = link_flit_error_rate(coding, PHY, CHANNEL, ebn0_db=3.5,
+                                        method="waveform", mc_codewords=4)
+        assert mc < 0.5
+        assert waveform > 0.9  # nearly every 64-bit flit corrupted
+        clean = link_flit_error_rate(coding, PHY, CHANNEL, ebn0_db=16.0,
+                                     method="waveform", mc_codewords=4)
+        assert clean < waveform
+
 
 class TestNocSpecIntegration:
     def test_effective_rate_prefers_direct_probability(self):
@@ -132,3 +176,26 @@ class TestNocSpecIntegration:
 
         with pytest.raises(ValueError, match="not both"):
             NocSpec(link_error_rate=0.1, ebn0_db=2.0)
+
+    def test_link_error_method_threads_through_spec(self):
+        from repro.scenarios.specs import NocSpec
+
+        with pytest.raises(ValueError, match="link_error_method"):
+            NocSpec(link_error_method="magic")
+        # A non-surrogate method without ebn0_db would be silently inert;
+        # the spec rejects the incoherent combination up front.
+        with pytest.raises(ValueError, match="ebn0_db"):
+            NocSpec(link_error_method="waveform")
+        with pytest.raises(ValueError, match="ebn0_db"):
+            NocSpec(link_error_rate=0.05, link_error_method="mc")
+        coding = CodingSpec(lifting_factor=25, termination_length=10)
+        spec = NocSpec(ebn0_db=3.5, link_error_method="waveform")
+        derived = spec.effective_link_error_rate(coding, PHY, CHANNEL)
+        expected = link_flit_error_rate(coding, PHY, CHANNEL, ebn0_db=3.5,
+                                        method="waveform")
+        assert derived == pytest.approx(expected)
+        # The surrogate default disagrees at this operating point (BPSK is
+        # already past its waterfall there, the waveform chain is not).
+        surrogate = NocSpec(ebn0_db=3.5).effective_link_error_rate(
+            coding, PHY, CHANNEL)
+        assert derived > surrogate

@@ -24,6 +24,26 @@ class TestWirelessBoardLink:
         assert report.data_rate_gbps > 0.0
         assert report.coding_latency_information_bits == pytest.approx(240.0)
 
+    def test_waveform_measurement_in_report(self):
+        link = WirelessBoardLink(distance_m=0.1)
+        report = link.evaluate(15.0, n_symbols=N_SYMBOLS)
+        # At a link that closes comfortably, the measured pre-FEC waveform
+        # BER is small but the channel is genuinely noisy.
+        assert report.waveform_ber is not None
+        assert 0.0 <= report.waveform_ber < 0.1
+        # The frontend carries 2 bits/channel-use * 25 GHz * R=1/2 * 2 pol.
+        assert report.frontend_data_rate_gbps == pytest.approx(50.0)
+        skipped = link.evaluate(15.0, n_symbols=N_SYMBOLS,
+                                measure_waveform=False)
+        assert skipped.waveform_ber is None
+        assert skipped.frontend_data_rate_gbps is None
+
+    def test_waveform_ber_grows_as_the_link_starves(self):
+        link = WirelessBoardLink(distance_m=0.3, include_butler_mismatch=True)
+        strong = link.waveform_ber(25.0, n_symbols=N_SYMBOLS)
+        weak = link.waveform_ber(5.0, n_symbols=N_SYMBOLS)
+        assert weak > strong
+
     def test_link_budget_consistency(self):
         link = WirelessBoardLink(distance_m=0.1)
         snr = link.received_snr_db(10.0)

@@ -32,6 +32,14 @@ NOC_ENGINE_SCENARIOS = {
     "noc-lossy-link-sweep",
 }
 
+#: The waveform-level transceiver pipeline scenarios added with the
+#: ChannelFrontend refactor — all three must stay registered.
+PHY_FRONTEND_SCENARIOS = {
+    "coded-ber-waveform-sweep",
+    "phy-detector-comparison",
+    "phy-oversampling-coding-ablation",
+}
+
 
 class TestRegistryCompleteness:
     def test_at_least_25_scenarios(self):
@@ -59,6 +67,51 @@ class TestRegistryCompleteness:
             value = scenario.worker({"ebn0_db": 4.0},
                                     np.random.default_rng(0))
             assert value["link_flit_error_rate"] < 1e-6
+
+    def test_phy_frontend_scenarios_registered_and_describable(self):
+        names = set(scenario_names())
+        missing = PHY_FRONTEND_SCENARIOS - names
+        assert not missing, f"missing waveform-pipeline scenarios: {missing}"
+        for name in sorted(PHY_FRONTEND_SCENARIOS):
+            description = describe_scenario(name)
+            assert description["n_points"] > 0
+            assert "phy" in description["specs"]
+            assert "coding" in description["specs"]
+
+    def test_coded_ber_waveform_sweep_shows_the_frontend_offset(self):
+        # One cheap worker call per frontend at an Eb/N0 where the BPSK
+        # baseline is already clean: the waveform PHY must not be (the
+        # positive-offset half of the acceptance criterion; the finite
+        # half is covered at 16 dB in tests/test_phy_frontend.py).
+        scenario = build_scenario("coded-ber-waveform-sweep",
+                                  {"mc.n_codewords": 4})
+        bpsk = scenario.worker({"frontend": "bpsk-awgn", "ebn0_db": 3.5},
+                               np.random.default_rng(0))
+        wave = scenario.worker({"frontend": "one-bit-waveform",
+                                "ebn0_db": 3.5}, np.random.default_rng(0))
+        assert bpsk["bit_error_rate"] < 1e-3
+        assert wave["bit_error_rate"] > 0.05
+        assert wave["bits_per_channel_use"] == 2.0
+        assert wave["samples_per_bit"] == pytest.approx(2.5)
+
+    def test_detector_comparison_worker_orders_the_demods(self):
+        scenario = build_scenario("phy-detector-comparison",
+                                  {"mc.n_codewords": 4})
+        bcjr = scenario.worker({"detector": "bcjr", "ebn0_db": 14.0},
+                               np.random.default_rng(1))
+        symbolwise = scenario.worker({"detector": "symbolwise",
+                                      "ebn0_db": 14.0},
+                                     np.random.default_rng(1))
+        assert bcjr["bit_error_rate"] < symbolwise["bit_error_rate"]
+
+    def test_oversampling_ablation_reports_threshold_and_ber(self):
+        scenario = build_scenario("phy-oversampling-coding-ablation",
+                                  {"mc.n_codewords": 2})
+        value = scenario.worker({"oversampling": 3, "window_size": 3,
+                                 "ebn0_db": 14.0}, np.random.default_rng(2))
+        assert 0.0 <= value["bit_error_rate"] <= 0.5
+        assert value["samples_per_bit"] == pytest.approx(1.5)
+        assert value["de_threshold_ebn0_db"] > 0.0
 
     def test_every_benchmark_figure_has_a_scenario(self):
         # Benchmark files are named test_bench_<artifact>_*.py; every

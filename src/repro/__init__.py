@@ -29,7 +29,7 @@ gives the links, the system, the sweep engine and the scenario registry;
 :mod:`repro.api` is the same facade as a flat importable module.
 """
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 from repro import channel, coding, core, noc, phy, utils
 from repro.core import (
@@ -61,6 +61,7 @@ from repro.scenarios import (
     CodingSpec,
     NocSpec,
     PhySpec,
+    PrecisionSpec,
     Scenario,
     ScenarioResult,
     SystemSpec,
@@ -111,6 +112,7 @@ __all__ = [
     "PhySpec",
     "CodingSpec",
     "NocSpec",
+    "PrecisionSpec",
     "SystemSpec",
     "Scenario",
     "ScenarioResult",

@@ -47,6 +47,7 @@ from repro.scenarios import (
     CodingSpec,
     NocSpec,
     PhySpec,
+    PrecisionSpec,
     Scenario,
     ScenarioResult,
     SystemSpec,
@@ -85,6 +86,7 @@ __all__ = [
     "PhySpec",
     "CodingSpec",
     "NocSpec",
+    "PrecisionSpec",
     "SystemSpec",
     "Scenario",
     "ScenarioResult",

@@ -13,6 +13,7 @@ The zero-code path to every experiment in the scenario registry:
     python -m repro run-all --store .repro-store
     python -m repro run-all --only 'fig8*' --store .repro-store --resume
     python -m repro cache info --store .repro-store
+    python -m repro cache gc --store .repro-store --max-age-days 30
     python -m repro cache clear --store .repro-store
 
 ``run`` defaults to ``--seed 0`` so that the command line is reproducible
@@ -136,6 +137,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
             params = "  ".join(f"{key}={value}"
                                for key, value in point["params"].items())
             print(f"  {params:<48s} {_format_value(point['value'])}")
+    precision = result.execution.get("precision")
+    if precision is not None:
+        # Machine-parsable (the CI precision-smoke job greps it): a warm
+        # second run against the same store must simulate 0 new codewords.
+        spec = precision["spec"]
+        print(f"precision: rel CI target {spec['rel_ci_target']:g} at "
+              f"{spec['confidence']:g} confidence · "
+              f"resumed {precision['resumed_codewords']} · "
+              f"simulated {precision['new_codewords']} new codewords · "
+              f"total {precision['total_codewords']}")
     if args.json:
         result.save_json(args.json)
         if not args.quiet:
@@ -196,6 +207,21 @@ def _cmd_cache(args: argparse.Namespace) -> int:
         info = store.info()
         for key in ("backend", "path", "entries", "total_bytes"):
             print(f"{key} {info[key]}")
+    elif args.action == "gc":
+        if args.max_age_days is None and args.max_size_mb is None:
+            raise SystemExit(
+                "cache gc needs at least one bound: --max-age-days "
+                "and/or --max-size-mb")
+        max_total_bytes = (None if args.max_size_mb is None
+                           else int(args.max_size_mb * 1024 * 1024))
+        report = store.gc(max_age_days=args.max_age_days,
+                          max_total_bytes=max_total_bytes,
+                          dry_run=args.dry_run)
+        verb = "would remove" if report["dry_run"] else "removed"
+        print(f"{verb} {report['removed']} of {report['examined']} "
+              f"entries · freed {report['freed_bytes']} bytes · "
+              f"{report['kept']} kept "
+              f"({report['remaining_bytes']} bytes)")
     else:  # clear
         removed = store.clear()
         print(f"cleared {removed} entr{'y' if removed == 1 else 'ies'} "
@@ -284,14 +310,26 @@ def build_parser() -> argparse.ArgumentParser:
     run_all_parser.set_defaults(handler=_cmd_run_all)
 
     cache_parser = subparsers.add_parser(
-        "cache", help="inspect or clear a DiskStore result cache")
+        "cache", help="inspect, garbage-collect or clear a DiskStore "
+                      "result cache")
     cache_parser.add_argument(
-        "action", choices=("info", "clear"),
-        help="'info' prints backend/path/entries/total_bytes; 'clear' "
-             "removes every stored result")
+        "action", choices=("info", "gc", "clear"),
+        help="'info' prints backend/path/entries/total_bytes; 'gc' evicts "
+             "entries by age and/or total size; 'clear' removes every "
+             "stored result")
     cache_parser.add_argument(
         "--store", metavar="DIR", required=True,
         help="DiskStore directory (as passed to run/run-all)")
+    cache_parser.add_argument(
+        "--max-age-days", type=float, default=None, metavar="DAYS",
+        help="gc: evict entries not written within the last DAYS days")
+    cache_parser.add_argument(
+        "--max-size-mb", type=float, default=None, metavar="MB",
+        help="gc: evict oldest entries until the store fits in MB "
+             "megabytes")
+    cache_parser.add_argument(
+        "--dry-run", action="store_true",
+        help="gc: report what would be evicted without removing anything")
     cache_parser.set_defaults(handler=_cmd_cache)
     return parser
 

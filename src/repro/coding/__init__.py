@@ -55,7 +55,13 @@ from repro.coding.density_evolution import (
     gaussian_de_threshold,
     window_de_threshold,
 )
-from repro.coding.ber import BerPoint, BerSimulator, required_ebn0_db
+from repro.coding.ber import (
+    BerPoint,
+    BerSimulator,
+    BerTally,
+    batch_seed_sequence,
+    required_ebn0_db,
+)
 
 __all__ = [
     "Protograph",
@@ -79,5 +85,7 @@ __all__ = [
     "window_de_threshold",
     "BerPoint",
     "BerSimulator",
+    "BerTally",
+    "batch_seed_sequence",
     "required_ebn0_db",
 ]

@@ -29,11 +29,12 @@ row-equivalent to the scalar one — return identical
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import Any, Callable, Dict, Mapping, Optional
 
 import numpy as np
 
 from repro.utils.rng import RngLike, ensure_rng, ensure_seed_sequence
+from repro.utils.statistics import StoppingRule
 from repro.utils.units import db_to_linear
 from repro.utils.validation import check_positive, check_probability
 
@@ -62,6 +63,11 @@ class BerPoint:
         Total number of residual bit errors.
     n_codewords:
         Number of codewords simulated.
+    truncated:
+        True when a stopping rule (``max_bit_errors``) cut the run short
+        of its codeword budget — the estimators then carry the
+        stopping-rule bias above, and downstream consumers can tell
+        biased from unbiased estimates.
     """
 
     ebn0_db: float
@@ -70,6 +76,138 @@ class BerPoint:
     n_bits: int
     n_bit_errors: int
     n_codewords: int
+    truncated: bool = False
+
+
+@dataclass
+class BerTally:
+    """Mergeable, serializable running totals of a BER measurement.
+
+    A tally is the *resumable core* of a measurement: pure error counts,
+    with no knowledge of how many codewords the caller eventually wants.
+    :meth:`BerSimulator.simulate_tally` appends batches to a tally,
+    :meth:`BerSimulator.simulate_adaptive` appends until a
+    :class:`repro.utils.statistics.StoppingRule` is satisfied, and the
+    adaptive sweep path of :mod:`repro.core.engine` persists tallies in a
+    :class:`~repro.core.store.RunStore` so a later, tighter precision
+    request *resumes* from the stored counts instead of recomputing them.
+
+    Attributes
+    ----------
+    n_codewords / n_bits / n_bit_errors / n_frame_errors:
+        Running totals.  A *frame* error is a codeword with at least one
+        residual bit error.
+    n_batches:
+        Number of full batches appended by the *adaptive* path — the
+        resume cursor into the per-batch seed stream (see
+        :func:`batch_seed_sequence`).  The fixed-count path consumes one
+        sequential generator stream and does not use it.
+    truncated:
+        True when an error-count stopping rule cut a contributing run
+        (sticky under :meth:`merge`).
+    """
+
+    n_codewords: int = 0
+    n_bits: int = 0
+    n_bit_errors: int = 0
+    n_frame_errors: int = 0
+    n_batches: int = 0
+    truncated: bool = False
+
+    # ------------------------------------------------------------------
+    @property
+    def bit_error_rate(self) -> float:
+        """Errors per transmitted bit (0.0 on an empty tally)."""
+        return self.n_bit_errors / self.n_bits if self.n_bits else 0.0
+
+    @property
+    def frame_error_rate(self) -> float:
+        """Frame (codeword) errors per codeword (0.0 on an empty tally)."""
+        return (self.n_frame_errors / self.n_codewords
+                if self.n_codewords else 0.0)
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "BerTally") -> "BerTally":
+        """Combine two tallies of the *same* operating point, in place.
+
+        Counts add, batch cursors add (the merged tally's resume cursor
+        assumes the two halves covered disjoint batch ranges), and the
+        truncation flag is sticky.  Returns ``self`` for chaining.
+        """
+        self.n_codewords += other.n_codewords
+        self.n_bits += other.n_bits
+        self.n_bit_errors += other.n_bit_errors
+        self.n_frame_errors += other.n_frame_errors
+        self.n_batches += other.n_batches
+        self.truncated = self.truncated or other.truncated
+        return self
+
+    def copy(self) -> "BerTally":
+        """An independent copy of the running totals."""
+        return BerTally(**self.to_dict())
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-serializable form (round-trips via
+        :meth:`from_dict`)."""
+        return {"n_codewords": int(self.n_codewords),
+                "n_bits": int(self.n_bits),
+                "n_bit_errors": int(self.n_bit_errors),
+                "n_frame_errors": int(self.n_frame_errors),
+                "n_batches": int(self.n_batches),
+                "truncated": bool(self.truncated)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BerTally":
+        """Rebuild a tally from :meth:`to_dict` output (validating it)."""
+        fields = {"n_codewords", "n_bits", "n_bit_errors",
+                  "n_frame_errors", "n_batches", "truncated"}
+        unknown = set(data) - fields
+        if unknown:
+            raise ValueError(
+                f"unknown BerTally field(s): {sorted(unknown)}")
+        tally = cls(**{name: data.get(name, 0) for name in fields
+                       if name != "truncated"},
+                    truncated=bool(data.get("truncated", False)))
+        for name in ("n_codewords", "n_bits", "n_bit_errors",
+                     "n_frame_errors", "n_batches"):
+            value = getattr(tally, name)
+            if not isinstance(value, (int, np.integer)) or value < 0:
+                raise ValueError(f"BerTally.{name} must be a non-negative "
+                                 f"integer, got {value!r}")
+            setattr(tally, name, int(value))
+        return tally
+
+    # ------------------------------------------------------------------
+    def to_point(self, ebn0_db: float) -> BerPoint:
+        """The :class:`BerPoint` these totals describe."""
+        if self.n_codewords < 1:
+            raise ValueError("cannot summarise an empty tally")
+        return BerPoint(ebn0_db=float(ebn0_db),
+                        bit_error_rate=self.n_bit_errors / self.n_bits,
+                        block_error_rate=(self.n_frame_errors
+                                          / self.n_codewords),
+                        n_bits=self.n_bits,
+                        n_bit_errors=self.n_bit_errors,
+                        n_codewords=self.n_codewords,
+                        truncated=self.truncated)
+
+
+def batch_seed_sequence(root: np.random.SeedSequence,
+                        batch_index: int) -> np.random.SeedSequence:
+    """Seed sequence of one adaptive batch, independent of history.
+
+    Batch ``b`` always draws from the child ``root.spawn_key + (b,)`` of
+    the root's entropy — the same stream whether it is generated in the
+    first run of a point or in a resume that loaded batches ``0..b-1``
+    from a store.  (Equivalent to ``root.spawn(b+1)[b]`` without mutating
+    the root's spawn counter, so resumed and one-shot runs draw identical
+    noise.)
+    """
+    return np.random.SeedSequence(
+        entropy=root.entropy,
+        spawn_key=tuple(int(k) for k in root.spawn_key)
+        + (int(batch_index),))
 
 
 class BerSimulator:
@@ -149,62 +287,127 @@ class BerSimulator:
             decisions[row] = decided
         return decisions
 
+    def _append_batch(self, batch: int, ebn0_db: float,
+                      generator: np.random.Generator, tally: BerTally,
+                      max_bit_errors: Optional[int]) -> bool:
+        """Transmit/decode one batch into ``tally``; True when the
+        error-count stopping rule fired (which truncates the tally)."""
+        codewords = np.zeros((batch, self.codeword_length), dtype=np.int8)
+        llrs = np.asarray(self.frontend.transmit_llrs(
+            codewords, ebn0_db, generator), dtype=float)
+        if llrs.shape != codewords.shape:
+            raise ValueError("frontend returned the wrong LLR shape")
+        decisions = self._decode_rows(llrs)
+        errors_per_row = np.count_nonzero(decisions, axis=1)
+        for errors in errors_per_row:
+            errors = int(errors)
+            tally.n_bit_errors += errors
+            tally.n_bits += self.codeword_length
+            tally.n_frame_errors += int(errors > 0)
+            tally.n_codewords += 1
+            if max_bit_errors is not None \
+                    and tally.n_bit_errors >= max_bit_errors:
+                tally.truncated = True
+                return True
+        return False
+
+    def simulate_tally(self, ebn0_db: float, tally: BerTally,
+                       rng: RngLike = None, n_codewords: int = 50,
+                       max_bit_errors: Optional[int] = None) -> BerTally:
+        """Append ``n_codewords`` codewords to a running tally.
+
+        The resumable core of the fixed-count measurement: batches of up
+        to ``batch_size`` codewords are transmitted through the frontend
+        on *one* sequential generator stream and accumulated into
+        ``tally`` (in place; also returned for chaining).
+        ``max_bit_errors`` stops appending — and marks the tally
+        truncated — once the tally's **cumulative** error count reaches
+        the limit, matching the historical :meth:`simulate` behaviour on
+        a fresh tally.
+
+        For precision-driven (rather than count-driven) accumulation
+        with resumable per-batch seeding, see :meth:`simulate_adaptive`.
+        """
+        check_positive("n_codewords", n_codewords)
+        generator = ensure_rng(rng)
+        n_codewords = int(n_codewords)
+        appended = 0
+        stop = (max_bit_errors is not None
+                and tally.n_bit_errors >= max_bit_errors)
+        while appended < n_codewords and not stop:
+            batch = min(self.batch_size, n_codewords - appended)
+            before = tally.n_codewords
+            stop = self._append_batch(batch, ebn0_db, generator, tally,
+                                      max_bit_errors)
+            appended += tally.n_codewords - before
+        return tally
+
     def simulate(self, ebn0_db: float, n_codewords: int = 50,
                  rng: RngLike = None,
                  max_bit_errors: Optional[int] = None) -> BerPoint:
         """Measure the BER at one Eb/N0 (batched path).
 
-        All-zero codewords are carried through the configured frontend
-        and decoded in batches of ``batch_size``; the per-codeword
-        bookkeeping (and in particular the ``max_bit_errors`` stopping
-        rule) is applied row by row in transmission order, so with the
-        default BPSK/AWGN frontend the returned :class:`BerPoint` is
-        identical to :meth:`simulate_reference` at the same seed.
+        A thin wrapper around :meth:`simulate_tally` on a fresh
+        :class:`BerTally` — byte-identical to the pre-tally
+        implementation at a fixed seed (regression-tested).  All-zero
+        codewords are carried through the configured frontend and decoded
+        in batches of ``batch_size``; the per-codeword bookkeeping (and
+        in particular the ``max_bit_errors`` stopping rule) is applied
+        row by row in transmission order, so with the default BPSK/AWGN
+        frontend the returned :class:`BerPoint` is identical to
+        :meth:`simulate_reference` at the same seed.
 
         ``max_bit_errors`` stops the measurement once enough errors have
-        been collected (useful inside the required-Eb/N0 search).  Note
-        the stopping rule biases the reported ``bit_error_rate``: the run
-        always ends on a codeword that contributed errors, so the
-        error-per-bit ratio is conditioned on that final failure and
-        overestimates the true BER — materially so when only a few
-        codewords are simulated before stopping.  Error-count stopping is
-        therefore appropriate for threshold searches (where only the
-        comparison against a target matters) but final reported curves
-        should run with ``max_bit_errors=None``.
+        been collected (useful inside the required-Eb/N0 search) and
+        marks the result ``truncated``.  Note the stopping rule biases
+        the reported ``bit_error_rate``: the run always ends on a
+        codeword that contributed errors, so the error-per-bit ratio is
+        conditioned on that final failure and overestimates the true BER
+        — materially so when only a few codewords are simulated before
+        stopping.  Error-count stopping is therefore appropriate for
+        threshold searches (where only the comparison against a target
+        matters) but final reported curves should run with
+        ``max_bit_errors=None``.
         """
-        check_positive("n_codewords", n_codewords)
-        generator = ensure_rng(rng)
-        n_codewords = int(n_codewords)
-        total_bits = 0
-        total_errors = 0
-        block_errors = 0
-        codewords_done = 0
-        stop = False
-        while codewords_done < n_codewords and not stop:
-            batch = min(self.batch_size, n_codewords - codewords_done)
-            codewords = np.zeros((batch, self.codeword_length), dtype=np.int8)
-            llrs = np.asarray(self.frontend.transmit_llrs(
-                codewords, ebn0_db, generator), dtype=float)
-            if llrs.shape != codewords.shape:
-                raise ValueError("frontend returned the wrong LLR shape")
-            decisions = self._decode_rows(llrs)
-            errors_per_row = np.count_nonzero(decisions, axis=1)
-            for errors in errors_per_row:
-                errors = int(errors)
-                total_errors += errors
-                total_bits += self.codeword_length
-                block_errors += int(errors > 0)
-                codewords_done += 1
-                if max_bit_errors is not None \
-                        and total_errors >= max_bit_errors:
-                    stop = True
-                    break
-        return BerPoint(ebn0_db=float(ebn0_db),
-                        bit_error_rate=total_errors / total_bits,
-                        block_error_rate=block_errors / codewords_done,
-                        n_bits=total_bits,
-                        n_bit_errors=total_errors,
-                        n_codewords=codewords_done)
+        tally = self.simulate_tally(ebn0_db, BerTally(), rng=rng,
+                                    n_codewords=n_codewords,
+                                    max_bit_errors=max_bit_errors)
+        return tally.to_point(ebn0_db)
+
+    def simulate_adaptive(self, ebn0_db: float, rule: StoppingRule,
+                          seed_sequence, tally: Optional[BerTally] = None
+                          ) -> BerTally:
+        """Append full batches until a stopping rule is satisfied.
+
+        The precision-driven measurement core: batches of exactly
+        ``batch_size`` codewords are appended to ``tally`` (a fresh one
+        when ``None``) until ``rule`` — a
+        :class:`repro.utils.statistics.StoppingRule` over the tally's
+        cumulative counts — is satisfied.  ``rule.max_units`` acts as a
+        soft cap checked at batch boundaries, so the batch schedule (and
+        therefore the noise every batch sees) is independent of the
+        precision target.
+
+        Unlike the fixed-count path, each batch draws from its own
+        generator derived via :func:`batch_seed_sequence` from
+        ``seed_sequence`` (a :class:`numpy.random.SeedSequence`, or any
+        :data:`~repro.utils.rng.RngLike` normalised through
+        :func:`~repro.utils.rng.ensure_seed_sequence`) at the tally's
+        ``n_batches`` cursor.  Resuming from a stored tally therefore
+        draws *exactly* the noise a single uninterrupted run would have
+        drawn — tightening the rule later only appends the increment.
+        """
+        if tally is None:
+            tally = BerTally()
+        if not isinstance(seed_sequence, np.random.SeedSequence):
+            seed_sequence = ensure_seed_sequence(seed_sequence)
+        while not rule.satisfied(tally.n_bit_errors, tally.n_bits,
+                                 tally.n_codewords):
+            child = batch_seed_sequence(seed_sequence, tally.n_batches)
+            self._append_batch(self.batch_size, ebn0_db,
+                               np.random.default_rng(child), tally, None)
+            tally.n_batches += 1
+        return tally
 
     def simulate_reference(self, ebn0_db: float, n_codewords: int = 50,
                            rng: RngLike = None,
@@ -224,6 +427,7 @@ class BerSimulator:
         total_errors = 0
         block_errors = 0
         codewords_done = 0
+        truncated = False
         for _ in range(int(n_codewords)):
             received = 1.0 + generator.normal(0.0, sigma,
                                               size=self.codeword_length)
@@ -237,13 +441,15 @@ class BerSimulator:
             block_errors += int(errors > 0)
             codewords_done += 1
             if max_bit_errors is not None and total_errors >= max_bit_errors:
+                truncated = True
                 break
         return BerPoint(ebn0_db=float(ebn0_db),
                         bit_error_rate=total_errors / total_bits,
                         block_error_rate=block_errors / codewords_done,
                         n_bits=total_bits,
                         n_bit_errors=total_errors,
-                        n_codewords=codewords_done)
+                        n_codewords=codewords_done,
+                        truncated=truncated)
 
     def ber_curve(self, ebn0_grid, n_codewords: int = 50,
                   rng: RngLike = None, engine=None) -> list:

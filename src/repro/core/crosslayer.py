@@ -87,7 +87,8 @@ def coded_residual_ber(coding, ebn0_db: float, *,
                        rng: RngLike = 0,
                        waterfall_slope_per_db: float =
                        DEFAULT_WATERFALL_SLOPE_PER_DB,
-                       frontend=None) -> float:
+                       frontend=None,
+                       precision=None) -> float:
     """Post-decoding bit error rate of a :class:`CodingSpec` at an Eb/N0.
 
     Default path (``mc_codewords=None``, ``frontend=None``): a
@@ -107,7 +108,23 @@ def coded_residual_ber(coding, ebn0_db: float, *,
     (e.g. the 1-bit oversampled waveform PHY) instead of the idealized
     BPSK/AWGN channel.  ``rng`` seeds the measurement (default 0,
     reproducible).
+
+    Adaptive path (``precision`` set, a
+    :class:`~repro.scenarios.specs.PrecisionSpec`): instead of a fixed
+    codeword count, simulate until the precision spec's relative-CI
+    stopping rule is met
+    (:meth:`~repro.coding.ber.BerSimulator.simulate_adaptive`) —
+    ``mc_codewords`` is ignored; ``rng`` must be seed material
+    acceptable to :func:`repro.utils.rng.ensure_seed_sequence`.
     """
+    if precision is not None:
+        from repro.utils.rng import ensure_seed_sequence
+
+        simulator = coding.make_ber_simulator(frontend=frontend)
+        tally = simulator.simulate_adaptive(
+            float(ebn0_db), precision.stopping_rule(),
+            ensure_seed_sequence(rng))
+        return float(tally.bit_error_rate)
     if mc_codewords is not None or frontend is not None:
         if mc_codewords is None:
             mc_codewords = DEFAULT_MC_CODEWORDS
@@ -152,7 +169,8 @@ def link_flit_error_rate(coding, phy, channel,
                          tx_power_dbm: Optional[float] = None,
                          mc_codewords: Optional[int] = None,
                          rng: RngLike = 0,
-                         method: Optional[str] = None) -> float:
+                         method: Optional[str] = None,
+                         precision=None) -> float:
     """Per-traversal flit error probability for the lossy NoC simulator.
 
     A flit of ``flit_payload_bits`` information bits is lost/corrupted
@@ -175,13 +193,20 @@ def link_flit_error_rate(coding, phy, channel,
       (``phy.make_frontend(..., kind="one-bit-waveform")``), so NoC
       lossy-link scenarios ride the real PHY end to end.
 
+    ``precision`` (a :class:`~repro.scenarios.specs.PrecisionSpec`)
+    upgrades either Monte-Carlo method to the CI-targeted adaptive
+    measurement of :func:`coded_residual_ber` — the sample size is then
+    chosen by the stopping rule, so ``mc_codewords`` must not also be
+    given (and the surrogate, which draws no samples, rejects it).
+
     The result is clipped just below 1 so a hopeless link saturates the
     simulator instead of dividing it by zero.
     """
     if flit_payload_bits < 1:
         raise ValueError("flit_payload_bits must be at least 1")
     if method is None:
-        method = "mc" if mc_codewords is not None else "surrogate"
+        method = ("mc" if mc_codewords is not None or precision is not None
+                  else "surrogate")
     if method not in LINK_ERROR_METHODS:
         raise ValueError(f"method must be one of {LINK_ERROR_METHODS}, "
                          f"got {method!r}")
@@ -191,6 +216,15 @@ def link_flit_error_rate(coding, phy, channel,
         raise ValueError(
             "mc_codewords has no effect with method='surrogate'; use "
             "method='mc' or 'waveform' for a Monte-Carlo measurement")
+    if precision is not None:
+        if method == "surrogate":
+            raise ValueError(
+                "precision has no effect with method='surrogate'; use "
+                "method='mc' or 'waveform' for a CI-targeted measurement")
+        if mc_codewords is not None:
+            raise ValueError(
+                "give either mc_codewords (fixed sample size) or "
+                "precision (CI-targeted sample size), not both")
     if ebn0_db is None:
         ebn0_db = link_operating_ebn0_db(channel, phy, coding,
                                          tx_power_dbm=tx_power_dbm)
@@ -200,11 +234,16 @@ def link_flit_error_rate(coding, phy, channel,
         frontend = (phy.make_frontend(rate=coding.design_rate,
                                       kind="one-bit-waveform")
                     if method == "waveform" else None)
-        bit_error_rate = coded_residual_ber(
-            coding, ebn0_db,
-            mc_codewords=(DEFAULT_MC_CODEWORDS if mc_codewords is None
-                          else int(mc_codewords)),
-            rng=rng, frontend=frontend)
+        if precision is not None:
+            bit_error_rate = coded_residual_ber(
+                coding, ebn0_db, rng=rng, frontend=frontend,
+                precision=precision)
+        else:
+            bit_error_rate = coded_residual_ber(
+                coding, ebn0_db,
+                mc_codewords=(DEFAULT_MC_CODEWORDS if mc_codewords is None
+                              else int(mc_codewords)),
+                rng=rng, frontend=frontend)
     bit_error_rate = min(max(float(bit_error_rate), 0.0), 1.0 - 1e-12)
     flit_error = -math.expm1(flit_payload_bits * math.log1p(-bit_error_rate))
     return min(max(flit_error, 0.0), 1.0 - 1e-9)

@@ -29,6 +29,14 @@ that pattern:
 
 A worker is any callable ``worker(params, rng)`` taking the parameter
 mapping of one point and a dedicated :class:`numpy.random.Generator`.
+Workers that additionally expose *incremental evaluation* (the
+``decode``/``encode``/``advance``/``satisfied``/``progress``/``finalize``
+protocol documented on :meth:`SweepEngine.sweep_adaptive`) can instead be
+swept **adaptively**: each point runs until a
+:class:`repro.utils.statistics.StoppingRule` precision target is met, and
+partial tallies are stored under precision-independent keys so a later,
+tighter target resumes from the stored counts — a cache *upgrade*, not a
+miss.
 
 :meth:`repro.coding.ber.BerSimulator.ber_curve`,
 :func:`repro.coding.ber.required_ebn0_db` (probe seeding) and
@@ -105,21 +113,30 @@ class SweepOutcome:
         integer seed, recorded so a single point can be reproduced.
     from_cache:
         True if the value was served from the engine's store.
+    adaptive:
+        Precision provenance of an adaptive-path point
+        (:meth:`SweepEngine.sweep_adaptive`): resumed / newly simulated
+        / total work units and whether the stopping rule was satisfied.
+        ``None`` on the fixed-count path.
     """
 
     params: Dict[str, Any]
     value: Any
     spawn_key: Tuple[int, ...]
     from_cache: bool
+    adaptive: Optional[Dict[str, Any]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain JSON-serializable form (NumPy values coerced)."""
         from repro.utils.serialization import to_plain
 
-        return {"params": to_plain(self.params),
-                "value": to_plain(self.value),
-                "spawn_key": list(self.spawn_key),
-                "from_cache": bool(self.from_cache)}
+        result = {"params": to_plain(self.params),
+                  "value": to_plain(self.value),
+                  "spawn_key": list(self.spawn_key),
+                  "from_cache": bool(self.from_cache)}
+        if self.adaptive is not None:
+            result["adaptive"] = to_plain(self.adaptive)
+        return result
 
 
 @dataclass(frozen=True)
@@ -174,28 +191,36 @@ def _evaluate_point(worker: SweepWorker, params: Mapping[str, Any],
     return worker(params, np.random.default_rng(seed_sequence))
 
 
+def _advance_point(worker: Any, params: Mapping[str, Any], state: Any,
+                   seed_sequence: np.random.SeedSequence,
+                   rule: Any) -> Any:
+    """Adaptive counterpart of :func:`_evaluate_point` (picklable)."""
+    return worker.advance(params, state, seed_sequence, rule)
+
+
 def execute_pending(pending: Sequence[Any],
-                    job: Callable[[Any], Tuple[SweepWorker,
-                                               Mapping[str, Any],
-                                               np.random.SeedSequence]],
+                    job: Callable[[Any], Tuple[Any, ...]],
                     record: Callable[[Any, Any], None],
                     error: Callable[[Any, Exception], SweepPointError],
                     n_workers: Optional[int]) -> None:
     """Evaluate opaque tasks serially or through one shared process pool.
 
-    The shared back half of :meth:`SweepEngine.sweep` and
-    :meth:`repro.scenarios.campaign.Campaign.run`: ``job(task)`` yields
-    the ``(worker, params, seed_sequence)`` of a task, ``record(task,
-    value)`` consumes each completion as it happens (durability for
-    interrupted runs), and the first worker exception — on either path —
-    cancels any outstanding futures and re-raises as the
-    :class:`SweepPointError` built by ``error(task, exception)``.
+    The shared back half of :meth:`SweepEngine.sweep`,
+    :meth:`SweepEngine.sweep_adaptive` and
+    :meth:`repro.scenarios.campaign.Campaign.run`: ``job(task)`` yields a
+    ``(function, *args)`` tuple — typically :func:`_evaluate_point` or
+    :func:`_advance_point` plus its arguments, everything picklable on
+    the pool path — ``record(task, value)`` consumes each completion as
+    it happens (durability for interrupted runs), and the first worker
+    exception — on either path — cancels any outstanding futures and
+    re-raises as the :class:`SweepPointError` built by ``error(task,
+    exception)``.
     """
     if not pending:
         return
     if n_workers is not None and n_workers > 1:
         with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            future_task = {pool.submit(_evaluate_point, *job(task)): task
+            future_task = {pool.submit(*job(task)): task
                            for task in pending}
             for future in as_completed(future_task):
                 task = future_task[future]
@@ -211,8 +236,9 @@ def execute_pending(pending: Sequence[Any],
                 record(task, value)
     else:
         for task in pending:
+            call = job(task)
             try:
-                value = _evaluate_point(*job(task))
+                value = call[0](*call[1:])
             except Exception as exc:
                 raise error(task, exc) from exc
             record(task, value)
@@ -288,7 +314,7 @@ class SweepEngine:
 
         execute_pending(
             pending,
-            job=lambda index: (worker, plan[index].params,
+            job=lambda index: (_evaluate_point, worker, plan[index].params,
                                plan[index].seed_sequence),
             record=record,
             error=lambda index, exc: SweepPointError(
@@ -364,3 +390,106 @@ class SweepEngine:
         """Like :meth:`sweep` but returning only the worker values."""
         return [outcome.value
                 for outcome in self.sweep(worker, points, rng=rng, key=key)]
+
+    # ------------------------------------------------------------------
+    def sweep_adaptive(self, worker: Any,
+                       points: Iterable[Mapping[str, Any]], rule: Any,
+                       rng: RngLike = None,
+                       key: Any = None) -> List[SweepOutcome]:
+        """Evaluate an *incremental* worker to a precision target.
+
+        Where :meth:`sweep` runs a fixed computation per point, this path
+        runs each point **until** a stopping rule (typically a
+        :class:`repro.utils.statistics.StoppingRule`) is satisfied, and
+        stores the point's partial *state* — not its final value — under
+        the point's content-addressed key.  Because that key does not
+        involve ``rule``, re-running with a tighter rule is a cache
+        *upgrade*: the stored state is resumed and only the increment is
+        simulated.  Per-batch randomness is the worker's responsibility
+        (see :func:`repro.coding.ber.batch_seed_sequence`); given the
+        planned point's seed sequence, resumed and one-shot runs draw
+        identical noise.
+
+        ``worker`` must expose the incremental protocol:
+
+        * ``decode(stored) -> state`` — rebuild state from a stored JSON
+          value, or create fresh state from ``None``;
+        * ``encode(state) -> dict`` — JSON-serializable form of a state;
+        * ``satisfied(state, rule) -> bool`` — may the point stop?
+        * ``advance(params, state, seed_sequence, rule) -> state`` — run
+          until satisfied (picklable for the pool path);
+        * ``progress(state) -> int`` — work units spent so far;
+        * ``finalize(params, state) -> value`` — the outcome value.
+
+        Every outcome carries an ``adaptive`` provenance dict
+        (``resumed_units`` / ``new_units`` / ``total_units`` /
+        ``satisfied``); ``from_cache`` is True only for points whose
+        stored state already satisfied ``rule`` (zero new units).
+        """
+        for method in ("decode", "encode", "satisfied", "advance",
+                       "progress", "finalize"):
+            if not callable(getattr(worker, method, None)):
+                raise TypeError(
+                    f"adaptive sweep worker {worker!r} lacks the "
+                    f"incremental-evaluation method {method!r}")
+        plan = plan_sweep(worker, points, rng=rng, key=key,
+                          cacheable=self.cache_enabled)
+        states: Dict[int, Any] = {}
+        resumed_units: Dict[int, int] = {}
+        pending: List[int] = []
+        for index, planned in enumerate(plan):
+            stored = None
+            if planned.store_key is not None:
+                try:
+                    stored = self.store.get(planned.store_key)
+                except KeyError:
+                    stored = None
+            state = worker.decode(stored)
+            states[index] = state
+            resumed_units[index] = int(worker.progress(state))
+            if stored is not None and worker.satisfied(state, rule):
+                continue  # the stored state already meets the target
+            pending.append(index)
+
+        def record(index: int, state: Any) -> None:
+            store_key = plan[index].store_key
+            if store_key is not None:
+                # Persist the *state* (the upgradable asset), then decode
+                # it back through the store so cold and warm runs see the
+                # identical representation.
+                stored = store_and_canonicalize(self.store, store_key,
+                                                worker.encode(state))
+                state = worker.decode(stored)
+            states[index] = state
+
+        execute_pending(
+            pending,
+            job=lambda index: (_advance_point, worker, plan[index].params,
+                               states[index], plan[index].seed_sequence,
+                               rule),
+            record=record,
+            error=lambda index, exc: SweepPointError(
+                f"adaptive sweep point {plan[index].params!r} failed: "
+                f"{exc}", params=plan[index].params),
+            n_workers=self.n_workers)
+        pending_set = set(pending)
+        self._misses += len(pending)
+        self._hits += len(plan) - len(pending)
+
+        outcomes: List[SweepOutcome] = []
+        for index, planned in enumerate(plan):
+            state = states[index]
+            total = int(worker.progress(state))
+            adaptive = {
+                "resumed_units": resumed_units[index],
+                "new_units": total - resumed_units[index],
+                "total_units": total,
+                "satisfied": bool(worker.satisfied(state, rule)),
+            }
+            outcomes.append(SweepOutcome(
+                params=dict(planned.params),
+                value=worker.finalize(planned.params, state),
+                spawn_key=planned.spawn_key,
+                from_cache=index not in pending_set,
+                adaptive=adaptive))
+        return outcomes

@@ -27,7 +27,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
-from typing import Any, Dict, Iterator, Protocol, runtime_checkable
+import time
+from typing import Any, Dict, Iterator, Optional, Protocol, runtime_checkable
 
 from repro.utils.serialization import to_plain
 
@@ -189,3 +190,71 @@ class DiskStore:
 
     def describe(self) -> Dict[str, Any]:
         return {"backend": "disk", "path": os.path.abspath(self.root)}
+
+    def gc(self, max_age_days: Optional[float] = None,
+           max_total_bytes: Optional[int] = None,
+           dry_run: bool = False,
+           now: Optional[float] = None) -> Dict[str, Any]:
+        """Age- and size-bounded eviction (``python -m repro cache gc``).
+
+        Two independent bounds, applied in order:
+
+        * ``max_age_days`` — entries whose file modification time is
+          older than this many days are evicted;
+        * ``max_total_bytes`` — if the surviving entries still exceed
+          this budget, the oldest are evicted first until the store fits.
+
+        ``dry_run=True`` reports what *would* be removed without
+        touching any file.  Entries that vanish mid-walk (a concurrent
+        ``clear`` or gc) are skipped, not errors.  ``now`` overrides the
+        reference time (seconds since the epoch) — for tests.
+
+        Returns ``{"examined", "removed", "kept", "freed_bytes",
+        "remaining_bytes", "dry_run"}``.
+        """
+        if max_age_days is not None and max_age_days < 0:
+            raise ValueError("max_age_days must be non-negative")
+        if max_total_bytes is not None and max_total_bytes < 0:
+            raise ValueError("max_total_bytes must be non-negative")
+        now = time.time() if now is None else float(now)
+        entries = []
+        for path in self._iter_paths():
+            try:
+                stat = os.stat(path)
+            except FileNotFoundError:
+                continue
+            entries.append((path, stat.st_mtime, stat.st_size))
+        doomed = []
+        survivors = []
+        for entry in entries:
+            _, mtime, _ = entry
+            if max_age_days is not None \
+                    and now - mtime > max_age_days * 86400.0:
+                doomed.append(entry)
+            else:
+                survivors.append(entry)
+        if max_total_bytes is not None:
+            survivors.sort(key=lambda entry: entry[1])  # oldest first
+            remaining = sum(size for _, _, size in survivors)
+            while survivors and remaining > max_total_bytes:
+                entry = survivors.pop(0)
+                doomed.append(entry)
+                remaining -= entry[2]
+        freed = 0
+        removed = 0
+        for path, _, size in doomed:
+            if not dry_run:
+                try:
+                    os.unlink(path)
+                except FileNotFoundError:
+                    continue
+            removed += 1
+            freed += size
+        return {
+            "examined": len(entries),
+            "removed": removed,
+            "kept": len(entries) - removed,
+            "freed_bytes": freed,
+            "remaining_bytes": sum(size for _, _, size in entries) - freed,
+            "dry_run": bool(dry_run),
+        }

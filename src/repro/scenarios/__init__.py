@@ -35,6 +35,7 @@ from repro.scenarios.specs import (
     CodingSpec,
     NocSpec,
     PhySpec,
+    PrecisionSpec,
     SpecBase,
     SystemSpec,
 )
@@ -68,6 +69,7 @@ __all__ = [
     "PhySpec",
     "CodingSpec",
     "NocSpec",
+    "PrecisionSpec",
     "SystemSpec",
     "Scenario",
     "ScenarioResult",

@@ -36,6 +36,8 @@ import numpy as np
 from repro.core.engine import (
     PlannedPoint,
     SweepPointError,
+    _advance_point,
+    _evaluate_point,
     execute_pending,
     plan_sweep,
 )
@@ -216,13 +218,43 @@ class Campaign:
                       planned=point)
                 for point_index, point in enumerate(planned))
 
+        # One stopping rule per entry; non-None marks the entry adaptive
+        # (its scenario carries a PrecisionSpec and an incremental
+        # worker) — such points resume stored tallies instead of being
+        # fixed computations.
+        rules = [scenario.precision.stopping_rule()
+                 if scenario.precision is not None else None
+                 for scenario in scenarios]
+
         values: Dict[Tuple[int, int], Any] = {}
         cached: Dict[Tuple[int, int], bool] = {}
+        states: Dict[Tuple[int, int], Any] = {}
+        resumed: Dict[Tuple[int, int], int] = {}
         pending: List[_Task] = []
         for task in tasks:
             slot = (task.entry_index, task.point_index)
             key = task.planned.store_key
             cached[slot] = False
+            rule = rules[task.entry_index]
+            if rule is not None:
+                worker = scenarios[task.entry_index].worker
+                stored = None
+                if key is not None:
+                    try:
+                        stored = store.get(key)
+                    except KeyError:
+                        stored = None
+                state = worker.decode(stored)
+                states[slot] = state
+                resumed[slot] = int(worker.progress(state))
+                if stored is not None and worker.satisfied(state, rule):
+                    # The stored tally already meets this entry's target.
+                    values[slot] = worker.finalize(task.planned.params,
+                                                   state)
+                    cached[slot] = True
+                    continue
+                pending.append(task)
+                continue
             if key is not None:
                 # get, not `in`+get: an entry removed between the two
                 # calls (another process clearing the store) must demote
@@ -240,32 +272,63 @@ class Campaign:
         pending.sort(key=lambda task: (task.point_index, task.entry_index))
         # Entries that describe the same computation (same scenario run
         # under two labels) share store keys: compute each key once and
-        # fan the value out to every slot that wants it.
+        # fan the value out to every slot that wants it.  Adaptive tasks
+        # stay out of the dedup: two entries sharing a tally key may
+        # carry *different* precision targets, so each advances its own
+        # resume state (same seeds — a same-rule twin redraws identical
+        # batches and stores an identical tally).
         primaries: List[_Task] = []
         followers: Dict[str, List[_Task]] = {}
         for task in pending:
             key = task.planned.store_key
-            if key is not None and key in followers:
+            if rules[task.entry_index] is None \
+                    and key is not None and key in followers:
                 followers[key].append(task)
             else:
-                if key is not None:
+                if rules[task.entry_index] is None and key is not None:
                     followers[key] = []
                 primaries.append(task)
 
         shared: Dict[Tuple[int, int], bool] = {}
 
         def record(task: _Task, value: Any) -> None:
+            slot = (task.entry_index, task.point_index)
             key = task.planned.store_key
+            rule = rules[task.entry_index]
+            if rule is not None:
+                # ``value`` is the advanced state: persist the tally
+                # (the upgradable asset), decode it back through the
+                # store so cold and warm runs see the identical
+                # representation, then derive the point value.
+                worker = scenarios[task.entry_index].worker
+                state = value
+                if key is not None:
+                    stored = store_and_canonicalize(store, key,
+                                                    worker.encode(state))
+                    state = worker.decode(stored)
+                states[slot] = state
+                values[slot] = worker.finalize(task.planned.params, state)
+                return
             if key is not None:
                 value = store_and_canonicalize(store, key, value)
-            values[(task.entry_index, task.point_index)] = value
+            values[slot] = value
             for follower in followers.get(key, []) if key else []:
-                slot = (follower.entry_index, follower.point_index)
-                values[slot] = value
+                follower_slot = (follower.entry_index, follower.point_index)
+                values[follower_slot] = value
                 # Served without computing, but NOT from pre-existing
                 # store content — tracked apart from cache hits so the
                 # campaign stats never claim a cold store was warm.
-                shared[slot] = True
+                shared[follower_slot] = True
+
+        def job(task: _Task) -> Tuple[Any, ...]:
+            worker = scenarios[task.entry_index].worker
+            rule = rules[task.entry_index]
+            if rule is not None:
+                return (_advance_point, worker, task.planned.params,
+                        states[(task.entry_index, task.point_index)],
+                        task.planned.seed_sequence, rule)
+            return (_evaluate_point, worker, task.planned.params,
+                    task.planned.seed_sequence)
 
         def point_error(task: _Task, error: Exception) -> SweepPointError:
             entry = self.entries[task.entry_index]
@@ -276,9 +339,7 @@ class Campaign:
 
         execute_pending(
             primaries,
-            job=lambda task: (scenarios[task.entry_index].worker,
-                              task.planned.params,
-                              task.planned.seed_sequence),
+            job=job,
             record=record,
             error=point_error,
             n_workers=n_workers)
@@ -306,9 +367,23 @@ class Campaign:
                 for task in entry_tasks]
             seed = entry.seed if isinstance(entry.seed,
                                             (int, np.integer)) else None
+            rule = rules[entry_index]
+            adaptive = None
+            if rule is not None:
+                adaptive = []
+                for task in entry_tasks:
+                    slot = (task.entry_index, task.point_index)
+                    total = int(scenario.worker.progress(states[slot]))
+                    adaptive.append({
+                        "resumed_units": resumed[slot],
+                        "new_units": total - resumed[slot],
+                        "total_units": total,
+                        "satisfied": bool(scenario.worker.satisfied(
+                            states[slot], rule)),
+                    })
             results.append(scenario.assemble_result(
                 seed=seed, points=points, from_cache=from_cache,
-                store_info=store_description))
+                store_info=store_description, adaptive=adaptive))
         n_points = len(tasks)
         hits = sum(cached.values())
         n_shared = sum(shared.values())

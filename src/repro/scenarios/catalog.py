@@ -35,6 +35,7 @@ from repro.scenarios.specs import (
     CodingSpec,
     NocSpec,
     PhySpec,
+    PrecisionSpec,
     SystemSpec,
 )
 
@@ -734,6 +735,92 @@ def _coded_ber_waveform_sweep(overrides: Overrides) -> Scenario:
                 for frontend in ("bpsk-awgn", "one-bit-waveform")
                 for ebn0 in grid],
         worker=_CodedBerFrontendWorker(coding, phy, n_codewords))
+
+
+@dataclass(frozen=True)
+class _AdaptiveBerWorker:
+    """Incremental coded-BER point: simulate until the CI target is met.
+
+    Implements the incremental-evaluation protocol of
+    :meth:`repro.core.engine.SweepEngine.sweep_adaptive` over
+    :class:`~repro.coding.ber.BerTally` states, so partial tallies are
+    persisted in the run store and a tighter precision target resumes
+    from (upgrades) them instead of starting over.
+    """
+
+    coding: CodingSpec
+    phy: PhySpec
+    batch_size: int = 4
+
+    def _simulator(self, params: Mapping):
+        phy = self.phy
+        if "detector" in params:
+            phy = phy.replace(detector=params["detector"])
+        if "oversampling" in params:
+            phy = phy.replace(oversampling=params["oversampling"])
+        frontend = phy.make_frontend(rate=self.coding.design_rate,
+                                     kind=params.get("frontend",
+                                                     phy.frontend))
+        return self.coding.make_ber_simulator(batch_size=self.batch_size,
+                                              frontend=frontend)
+
+    # -- incremental-evaluation protocol -------------------------------
+    def decode(self, stored):
+        from repro.coding.ber import BerTally
+
+        return BerTally() if stored is None else BerTally.from_dict(stored)
+
+    def encode(self, state):
+        return state.to_dict()
+
+    def satisfied(self, state, rule) -> bool:
+        return rule.satisfied(state.n_bit_errors, state.n_bits,
+                              state.n_codewords)
+
+    def advance(self, params: Mapping, state, seed_sequence, rule):
+        return self._simulator(params).simulate_adaptive(
+            float(params["ebn0_db"]), rule, seed_sequence, tally=state)
+
+    def progress(self, state) -> int:
+        return int(state.n_codewords)
+
+    def finalize(self, params: Mapping, state) -> dict:
+        from repro.utils.statistics import wilson_interval
+
+        value = {
+            "bit_error_rate": state.bit_error_rate,
+            "frame_error_rate": state.frame_error_rate,
+            "n_codewords": state.n_codewords,
+            "n_bits": state.n_bits,
+            "n_bit_errors": state.n_bit_errors,
+        }
+        if state.n_bits > 0:
+            low, high = wilson_interval(state.n_bit_errors, state.n_bits)
+            value["ber_ci_low"] = low
+            value["ber_ci_high"] = high
+        return value
+
+
+@register_scenario("coded-ber-adaptive-sweep", "off-paper",
+                   "CI-targeted coded BER vs Eb/N0 with upgradable "
+                   "cached tallies")
+def _coded_ber_adaptive_sweep(overrides: Overrides) -> Scenario:
+    coding = overrides.apply("coding", CodingSpec(lifting_factor=25,
+                                                  termination_length=10))
+    phy = overrides.apply("phy", PhySpec())
+    precision = overrides.apply("precision", PrecisionSpec())
+    # The BPSK/AWGN waterfall region: points where a fixed codeword
+    # budget either wastes samples (low Eb/N0, errors everywhere) or
+    # starves (high Eb/N0) — exactly where CI-targeted stopping pays.
+    grid = (1.0, 1.5, 2.0, 2.5, 3.0)
+    return Scenario(
+        "coded-ber-adaptive-sweep", "off-paper",
+        "CI-targeted coded BER vs Eb/N0 with upgradable cached tallies",
+        specs={"coding": coding, "phy": phy},
+        points=[{"frontend": "bpsk-awgn", "ebn0_db": float(ebn0)}
+                for ebn0 in grid],
+        worker=_AdaptiveBerWorker(coding, phy),
+        precision=precision)
 
 
 @register_scenario("phy-detector-comparison", "off-paper",

@@ -26,7 +26,7 @@ import numpy as np
 from repro.core.engine import SweepEngine
 from repro.core.store import RunStore
 from repro.scenarios.result import ScenarioResult
-from repro.scenarios.specs import SpecBase
+from repro.scenarios.specs import PrecisionSpec, SpecBase
 from repro.utils.hashing import worker_cache_key
 from repro.utils.rng import RngLike
 from repro.utils.serialization import to_plain
@@ -50,14 +50,25 @@ class Scenario:
         Parameter mappings, one per sweep point (values must be hashable).
     worker:
         Picklable ``worker(params, rng)`` returning a JSON-serializable
-        value; typically a frozen dataclass holding the specs.
+        value; typically a frozen dataclass holding the specs.  When
+        ``precision`` is given the worker must instead expose the
+        incremental-evaluation protocol of
+        :meth:`repro.core.engine.SweepEngine.sweep_adaptive`.
+    precision:
+        Optional :class:`~repro.scenarios.specs.PrecisionSpec`: run every
+        point adaptively until its relative-CI target is met, resuming
+        from (and persisting) partial tallies in the engine's store.
+        Recorded under the ``"precision"`` spec layer for provenance but
+        excluded from :meth:`cache_key`, so precision targets share
+        cached tallies (a tighter target is a cache upgrade).
     """
 
     def __init__(self, name: str, artifact: str, summary: str,
                  specs: Mapping[str, SpecBase],
                  points: Sequence[Mapping[str, Any]],
                  worker: Callable[[Mapping[str, Any], np.random.Generator],
-                                  Any]) -> None:
+                                  Any],
+                 precision: Optional[PrecisionSpec] = None) -> None:
         if not points:
             raise ValueError(f"scenario {name!r} has no sweep points")
         self.name = str(name)
@@ -66,6 +77,16 @@ class Scenario:
         self.specs = dict(specs)
         self.points: List[Dict[str, Any]] = [dict(point) for point in points]
         self.worker = worker
+        self.precision = precision
+        if precision is not None:
+            for method in ("decode", "encode", "satisfied", "advance",
+                           "progress", "finalize"):
+                if not callable(getattr(worker, method, None)):
+                    raise ValueError(
+                        f"scenario {name!r} has a precision spec but its "
+                        f"worker lacks the incremental-evaluation method "
+                        f"{method!r}")
+            self.specs.setdefault("precision", precision)
 
     # ------------------------------------------------------------------
     def describe(self) -> Dict[str, Any]:
@@ -95,11 +116,16 @@ class Scenario:
         registry *name* is deliberately excluded, so two scenarios that
         describe the same computation share cached points no matter what
         they are called, which process built them, or when they ran.
+        :class:`~repro.scenarios.specs.PrecisionSpec` layers are excluded
+        too: precision describes how *well* to measure, not *what* —
+        stored tallies must be shared (and upgraded) across precision
+        targets rather than recomputed per target.
         """
         return {
             "specs": {layer: {"spec_type": type(spec).__name__,
                               **to_plain(spec.to_dict())}
-                      for layer, spec in self.specs.items()},
+                      for layer, spec in self.specs.items()
+                      if not isinstance(spec, PrecisionSpec)},
             "worker": worker_cache_key(self.worker),
         }
 
@@ -129,8 +155,13 @@ class Scenario:
         if engine is None:
             engine = SweepEngine(n_workers=n_workers, store=store)
         started = time.perf_counter()
-        outcomes = engine.sweep(self.worker, self.points, rng=rng,
-                                key=self.cache_key())
+        if self.precision is not None:
+            outcomes = engine.sweep_adaptive(
+                self.worker, self.points, self.precision.stopping_rule(),
+                rng=rng, key=self.cache_key())
+        else:
+            outcomes = engine.sweep(self.worker, self.points, rng=rng,
+                                    key=self.cache_key())
         elapsed_s = time.perf_counter() - started
         points = tuple(
             {"params": to_plain(outcome.params),
@@ -143,22 +174,30 @@ class Scenario:
             seed=rng if isinstance(rng, (int, np.integer)) else None,
             points=points,
             from_cache=[bool(outcome.from_cache) for outcome in outcomes],
-            elapsed_s=elapsed_s, store_info=engine.store.describe())
+            elapsed_s=elapsed_s, store_info=engine.store.describe(),
+            adaptive=[outcome.adaptive for outcome in outcomes]
+            if self.precision is not None else None)
 
     # ------------------------------------------------------------------
     def assemble_result(self, seed: Optional[int],
                         points: Sequence[Dict[str, Any]],
                         from_cache: Sequence[bool],
                         elapsed_s: Optional[float] = None,
-                        store_info: Optional[Dict[str, Any]] = None
-                        ) -> ScenarioResult:
+                        store_info: Optional[Dict[str, Any]] = None,
+                        adaptive: Optional[Sequence[Optional[
+                            Dict[str, Any]]]] = None) -> ScenarioResult:
         """Build the :class:`ScenarioResult` for already-evaluated points.
 
         The one place the result/execution schema is defined — used by
         :meth:`run` and by the campaign runner, so ``repro run`` and
         ``repro run-all`` can never drift apart.  ``elapsed_s`` is
         ``None`` for campaign entries (per-entry wall time is
-        meaningless under interleaved execution).
+        meaningless under interleaved execution).  ``adaptive`` carries
+        the per-point precision provenance of an adaptive run (resumed /
+        new / total codewords); like cache provenance it lives in the
+        ``execution`` block, outside the deterministic payload — how much
+        of a tally was resumed depends on store warmth, not on what was
+        measured.
         """
         import repro  # local import: repro.__init__ imports this package
 
@@ -170,6 +209,22 @@ class Scenario:
             "elapsed_s": elapsed_s,
             "store": store_info,
         }
+        if self.precision is not None and adaptive is not None:
+            per_point = [dict(entry) if entry else None
+                         for entry in adaptive]
+            totals = [entry for entry in per_point if entry]
+            execution["precision"] = {
+                "spec": to_plain(self.precision.to_dict()),
+                "resumed_codewords": sum(entry["resumed_units"]
+                                         for entry in totals),
+                "new_codewords": sum(entry["new_units"]
+                                     for entry in totals),
+                "total_codewords": sum(entry["total_units"]
+                                       for entry in totals),
+                "all_satisfied": all(entry["satisfied"]
+                                     for entry in totals),
+                "per_point": per_point,
+            }
         return ScenarioResult(
             name=self.name, artifact=self.artifact, summary=self.summary,
             specs=dict(self.specs),

@@ -503,6 +503,54 @@ class NocSpec(SpecBase):
 
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
+class PrecisionSpec(SpecBase):
+    """Adaptive Monte-Carlo precision target for error-rate measurements.
+
+    Describes *how well* a stochastic point must be measured, not *what*
+    is measured: run codeword batches until the relative half-width of
+    the ``confidence`` Wilson interval on the bit error rate drops to
+    ``rel_ci_target``, bounded below by ``min_codewords`` and a
+    ``min_errors`` floor (so zero-error points cannot stop early at a
+    meaningless estimate of exactly 0) and above by the ``max_codewords``
+    budget cap.
+
+    A precision spec deliberately stays **out** of scenario cache keys
+    (:meth:`repro.scenarios.scenario.Scenario.cache_key`): the stored
+    asset is the error *tally*, which any precision target can resume —
+    tightening ``rel_ci_target`` against a warm store simulates only the
+    increment.  See EXPERIMENTS.md, "Statistical methodology".
+    """
+
+    rel_ci_target: float = 0.25
+    confidence: float = 0.95
+    min_codewords: int = 4
+    max_codewords: int = 512
+    min_errors: int = 10
+
+    def __post_init__(self) -> None:
+        check_positive("rel_ci_target", self.rel_ci_target)
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must lie strictly in (0, 1)")
+        check_positive("min_codewords", self.min_codewords)
+        check_positive("max_codewords", self.max_codewords)
+        if self.max_codewords < self.min_codewords:
+            raise ValueError("max_codewords must be at least min_codewords")
+        check_non_negative("min_errors", self.min_errors)
+
+    def stopping_rule(self):
+        """The :class:`repro.utils.statistics.StoppingRule` this spec
+        describes (codewords are the rule's work units)."""
+        from repro.utils.statistics import StoppingRule
+
+        return StoppingRule(rel_ci_target=self.rel_ci_target,
+                            confidence=self.confidence,
+                            min_units=self.min_codewords,
+                            max_units=self.max_codewords,
+                            min_errors=self.min_errors)
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
 class SystemSpec(SpecBase):
     """The paper's overall proposal — a box of boards with wireless links."""
 

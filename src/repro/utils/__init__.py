@@ -30,6 +30,12 @@ from repro.utils.hashing import (
     worker_cache_key,
 )
 from repro.utils.rng import ensure_rng
+from repro.utils.statistics import (
+    StoppingRule,
+    agresti_coull_interval,
+    normal_quantile,
+    wilson_interval,
+)
 from repro.utils.validation import (
     check_positive,
     check_non_negative,
@@ -54,6 +60,10 @@ __all__ = [
     "ebn0_db_to_snr_db",
     "snr_db_to_ebn0_db",
     "ensure_rng",
+    "StoppingRule",
+    "agresti_coull_interval",
+    "normal_quantile",
+    "wilson_interval",
     "canonical_json",
     "content_hash",
     "sweep_point_key",

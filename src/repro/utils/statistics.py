@@ -1,0 +1,185 @@
+"""Binomial confidence intervals and the sequential stopping rule.
+
+The Monte-Carlo error-rate measurements of :mod:`repro.coding.ber` count
+errors over trials — a binomial experiment.  This module provides the two
+standard score-based interval estimators for such counts and the
+:class:`StoppingRule` that turns an interval target into a sequential
+"stop when the answer is known" decision:
+
+* :func:`wilson_interval` — the Wilson score interval, the recommended
+  default: unlike the naive Wald interval it never collapses to zero
+  width at 0 or ``n`` errors and keeps near-nominal coverage at the small
+  error counts deep-waterfall BER points produce.
+* :func:`agresti_coull_interval` — the Agresti–Coull "add z²/2
+  pseudo-counts" approximation of Wilson; slightly wider, simpler shape,
+  provided for cross-checks.
+* :class:`StoppingRule` — stop once the *relative* CI half-width of the
+  error rate falls below a target, bounded by minimum/maximum unit counts
+  and a minimum-error floor (a point that has seen no errors has not
+  measured anything — it must run to its budget, not stop "precisely at
+  zero").
+
+Only the standard library is used: the normal quantile comes from
+:meth:`statistics.NormalDist.inv_cdf`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from statistics import NormalDist
+from typing import Tuple
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "StoppingRule",
+    "agresti_coull_interval",
+    "normal_quantile",
+    "wilson_interval",
+]
+
+
+def normal_quantile(confidence: float) -> float:
+    """Two-sided standard-normal quantile ``z`` for a confidence level.
+
+    ``normal_quantile(0.95)`` is the familiar 1.96: the half-width of a
+    central interval covering 95% of a standard normal.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie strictly between 0 and 1, "
+                         f"got {confidence}")
+    return float(NormalDist().inv_cdf(0.5 * (1.0 + confidence)))
+
+
+def _check_counts(n_errors: int, n_trials: int) -> Tuple[int, int]:
+    n_errors = int(n_errors)
+    n_trials = int(n_trials)
+    if n_trials < 1:
+        raise ValueError("n_trials must be at least 1")
+    if not 0 <= n_errors <= n_trials:
+        raise ValueError(
+            f"n_errors must lie in [0, n_trials], got {n_errors}/{n_trials}")
+    return n_errors, n_trials
+
+
+def wilson_interval(n_errors: int, n_trials: int,
+                    confidence: float = 0.95) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    The interval is the set of proportions ``p`` whose score test accepts
+    the observed count — equivalently::
+
+        (p̂ + z²/2n ± z·sqrt(p̂(1-p̂)/n + z²/4n²)) / (1 + z²/n)
+
+    It always lies inside ``[0, 1]``, contains the point estimate
+    ``n_errors / n_trials``, and stays informative at 0 and ``n_trials``
+    errors (where the Wald interval degenerates to a point).
+    """
+    n_errors, n_trials = _check_counts(n_errors, n_trials)
+    z = normal_quantile(confidence)
+    p_hat = n_errors / n_trials
+    z2 = z * z
+    denominator = 1.0 + z2 / n_trials
+    center = (p_hat + z2 / (2.0 * n_trials)) / denominator
+    half_width = z * math.sqrt(
+        p_hat * (1.0 - p_hat) / n_trials
+        + z2 / (4.0 * n_trials * n_trials)) / denominator
+    # At 0 / n_trials errors the exact bound is 0 / 1 (center equals the
+    # half-width there); pin it so rounding never excludes the estimate.
+    low = 0.0 if n_errors == 0 else max(0.0, center - half_width)
+    high = 1.0 if n_errors == n_trials else min(1.0, center + half_width)
+    return (low, high)
+
+
+def agresti_coull_interval(n_errors: int, n_trials: int,
+                           confidence: float = 0.95) -> Tuple[float, float]:
+    """Agresti–Coull interval: a Wald interval after adding z²/2 successes
+    and z²/2 failures.
+
+    Slightly wider than :func:`wilson_interval` (it shares Wilson's
+    center but uses the simpler symmetric half-width), and may poke
+    marginally past 0/1 before clipping; used as a cross-check estimator.
+    """
+    n_errors, n_trials = _check_counts(n_errors, n_trials)
+    z = normal_quantile(confidence)
+    n_tilde = n_trials + z * z
+    p_tilde = (n_errors + z * z / 2.0) / n_tilde
+    half_width = z * math.sqrt(p_tilde * (1.0 - p_tilde) / n_tilde)
+    return (max(0.0, p_tilde - half_width), min(1.0, p_tilde + half_width))
+
+
+@dataclass(frozen=True)
+class StoppingRule:
+    """Sequential precision target for an error-counting measurement.
+
+    A measurement accumulates ``n_errors`` errors over ``n_trials``
+    trials across ``n_units`` work units (codewords, for the BER
+    harness).  The rule is *satisfied* — the measurement may stop — once
+
+    * at least ``min_units`` units have been spent (a floor protecting
+      against degenerate one-batch "estimates"), and
+    * at least ``min_errors`` errors have been observed (a zero- or
+      near-zero-error tally carries almost no information about the rate;
+      without this floor every deep-waterfall point would stop
+      immediately at an estimate of exactly 0), and
+    * the relative half-width of the chosen confidence interval,
+      ``(high - low) / 2 / p̂``, is at or below ``rel_ci_target``;
+
+    or unconditionally once ``max_units`` units have been spent — the
+    budget cap that keeps zero-error points from running forever.
+
+    The rule is frozen/hashable so it can ride inside picklable workers
+    and cache keys; note the adaptive sweep machinery deliberately keeps
+    it *out* of store keys (see :mod:`repro.core.engine`).
+    """
+
+    rel_ci_target: float = 0.25
+    confidence: float = 0.95
+    min_units: int = 4
+    max_units: int = 4096
+    min_errors: int = 10
+    interval: str = "wilson"
+
+    def __post_init__(self) -> None:
+        check_positive("rel_ci_target", self.rel_ci_target)
+        if not 0.0 < self.confidence < 1.0:
+            raise ValueError("confidence must lie strictly in (0, 1)")
+        check_positive("min_units", self.min_units)
+        check_positive("max_units", self.max_units)
+        if self.max_units < self.min_units:
+            raise ValueError("max_units must be at least min_units")
+        if self.min_errors < 0:
+            raise ValueError("min_errors must be non-negative")
+        if self.interval not in ("wilson", "agresti-coull"):
+            raise ValueError("interval must be 'wilson' or 'agresti-coull', "
+                             f"got {self.interval!r}")
+
+    # ------------------------------------------------------------------
+    def interval_for(self, n_errors: int, n_trials: int) -> Tuple[float,
+                                                                  float]:
+        """The configured confidence interval for an error count."""
+        estimator = (wilson_interval if self.interval == "wilson"
+                     else agresti_coull_interval)
+        return estimator(n_errors, n_trials, self.confidence)
+
+    def relative_half_width(self, n_errors: int, n_trials: int) -> float:
+        """Relative CI half-width ``(high - low) / 2 / p̂``.
+
+        ``inf`` when no errors have been observed (the point estimate is
+        0 and no relative statement is possible yet).
+        """
+        if n_trials < 1 or n_errors < 1:
+            return math.inf
+        low, high = self.interval_for(n_errors, n_trials)
+        return (high - low) / 2.0 / (n_errors / n_trials)
+
+    def satisfied(self, n_errors: int, n_trials: int,
+                  n_units: int) -> bool:
+        """May a measurement with these counts stop?"""
+        if n_units >= self.max_units:
+            return True
+        if n_units < self.min_units or n_errors < self.min_errors:
+            return False
+        return (self.relative_half_width(n_errors, n_trials)
+                <= self.rel_ci_target)

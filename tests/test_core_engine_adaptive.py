@@ -1,0 +1,157 @@
+"""Tests for the adaptive (CI-targeted, resumable) sweep path of
+repro.core.engine.SweepEngine."""
+
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping
+
+import numpy as np
+import pytest
+
+from repro.coding.ber import batch_seed_sequence
+from repro.core.engine import SweepEngine, SweepPointError
+from repro.core.store import DiskStore, MemoryStore
+from repro.utils.statistics import StoppingRule
+
+
+@dataclass(frozen=True)
+class BernoulliWorker:
+    """Toy incremental worker: estimate a Bernoulli rate by batches.
+
+    Module-level and frozen so the pool path can pickle it; the state is
+    a plain dict (JSON round-trips through any store unchanged).
+    """
+
+    batch: int = 16
+
+    def decode(self, stored) -> Dict[str, int]:
+        if stored is None:
+            return {"n": 0, "k": 0, "units": 0, "batches": 0}
+        return {key: int(stored[key]) for key in ("n", "k", "units",
+                                                  "batches")}
+
+    def encode(self, state) -> Dict[str, int]:
+        return dict(state)
+
+    def satisfied(self, state, rule) -> bool:
+        return rule.satisfied(state["k"], state["n"], state["units"])
+
+    def advance(self, params: Mapping[str, Any], state, seed_sequence,
+                rule):
+        state = dict(state)
+        while not self.satisfied(state, rule):
+            child = batch_seed_sequence(seed_sequence, state["batches"])
+            draws = np.random.default_rng(child).random(self.batch)
+            state["k"] += int(np.count_nonzero(draws < params["p"]))
+            state["n"] += self.batch
+            state["units"] += self.batch
+            state["batches"] += 1
+        return state
+
+    def progress(self, state) -> int:
+        return int(state["units"])
+
+    def finalize(self, params: Mapping[str, Any], state) -> Dict[str, Any]:
+        return {"estimate": state["k"] / state["n"] if state["n"] else 0.0,
+                "n": state["n"]}
+
+
+@dataclass(frozen=True)
+class FailingWorker(BernoulliWorker):
+    def advance(self, params, state, seed_sequence, rule):
+        raise RuntimeError("boom")
+
+
+POINTS = [{"p": 0.5}, {"p": 0.2}, {"p": 0.05}]
+LOOSE = StoppingRule(rel_ci_target=0.5, min_units=16, max_units=4096,
+                     min_errors=5)
+TIGHT = StoppingRule(rel_ci_target=0.1, min_units=16, max_units=4096,
+                     min_errors=5)
+
+
+class TestSweepAdaptive:
+    def test_cold_run_computes_every_point_to_target(self):
+        engine = SweepEngine(store=MemoryStore())
+        outcomes = engine.sweep_adaptive(BernoulliWorker(), POINTS, LOOSE,
+                                         rng=0)
+        assert len(outcomes) == len(POINTS)
+        for outcome in outcomes:
+            assert outcome.adaptive["satisfied"]
+            assert outcome.adaptive["resumed_units"] == 0
+            assert outcome.adaptive["new_units"] > 0
+            assert not outcome.from_cache
+            # Harder points (rarer errors) need more units.
+            assert outcome.value["estimate"] == pytest.approx(
+                outcome.params["p"], rel=0.6)
+
+    def test_warm_run_serves_from_store_with_zero_new_units(self):
+        store = MemoryStore()
+        engine = SweepEngine(store=store)
+        first = engine.sweep_adaptive(BernoulliWorker(), POINTS, LOOSE,
+                                      rng=0)
+        second = engine.sweep_adaptive(BernoulliWorker(), POINTS, LOOSE,
+                                       rng=0)
+        for before, after in zip(first, second):
+            assert after.from_cache
+            assert after.adaptive["new_units"] == 0
+            assert after.adaptive["resumed_units"] \
+                == before.adaptive["total_units"]
+            assert after.value == before.value
+
+    def test_tighter_rule_upgrades_the_cached_tally(self):
+        store = MemoryStore()
+        engine = SweepEngine(store=store)
+        loose = engine.sweep_adaptive(BernoulliWorker(), POINTS, LOOSE,
+                                      rng=0)
+        upgraded = engine.sweep_adaptive(BernoulliWorker(), POINTS, TIGHT,
+                                         rng=0)
+        cold = SweepEngine(store=MemoryStore()).sweep_adaptive(
+            BernoulliWorker(), POINTS, TIGHT, rng=0)
+        for loose_o, upgraded_o, cold_o in zip(loose, upgraded, cold):
+            assert upgraded_o.adaptive["resumed_units"] \
+                == loose_o.adaptive["total_units"]
+            assert upgraded_o.adaptive["new_units"] > 0
+            # Resume draws the exact noise a one-shot run would have.
+            assert upgraded_o.value == cold_o.value
+
+    def test_pool_path_matches_serial(self):
+        serial = SweepEngine(store=MemoryStore()).sweep_adaptive(
+            BernoulliWorker(), POINTS, TIGHT, rng=3)
+        pooled = SweepEngine(n_workers=2, store=MemoryStore())\
+            .sweep_adaptive(BernoulliWorker(), POINTS, TIGHT, rng=3)
+        assert [o.value for o in pooled] == [o.value for o in serial]
+
+    def test_disk_store_resume_across_engines(self, tmp_path):
+        path = str(tmp_path / "store")
+        first = SweepEngine(store=DiskStore(path)).sweep_adaptive(
+            BernoulliWorker(), POINTS, LOOSE, rng=0)
+        second = SweepEngine(store=DiskStore(path)).sweep_adaptive(
+            BernoulliWorker(), POINTS, TIGHT, rng=0)
+        for loose_o, tight_o in zip(first, second):
+            assert tight_o.adaptive["resumed_units"] \
+                == loose_o.adaptive["total_units"]
+
+    def test_non_incremental_worker_rejected(self):
+        engine = SweepEngine()
+        with pytest.raises(TypeError, match="incremental-evaluation"):
+            engine.sweep_adaptive(lambda params, rng: 0.0, POINTS, LOOSE,
+                                  rng=0)
+
+    def test_point_failure_raises_sweep_point_error(self):
+        engine = SweepEngine(store=MemoryStore())
+        with pytest.raises(SweepPointError, match="boom"):
+            engine.sweep_adaptive(FailingWorker(), POINTS, LOOSE, rng=0)
+
+    def test_outcome_to_dict_carries_adaptive_provenance(self):
+        engine = SweepEngine(store=MemoryStore())
+        outcome = engine.sweep_adaptive(BernoulliWorker(), POINTS[:1],
+                                        LOOSE, rng=0)[0]
+        payload = outcome.to_dict()
+        assert payload["adaptive"]["total_units"] \
+            == outcome.adaptive["total_units"]
+
+    def test_cache_counters_track_adaptive_hits(self):
+        engine = SweepEngine(store=MemoryStore())
+        engine.sweep_adaptive(BernoulliWorker(), POINTS, LOOSE, rng=0)
+        assert engine.cache_info()["misses"] == len(POINTS)
+        engine.sweep_adaptive(BernoulliWorker(), POINTS, LOOSE, rng=0)
+        assert engine.cache_info()["hits"] == len(POINTS)

@@ -113,3 +113,103 @@ class TestDiskStore:
             store.put(KEY_A, object())
         assert KEY_A not in store
         assert len(store) == 0
+
+
+class TestDiskStoreGc:
+    @staticmethod
+    def _aged_store(tmp_path, now):
+        """Three entries written 0 / 10 / 20 'days' before ``now``."""
+        store = DiskStore(str(tmp_path / "store"))
+        ages_days = {"a" * 64: 20, "b" * 64: 10, "c" * 64: 0}
+        for key, age in ages_days.items():
+            store.put(key, {"payload": key[:8]})
+            mtime = now - age * 86400.0
+            os.utime(store._path(key), (mtime, mtime))
+        return store
+
+    def test_age_bound_evicts_old_entries(self, tmp_path):
+        now = 1_700_000_000.0
+        store = self._aged_store(tmp_path, now)
+        report = store.gc(max_age_days=15, now=now)
+        assert report["removed"] == 1
+        assert report["kept"] == 2
+        assert "a" * 64 not in store
+        assert "b" * 64 in store and "c" * 64 in store
+
+    def test_size_bound_evicts_oldest_first(self, tmp_path):
+        now = 1_700_000_000.0
+        store = self._aged_store(tmp_path, now)
+        entry_bytes = os.path.getsize(store._path("a" * 64))
+        report = store.gc(max_total_bytes=entry_bytes, now=now)
+        assert report["removed"] == 2
+        assert report["remaining_bytes"] <= entry_bytes
+        # The newest entry survives.
+        assert "c" * 64 in store
+        assert "a" * 64 not in store and "b" * 64 not in store
+
+    def test_bounds_compose(self, tmp_path):
+        now = 1_700_000_000.0
+        store = self._aged_store(tmp_path, now)
+        report = store.gc(max_age_days=15, max_total_bytes=0, now=now)
+        assert report["removed"] == 3
+        assert len(store) == 0
+
+    def test_dry_run_removes_nothing(self, tmp_path):
+        now = 1_700_000_000.0
+        store = self._aged_store(tmp_path, now)
+        report = store.gc(max_age_days=5, max_total_bytes=0, now=now,
+                          dry_run=True)
+        assert report["dry_run"] is True
+        assert report["removed"] == 3
+        assert len(store) == 3
+
+    def test_no_bounds_keeps_everything(self, tmp_path):
+        now = 1_700_000_000.0
+        store = self._aged_store(tmp_path, now)
+        report = store.gc(now=now)
+        assert report["removed"] == 0
+        assert report["kept"] == 3
+
+    def test_rejects_negative_bounds(self, tmp_path):
+        store = DiskStore(str(tmp_path / "store"))
+        with pytest.raises(ValueError):
+            store.gc(max_age_days=-1)
+        with pytest.raises(ValueError):
+            store.gc(max_total_bytes=-1)
+
+
+class TestDiskStoreConcurrentWriters:
+    def test_same_key_racing_writers_leave_a_complete_entry(self, tmp_path):
+        # Regression: two processes computing the same content-addressed
+        # point write the same key concurrently.  Whatever the
+        # interleaving, the surviving file must be complete and readable
+        # (atomic tempfile + os.replace), never truncated or interleaved.
+        import multiprocessing
+
+        root = str(tmp_path / "store")
+        value = {"curve": list(range(500)), "label": "same-for-both"}
+        context = multiprocessing.get_context("spawn")
+        barrier = context.Barrier(2)
+        workers = [
+            context.Process(target=_hammer_put,
+                            args=(root, KEY_A, value, barrier))
+            for _ in range(2)]
+        for worker in workers:
+            worker.start()
+        for worker in workers:
+            worker.join(timeout=60)
+            assert worker.exitcode == 0
+        store = DiskStore(root)
+        assert store.get(KEY_A) == value
+        shard = os.path.join(root, "objects", KEY_A[:2])
+        assert [name for name in os.listdir(shard)
+                if name.endswith(".tmp")] == []
+
+
+def _hammer_put(root, key, value, barrier):
+    """Worker for the concurrent-writer test (module-level: spawn picks
+    it up by import)."""
+    store = DiskStore(root)
+    barrier.wait(timeout=30)
+    for _ in range(50):
+        store.put(key, value)

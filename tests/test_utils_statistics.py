@@ -1,0 +1,159 @@
+"""Tests for binomial intervals and the stopping rule
+(repro.utils.statistics)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.utils.statistics import (
+    StoppingRule,
+    agresti_coull_interval,
+    normal_quantile,
+    wilson_interval,
+)
+
+
+counts = st.integers(min_value=1, max_value=100_000).flatmap(
+    lambda n: st.tuples(st.integers(min_value=0, max_value=n), st.just(n)))
+
+
+class TestNormalQuantile:
+    def test_familiar_values(self):
+        assert normal_quantile(0.95) == pytest.approx(1.959963984540054)
+        assert normal_quantile(0.99) == pytest.approx(2.5758293035489004)
+        assert normal_quantile(0.6826894921370859) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("confidence", [0.0, 1.0, -0.5, 1.5])
+    def test_rejects_degenerate_confidence(self, confidence):
+        with pytest.raises(ValueError):
+            normal_quantile(confidence)
+
+
+class TestWilsonInterval:
+    def test_spot_values(self):
+        # Hand-computed from the closed form with z = 1.9599639845400536.
+        assert wilson_interval(10, 100) == pytest.approx(
+            (0.0552291370606751, 0.17436566150491345))
+        assert wilson_interval(1, 10) == pytest.approx(
+            (0.017876213095072896, 0.40415002679523837))
+        assert wilson_interval(0, 50) == pytest.approx(
+            (0.0, 0.07134759913335868))
+        assert wilson_interval(50, 50) == pytest.approx(
+            (0.9286524008666414, 1.0))
+
+    def test_agresti_coull_spot_value(self):
+        assert agresti_coull_interval(10, 100) == pytest.approx(
+            (0.05348475228884133, 0.17611004627674717))
+
+    @pytest.mark.parametrize("interval",
+                             [wilson_interval, agresti_coull_interval])
+    @given(counts)
+    @settings(max_examples=60)
+    def test_contains_point_estimate_within_unit_interval(self, interval,
+                                                          count):
+        n_errors, n_trials = count
+        low, high = interval(n_errors, n_trials)
+        assert 0.0 <= low <= high <= 1.0
+        assert low <= n_errors / n_trials <= high
+
+    @pytest.mark.parametrize("interval",
+                             [wilson_interval, agresti_coull_interval])
+    @given(st.integers(min_value=1, max_value=500),
+           st.integers(min_value=2, max_value=6))
+    @settings(max_examples=40)
+    def test_width_shrinks_with_more_trials_at_fixed_rate(self, interval,
+                                                          n, factor):
+        # Observing the same error *rate* over `factor` times the trials
+        # must narrow the interval.
+        low_small, high_small = interval(n, 4 * n)
+        low_large, high_large = interval(factor * n, factor * 4 * n)
+        assert high_large - low_large < high_small - low_small
+
+    @given(counts, st.sampled_from([0.8, 0.9, 0.95, 0.99]))
+    @settings(max_examples=40)
+    def test_width_grows_with_confidence(self, count, confidence):
+        n_errors, n_trials = count
+        low_lo, high_lo = wilson_interval(n_errors, n_trials, confidence)
+        low_hi, high_hi = wilson_interval(n_errors, n_trials,
+                                          1.0 - (1.0 - confidence) / 4.0)
+        assert high_hi - low_hi >= high_lo - low_lo
+
+    @given(counts)
+    @settings(max_examples=40)
+    def test_agresti_coull_no_narrower_than_wilson(self, count):
+        n_errors, n_trials = count
+        w_low, w_high = wilson_interval(n_errors, n_trials)
+        a_low, a_high = agresti_coull_interval(n_errors, n_trials)
+        assert a_high - a_low >= (w_high - w_low) - 1e-12
+
+    @pytest.mark.parametrize("interval",
+                             [wilson_interval, agresti_coull_interval])
+    @pytest.mark.parametrize("n_errors, n_trials",
+                             [(0, 0), (-1, 10), (11, 10)])
+    def test_rejects_bad_counts(self, interval, n_errors, n_trials):
+        with pytest.raises(ValueError):
+            interval(n_errors, n_trials)
+
+
+class TestStoppingRule:
+    def test_defaults_are_valid(self):
+        rule = StoppingRule()
+        assert rule.rel_ci_target == 0.25
+        assert rule.interval == "wilson"
+
+    @pytest.mark.parametrize("kwargs", [
+        {"rel_ci_target": 0.0},
+        {"rel_ci_target": -0.1},
+        {"confidence": 1.0},
+        {"min_units": 0},
+        {"max_units": 0},
+        {"min_units": 8, "max_units": 4},
+        {"min_errors": -1},
+        {"interval": "wald"},
+    ])
+    def test_rejects_invalid_configuration(self, kwargs):
+        with pytest.raises(ValueError):
+            StoppingRule(**kwargs)
+
+    def test_relative_half_width_infinite_without_errors(self):
+        rule = StoppingRule()
+        assert rule.relative_half_width(0, 1000) == math.inf
+
+    def test_relative_half_width_matches_interval(self):
+        rule = StoppingRule(rel_ci_target=0.1)
+        low, high = wilson_interval(10, 100, rule.confidence)
+        expected = (high - low) / 2.0 / 0.1
+        assert rule.relative_half_width(10, 100) == pytest.approx(expected)
+
+    def test_agresti_coull_variant_uses_its_interval(self):
+        rule = StoppingRule(interval="agresti-coull")
+        assert rule.interval_for(10, 100) == pytest.approx(
+            agresti_coull_interval(10, 100))
+
+    def test_min_units_and_min_errors_block_stopping(self):
+        rule = StoppingRule(rel_ci_target=10.0, min_units=8, min_errors=5)
+        # Precise enough, but too few units.
+        assert not rule.satisfied(n_errors=100, n_trials=1000, n_units=4)
+        # Enough units, but too few errors.
+        assert not rule.satisfied(n_errors=4, n_trials=1000, n_units=8)
+        assert rule.satisfied(n_errors=100, n_trials=1000, n_units=8)
+
+    def test_max_units_cap_always_stops(self):
+        rule = StoppingRule(rel_ci_target=1e-6, min_errors=10**9,
+                            max_units=16)
+        assert not rule.satisfied(n_errors=0, n_trials=1000, n_units=15)
+        assert rule.satisfied(n_errors=0, n_trials=1000, n_units=16)
+
+    @given(st.integers(min_value=1, max_value=1000),
+           st.integers(min_value=1, max_value=100))
+    @settings(max_examples=40)
+    def test_satisfied_is_monotone_in_errors_at_fixed_rate(self, n_errors,
+                                                           scale):
+        # More data at the same error rate can only keep (or reach) a
+        # satisfied target, never lose it.
+        rule = StoppingRule(rel_ci_target=0.2, min_units=1, min_errors=1)
+        n_trials = 10 * n_errors
+        if rule.satisfied(n_errors, n_trials, n_units=rule.min_units):
+            assert rule.satisfied(scale * n_errors, scale * n_trials,
+                                  n_units=rule.min_units)

@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint smoke bench scenarios run-scenario run-all noc phy
+.PHONY: test lint smoke bench scenarios run-scenario run-all noc phy serve
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks.
 test:
@@ -52,6 +52,12 @@ phy:
 		--set mc.n_codewords=2
 	$(PYTHON) -m repro run phy-oversampling-coding-ablation --seed 0 \
 		--set mc.n_codewords=2
+
+# The campaign service: a long-running, multi-client compute daemon over
+# .repro-store (submit with `python -m repro submit NAME --wait`, stop
+# with Ctrl-C or `curl -X POST localhost:8765/v1/shutdown`).
+serve:
+	$(PYTHON) -m repro serve --store .repro-store $(ARGS)
 
 # Run one named scenario, e.g.:
 #   make run-scenario NAME=table1 ARGS="--json out.json"

@@ -1,0 +1,77 @@
+"""The campaign service end to end: daemon, clients, coalescing, cache.
+
+Demonstrates the serving layer (``repro.service``) fully in-process —
+the same HTTP server and client the CLI uses, on an ephemeral port:
+
+1. start a daemon over a durable ``DiskStore``,
+2. submit a scenario and fetch its deterministic result JSON,
+3. resubmit the identical spec — served entirely from the store
+   (``computed 0``) with byte-identical result bytes,
+4. race two clients on one spec: the submissions coalesce into a single
+   computation,
+5. drain and stop, leaving a clean store behind.
+
+The zero-code equivalent is::
+
+    python -m repro serve --store .repro-store &
+    python -m repro submit fig7 --wait --json fig7.json
+    curl -s localhost:8765/v1/stats | python -m json.tool
+
+Run with:  python examples/service_client.py
+"""
+
+import tempfile
+import threading
+
+from repro import ServiceClient, serve
+
+
+def main() -> None:
+    store_dir = tempfile.mkdtemp(prefix="repro-serve-")
+    server = serve(store_dir=store_dir, port=0, n_workers=2)
+    threading.Thread(target=server.serve_forever, daemon=True).start()
+    print(f"serving on {server.url} · store {store_dir}")
+
+    # ------------------------------------------------------------------
+    # 1. Cold submission: every point is computed, results stream back.
+    # ------------------------------------------------------------------
+    client = ServiceClient(server.url)
+    job = client.submit("fig7", seed=0)
+    done = client.wait(job["job_id"])
+    cold_bytes = client.result_bytes(job["job_id"])
+    print(f"cold: {done['job_id']} {done['status']} · "
+          f"computed {done['computed']}/{done['n_points']} · "
+          f"{len(cold_bytes)} result bytes")
+
+    # ------------------------------------------------------------------
+    # 2. Warm resubmission: born done, zero computations, same bytes.
+    # ------------------------------------------------------------------
+    warm = client.submit("fig7", seed=0)
+    warm_bytes = client.result_bytes(warm["job_id"])
+    print(f"warm: {warm['job_id']} {warm['status']} · "
+          f"hits {warm['hits']} · computed {warm['computed']} · "
+          f"byte-identical {warm_bytes == cold_bytes}")
+
+    # ------------------------------------------------------------------
+    # 3. Two clients race a fresh spec: one computation, shared result.
+    # ------------------------------------------------------------------
+    first, second = ServiceClient(server.url), ServiceClient(server.url)
+    jobs = [first.submit("fig7", seed=1), second.submit("fig7", seed=1)]
+    first.wait(jobs[0]["job_id"])
+    second.wait(jobs[1]["job_id"])
+    stats = client.stats()
+    print(f"race: computed {stats['points']['computed'] - 4} new points "
+          f"for 2 clients · coalesced {stats['points']['coalesced']} · "
+          f"hit rate {stats['hit_rate']:.2f}")
+
+    # ------------------------------------------------------------------
+    # 4. Graceful shutdown: drain, stop, store stays on disk.
+    # ------------------------------------------------------------------
+    report = server.stop()
+    server.server_close()
+    print(f"stopped · cancelled {report['cancelled_jobs']} job(s) · "
+          f"store keeps {stats['store']['entries']} entries")
+
+
+if __name__ == "__main__":
+    main()

@@ -23,13 +23,19 @@ The library is organised as four substrates plus integration layers:
   results, and :class:`~repro.scenarios.campaign.Campaign` for running
   many scenarios through one shared process pool.  ``python -m repro
   list`` shows the catalog; ``python -m repro run-all`` runs it.
+* :mod:`repro.service` — the campaign service: ``python -m repro serve``
+  runs the whole execution stack as a long-running, multi-client HTTP
+  daemon over one shared :class:`~repro.core.store.DiskStore` (store-key
+  deduplication, in-flight request coalescing, interactive-over-bulk
+  priority), with :class:`~repro.service.client.ServiceClient` and the
+  ``submit``/``status``/``fetch`` CLI verbs as consumers.
 
 The user-facing surface is re-exported here, so a single ``import repro``
 gives the links, the system, the sweep engine and the scenario registry;
 :mod:`repro.api` is the same facade as a flat importable module.
 """
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 from repro import channel, coding, core, noc, phy, utils
 from repro.core import (
@@ -71,7 +77,14 @@ from repro.scenarios import (
     run_scenario,
     scenario_names,
 )
-from repro import api, scenarios
+from repro.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    serve,
+)
+from repro import api, scenarios, service
 
 __all__ = [
     # submodules
@@ -82,6 +95,7 @@ __all__ = [
     "noc",
     "phy",
     "scenarios",
+    "service",
     "utils",
     "__version__",
     # integration layer
@@ -125,4 +139,10 @@ __all__ = [
     "CampaignEntry",
     "CampaignResult",
     "run_campaign",
+    # campaign service
+    "CampaignService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "serve",
 ]

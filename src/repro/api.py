@@ -58,6 +58,13 @@ from repro.scenarios import (
     scenario_entries,
     scenario_names,
 )
+from repro.service import (
+    CampaignService,
+    ServiceClient,
+    ServiceError,
+    ServiceUnavailable,
+    serve,
+)
 
 __all__ = [
     "LinkBudget",
@@ -99,4 +106,9 @@ __all__ = [
     "CampaignEntry",
     "CampaignResult",
     "run_campaign",
+    "CampaignService",
+    "ServiceClient",
+    "ServiceError",
+    "ServiceUnavailable",
+    "serve",
 ]

@@ -1,12 +1,12 @@
 """Command-line entry point: ``python -m repro
-{list,describe,run,run-all,cache}``.
+{list,describe,run,run-all,cache,serve,submit,status,fetch}``.
 
 The zero-code path to every experiment in the scenario registry:
 
 .. code-block:: console
 
     python -m repro list
-    python -m repro list --only 'noc-*'
+    python -m repro list --only 'noc-*' --json
     python -m repro describe fig10
     python -m repro run fig10 --seed 0 --json fig10.json
     python -m repro run fig4 --set channel.rx_noise_figure_db=7
@@ -15,6 +15,16 @@ The zero-code path to every experiment in the scenario registry:
     python -m repro cache info --store .repro-store
     python -m repro cache gc --store .repro-store --max-age-days 30
     python -m repro cache clear --store .repro-store
+
+and the campaign-service verbs (see :mod:`repro.service`):
+
+.. code-block:: console
+
+    python -m repro serve --store .repro-store --port 8765 --workers 4
+    python -m repro submit fig7 --wait --json fig7.json
+    python -m repro submit fig10 --priority bulk
+    python -m repro status job-000001
+    python -m repro fetch <store-key>
 
 ``run`` defaults to ``--seed 0`` so that the command line is reproducible
 out of the box (the Python API keeps the library-wide opt-in default of
@@ -108,6 +118,13 @@ def _cmd_list(args: argparse.Namespace) -> int:
                    if fnmatch.fnmatch(entry.name, args.only)]
         if not entries:
             raise SystemExit(f"no scenario matches {args.only!r}")
+    if args.json:
+        # Machine-readable: service clients and scripts consume this
+        # instead of scraping the aligned human table below.
+        print(json.dumps([{"name": entry.name, "artifact": entry.artifact,
+                           "summary": entry.summary} for entry in entries],
+                         indent=2, sort_keys=True))
+        return 0
     width = max(len(entry.name) for entry in entries)
     artifact_width = max(len(entry.artifact) for entry in entries)
     for entry in entries:
@@ -118,7 +135,12 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_describe(args: argparse.Namespace) -> int:
     scenario = build_scenario(args.name, _parse_set(args.set))
-    print(json.dumps(scenario.describe(), indent=2, sort_keys=True))
+    if args.json:
+        # Compact canonical form (one line, sorted keys) for scripts.
+        print(json.dumps(scenario.describe(), sort_keys=True,
+                         separators=(",", ":")))
+    else:
+        print(json.dumps(scenario.describe(), indent=2, sort_keys=True))
     return 0
 
 
@@ -229,6 +251,119 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+
+    from repro.service.http import serve
+
+    server = serve(store_dir=args.store, host=args.host, port=args.port,
+                   n_workers=args.workers, quiet=args.quiet)
+
+    def _terminate(signum, frame):  # SIGTERM drains exactly like Ctrl-C
+        raise KeyboardInterrupt
+
+    signal.signal(signal.SIGTERM, _terminate)
+    # Machine-parsable startup line (tests and the CI smoke job wait on
+    # it before submitting).
+    print(f"serving on {server.url} · store {os.path.abspath(args.store)} "
+          f"· {args.workers} worker(s)", flush=True)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        print("draining: waiting for running points, cancelling the queue",
+              flush=True)
+        report = server.stop()
+        server.server_close()
+        print(f"stopped · {report['cancelled_jobs']} job(s) cancelled",
+              flush=True)
+    return 0
+
+
+def _service_client(args: argparse.Namespace):
+    from repro.service.client import ServiceClient
+
+    return ServiceClient(url=args.url, timeout=args.timeout)
+
+
+def _run_service_command(args: argparse.Namespace, action) -> int:
+    """Shared error discipline of the client verbs: connection problems
+    and service-side errors exit 2 with a one-line message, not a
+    traceback."""
+    import urllib.error
+
+    from repro.service.client import ServiceError
+
+    try:
+        return action()
+    except urllib.error.URLError as error:
+        print(f"error: cannot reach service at {args.url}: {error.reason}",
+              file=sys.stderr)
+        return 2
+    except (ServiceError, TimeoutError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+    seed = None if args.seed is not None and args.seed < 0 else args.seed
+
+    def action() -> int:
+        descriptor = client.submit(
+            args.name, overrides=_parse_set(args.set), seed=seed,
+            priority=args.priority, label=args.label)
+        job_id = descriptor["job_id"]
+        print(f"job {job_id} · scenario {descriptor['scenario']} · "
+              f"priority {descriptor['priority']} · "
+              f"{descriptor['n_points']} points · {descriptor['status']}")
+        if not args.wait:
+            return 0
+        descriptor = client.wait(job_id, timeout=args.timeout)
+        # Machine-parsable (the CI serve-smoke job greps it): a warm
+        # resubmission must report `computed 0`.
+        print(f"job {job_id} {descriptor['status']} · "
+              f"points {descriptor['n_points']} · "
+              f"hits {descriptor['hits']} · "
+              f"coalesced {descriptor['coalesced']} · "
+              f"computed {descriptor['computed']}")
+        if args.json:
+            # The daemon's deterministic ScenarioResult JSON, verbatim
+            # (plus the same trailing newline save_json writes), so the
+            # file is byte-identical to a local `repro run --json` of
+            # the same spec and seed.
+            with open(args.json, "wb") as stream:
+                stream.write(client.result_bytes(job_id))
+                stream.write(b"\n")
+            if not args.quiet:
+                print(f"wrote {args.json}")
+        return 0
+
+    return _run_service_command(args, action)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+
+    def action() -> int:
+        descriptor = client.status(args.job)
+        print(json.dumps(descriptor, indent=2, sort_keys=True))
+        return 0
+
+    return _run_service_command(args, action)
+
+
+def _cmd_fetch(args: argparse.Namespace) -> int:
+    client = _service_client(args)
+
+    def action() -> int:
+        print(json.dumps(client.fetch(args.key), indent=2, sort_keys=True))
+        return 0
+
+    return _run_service_command(args, action)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -241,6 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
     list_parser.add_argument(
         "--only", metavar="GLOB", default=None,
         help="glob filter on scenario names, e.g. 'noc-*'")
+    list_parser.add_argument(
+        "--json", action="store_true",
+        help="emit a JSON array of {name, artifact, summary} instead of "
+             "the human table")
     list_parser.set_defaults(handler=_cmd_list)
 
     describe_parser = subparsers.add_parser(
@@ -249,6 +388,9 @@ def build_parser() -> argparse.ArgumentParser:
     describe_parser.add_argument(
         "--set", action="append", default=[], metavar="KEY=VALUE",
         help="override a spec field, e.g. channel.distance_m=0.2")
+    describe_parser.add_argument(
+        "--json", action="store_true",
+        help="emit compact single-line canonical JSON for scripts")
     describe_parser.set_defaults(handler=_cmd_describe)
 
     run_parser = subparsers.add_parser(
@@ -331,6 +473,84 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="gc: report what would be evicted without removing anything")
     cache_parser.set_defaults(handler=_cmd_cache)
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="run the campaign service daemon: an HTTP/JSON API over one "
+             "shared process pool and DiskStore")
+    serve_parser.add_argument(
+        "--store", metavar="DIR", required=True,
+        help="DiskStore directory the daemon serves from and persists "
+             "every computed point into")
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)")
+    serve_parser.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (default 8765; 0 binds an ephemeral port, printed "
+             "on startup)")
+    serve_parser.add_argument(
+        "--workers", type=int, default=2,
+        help="points evaluated concurrently — dispatcher threads and "
+             "process-pool size (default 2)")
+    serve_parser.add_argument(
+        "--quiet", action="store_true", default=True,
+        help=argparse.SUPPRESS)
+    serve_parser.add_argument(
+        "--log-requests", dest="quiet", action="store_false",
+        help="log every HTTP request to stderr")
+    serve_parser.set_defaults(handler=_cmd_serve)
+
+    def _add_client_args(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--url", default="http://127.0.0.1:8765",
+            help="service base URL (default http://127.0.0.1:8765)")
+        sub.add_argument(
+            "--timeout", type=float, default=60.0,
+            help="per-request timeout in seconds (default 60)")
+
+    submit_parser = subparsers.add_parser(
+        "submit", help="submit a scenario to a running campaign service")
+    submit_parser.add_argument("name", help="scenario name (see `list`)")
+    submit_parser.add_argument(
+        "--set", action="append", default=[], metavar="KEY=VALUE",
+        help="override a spec field, e.g. channel.distance_m=0.2")
+    submit_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="root seed (default 0, reproducible; negative for fresh "
+             "entropy — such jobs are never cached or coalesced)")
+    submit_parser.add_argument(
+        "--priority", choices=("interactive", "bulk"), default="interactive",
+        help="queue priority: interactive requests preempt bulk sweeps "
+             "(default interactive)")
+    submit_parser.add_argument(
+        "--label", default=None, help="job label (default: scenario name)")
+    submit_parser.add_argument(
+        "--wait", action="store_true",
+        help="poll until the job settles and print the hit/computed "
+             "summary")
+    submit_parser.add_argument(
+        "--json", metavar="PATH",
+        help="with --wait: write the job's deterministic ScenarioResult "
+             "JSON to PATH")
+    submit_parser.add_argument(
+        "--quiet", action="store_true",
+        help="suppress the 'wrote PATH' confirmation")
+    _add_client_args(submit_parser)
+    submit_parser.set_defaults(handler=_cmd_submit)
+
+    status_parser = subparsers.add_parser(
+        "status", help="print a service job's status descriptor as JSON")
+    status_parser.add_argument("job", help="job id returned by `submit`")
+    _add_client_args(status_parser)
+    status_parser.set_defaults(handler=_cmd_status)
+
+    fetch_parser = subparsers.add_parser(
+        "fetch", help="fetch one cached point from a running service by "
+                      "store key")
+    fetch_parser.add_argument("key", help="content-addressed store key")
+    _add_client_args(fetch_parser)
+    fetch_parser.set_defaults(handler=_cmd_fetch)
     return parser
 
 

@@ -87,13 +87,33 @@ class SweepPointError(RuntimeError):
 
     Raised on both the serial and the process-pool path; on the pool
     path all outstanding futures are cancelled first.  Carries the
-    failing point's parameter mapping as ``params``; the original worker
-    exception is chained as ``__cause__``.
+    failing point's parameter mapping as ``params`` and — when the sweep
+    ran on behalf of a named scenario (``Scenario.run``, campaigns, the
+    campaign service) — the scenario name as ``scenario``, so an error
+    report out of a multi-scenario run is attributable without parsing
+    the message.  The original worker exception is chained as
+    ``__cause__``.
     """
 
-    def __init__(self, message: str, params: Mapping[str, Any]) -> None:
+    def __init__(self, message: str, params: Mapping[str, Any],
+                 scenario: Optional[str] = None) -> None:
         super().__init__(message)
         self.params = dict(params)
+        self.scenario = scenario
+
+    def with_scenario(self, scenario: str) -> "SweepPointError":
+        """A copy attributed to ``scenario`` (no-op when already named).
+
+        The engine does not know scenario names — the layers that do
+        (:meth:`repro.scenarios.scenario.Scenario.run`, the campaign
+        runner, the service) re-raise through this so the message always
+        leads with the scenario the point belongs to.
+        """
+        if self.scenario is not None:
+            return self
+        error = SweepPointError(f"scenario {scenario!r}: {self}",
+                                params=self.params, scenario=scenario)
+        return error
 
 
 @dataclass(frozen=True)

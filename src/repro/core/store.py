@@ -28,7 +28,8 @@ import json
 import os
 import tempfile
 import time
-from typing import Any, Dict, Iterator, Optional, Protocol, runtime_checkable
+from typing import (Any, Dict, Iterable, Iterator, Optional, Protocol,
+                    runtime_checkable)
 
 from repro.utils.serialization import to_plain
 
@@ -117,6 +118,20 @@ class DiskStore:
     a crash mid-write never leaves a truncated entry and concurrent
     writers of the same key are safe (last complete write wins — both
     wrote the same content-addressed value anyway).
+
+    Readers never need coordination either: an object file only ever
+    appears complete (rename is atomic) and is never written in place,
+    so ``get`` in one process while another process writes is always a
+    complete value or ``KeyError`` — never a torn read.
+
+    :meth:`info` and ``len()`` are served from **per-shard manifests**
+    (``<root>/manifest/<shard>.json``) caching each shard's entry count
+    and byte size together with the shard directory's ``st_mtime_ns``;
+    a manifest is trusted only while the directory is unchanged and is
+    lazily rebuilt otherwise, so any writer — this process, another
+    process, ``gc`` — invalidates it for free by merely touching the
+    shard.  ``cache info`` on a million-entry store therefore costs one
+    ``stat`` per shard, not a full directory walk.
     """
 
     _SUFFIX = ".json"
@@ -124,6 +139,7 @@ class DiskStore:
     def __init__(self, root: str) -> None:
         self.root = str(root)
         self._objects = os.path.join(self.root, "objects")
+        self._manifests = os.path.join(self.root, "manifest")
         os.makedirs(self._objects, exist_ok=True)
 
     # ------------------------------------------------------------------
@@ -133,14 +149,95 @@ class DiskStore:
             raise ValueError(f"invalid store key {key!r}")
         return os.path.join(self._objects, key[:2], key + self._SUFFIX)
 
+    def _shards(self) -> list:
+        return sorted(shard for shard in os.listdir(self._objects)
+                      if os.path.isdir(os.path.join(self._objects, shard)))
+
     def _iter_paths(self) -> Iterator[str]:
-        for shard in sorted(os.listdir(self._objects)):
+        for shard in self._shards():
             shard_dir = os.path.join(self._objects, shard)
-            if not os.path.isdir(shard_dir):
-                continue
             for name in sorted(os.listdir(shard_dir)):
                 if name.endswith(self._SUFFIX):
                     yield os.path.join(shard_dir, name)
+
+    # ------------------------------------------------------------------
+    # per-shard manifests
+    # ------------------------------------------------------------------
+    def _manifest_path(self, shard: str) -> str:
+        return os.path.join(self._manifests, shard + ".json")
+
+    def _scan_shard(self, shard: str) -> Dict[str, int]:
+        """Walk one shard directory (the expensive path the manifest
+        exists to avoid)."""
+        shard_dir = os.path.join(self._objects, shard)
+        entries = 0
+        total_bytes = 0
+        try:
+            with os.scandir(shard_dir) as it:
+                for item in it:
+                    if not item.name.endswith(self._SUFFIX):
+                        continue
+                    try:
+                        total_bytes += item.stat().st_size
+                    except FileNotFoundError:
+                        continue  # removed mid-scan by a concurrent gc
+                    entries += 1
+        except FileNotFoundError:
+            pass
+        return {"entries": entries, "total_bytes": total_bytes}
+
+    def _shard_stats(self, shard: str) -> Dict[str, int]:
+        """Entry count and byte size of one shard, manifest-cached.
+
+        The manifest is valid only while its recorded ``st_mtime_ns``
+        matches the shard directory's current one: every object write
+        (tempfile create + rename) and every unlink touches the
+        directory, so stale manifests self-invalidate without any
+        cross-process coordination.  The token is taken *before* the
+        scan — a write racing the scan leaves a mismatched token behind
+        and the next reader simply rescans.
+        """
+        shard_dir = os.path.join(self._objects, shard)
+        try:
+            token = os.stat(shard_dir).st_mtime_ns
+        except FileNotFoundError:
+            return {"entries": 0, "total_bytes": 0}
+        manifest_path = self._manifest_path(shard)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as stream:
+                manifest = json.load(stream)
+            if manifest.get("token") == token:
+                return {"entries": int(manifest["entries"]),
+                        "total_bytes": int(manifest["total_bytes"])}
+        except (OSError, ValueError, KeyError, TypeError):
+            pass  # missing or corrupt manifest: rebuild below
+        stats = self._scan_shard(shard)
+        self._write_manifest(shard, token, stats)
+        return stats
+
+    def _write_manifest(self, shard: str, token: int,
+                        stats: Dict[str, int]) -> None:
+        os.makedirs(self._manifests, exist_ok=True)
+        payload = json.dumps({"token": token, **stats}, sort_keys=True)
+        handle, temp_path = tempfile.mkstemp(dir=self._manifests,
+                                             suffix=".tmp")
+        try:
+            with os.fdopen(handle, "w", encoding="utf-8") as stream:
+                stream.write(payload)
+            os.replace(temp_path, self._manifest_path(shard))
+        except BaseException:
+            if os.path.exists(temp_path):
+                os.unlink(temp_path)
+            raise
+
+    def _drop_manifests(self, shards: Iterable[str]) -> None:
+        """Invalidate manifests eagerly (gc/clear) — lazy revalidation
+        would catch them anyway, this just keeps the directory tidy."""
+        for shard in shards:
+            try:
+                os.unlink(self._manifest_path(shard))
+            except FileNotFoundError:
+                pass
 
     # ------------------------------------------------------------------
     def get(self, key: str) -> Any:
@@ -170,23 +267,28 @@ class DiskStore:
         return os.path.exists(self._path(key))
 
     def __len__(self) -> int:
-        return sum(1 for _ in self._iter_paths())
+        return sum(self._shard_stats(shard)["entries"]
+                   for shard in self._shards())
 
     def clear(self) -> int:
         removed = 0
         for path in list(self._iter_paths()):
             os.unlink(path)
             removed += 1
+        self._drop_manifests(self._shards())
         return removed
 
     def info(self) -> Dict[str, Any]:
         entries = 0
         total_bytes = 0
-        for path in self._iter_paths():
-            entries += 1
-            total_bytes += os.path.getsize(path)
+        shards = self._shards()
+        for shard in shards:
+            stats = self._shard_stats(shard)
+            entries += stats["entries"]
+            total_bytes += stats["total_bytes"]
         return {"backend": "disk", "path": os.path.abspath(self.root),
-                "entries": entries, "total_bytes": total_bytes}
+                "entries": entries, "total_bytes": total_bytes,
+                "shards": len(shards)}
 
     def describe(self) -> Dict[str, Any]:
         return {"backend": "disk", "path": os.path.abspath(self.root)}
@@ -250,6 +352,9 @@ class DiskStore:
                     continue
             removed += 1
             freed += size
+        if not dry_run and doomed:
+            self._drop_manifests({os.path.basename(os.path.dirname(path))
+                                  for path, _, _ in doomed})
         return {
             "examined": len(entries),
             "removed": removed,

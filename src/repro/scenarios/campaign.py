@@ -94,6 +94,16 @@ class CampaignEntry:
                    overrides=dict(data.get("set", {})),
                    seed=data.get("seed", default_seed))
 
+    def build(self) -> Scenario:
+        """Instantiate this entry's scenario with its overrides applied.
+
+        The one spec-from-JSON entry path: a plain dict (an HTTP request
+        body, a campaign-file row) goes ``from_dict`` → ``build`` to a
+        runnable :class:`~repro.scenarios.scenario.Scenario` — used by
+        the campaign runner and the campaign service alike.
+        """
+        return build_scenario(self.scenario, self.overrides)
+
 
 @dataclass(frozen=True)
 class _Task:
@@ -184,8 +194,7 @@ class Campaign:
     # ------------------------------------------------------------------
     def build_scenarios(self) -> List[Scenario]:
         """Instantiate every entry's scenario (overrides applied)."""
-        return [build_scenario(entry.scenario, entry.overrides)
-                for entry in self.entries]
+        return [entry.build() for entry in self.entries]
 
     def run(self, store: Optional[RunStore] = None,
             n_workers: Optional[int] = None) -> "CampaignResult":
@@ -333,9 +342,10 @@ class Campaign:
         def point_error(task: _Task, error: Exception) -> SweepPointError:
             entry = self.entries[task.entry_index]
             return SweepPointError(
-                f"campaign entry {entry.label!r} failed at point "
+                f"campaign entry {entry.label!r} (scenario "
+                f"{entry.scenario!r}) failed at point "
                 f"{task.planned.params!r}: {error}",
-                params=task.planned.params)
+                params=task.planned.params, scenario=entry.scenario)
 
         execute_pending(
             primaries,

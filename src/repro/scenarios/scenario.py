@@ -23,7 +23,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
 import numpy as np
 
-from repro.core.engine import SweepEngine
+from repro.core.engine import SweepEngine, SweepPointError
 from repro.core.store import RunStore
 from repro.scenarios.result import ScenarioResult
 from repro.scenarios.specs import PrecisionSpec, SpecBase
@@ -155,13 +155,18 @@ class Scenario:
         if engine is None:
             engine = SweepEngine(n_workers=n_workers, store=store)
         started = time.perf_counter()
-        if self.precision is not None:
-            outcomes = engine.sweep_adaptive(
-                self.worker, self.points, self.precision.stopping_rule(),
-                rng=rng, key=self.cache_key())
-        else:
-            outcomes = engine.sweep(self.worker, self.points, rng=rng,
-                                    key=self.cache_key())
+        try:
+            if self.precision is not None:
+                outcomes = engine.sweep_adaptive(
+                    self.worker, self.points, self.precision.stopping_rule(),
+                    rng=rng, key=self.cache_key())
+            else:
+                outcomes = engine.sweep(self.worker, self.points, rng=rng,
+                                        key=self.cache_key())
+        except SweepPointError as error:
+            # Attribute the failure to this scenario (the engine only
+            # knows params); keep the original worker exception chained.
+            raise error.with_scenario(self.name) from error.__cause__
         elapsed_s = time.perf_counter() - started
         points = tuple(
             {"params": to_plain(outcome.params),

@@ -1,0 +1,140 @@
+"""Thin urllib client for the campaign service (no third-party deps).
+
+:class:`ServiceClient` speaks the JSON API of
+:mod:`repro.service.http`; it is what the ``python -m repro
+submit/status/fetch`` CLI verbs, the examples and the CI smoke job use,
+and the reference for anyone talking to the daemon from other tooling
+(everything is plain HTTP + JSON — ``curl`` works just as well).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Mapping, Optional
+
+from repro.service.http import DEFAULT_PORT
+
+
+class ServiceError(RuntimeError):
+    """An error response from the service (or a failed/cancelled job).
+
+    ``status`` is the HTTP status code (``None`` for client-side
+    failures such as a job that settled in a non-``done`` state);
+    ``payload`` is the decoded JSON error body when there was one.
+    """
+
+    def __init__(self, message: str, status: Optional[int] = None,
+                 payload: Optional[Dict[str, Any]] = None) -> None:
+        super().__init__(message)
+        self.status = status
+        self.payload = payload or {}
+
+
+class ServiceClient:
+    """Blocking JSON-over-HTTP client for one campaign service."""
+
+    def __init__(self, url: str = f"http://127.0.0.1:{DEFAULT_PORT}",
+                 timeout: float = 60.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str,
+                 payload: Optional[Mapping[str, Any]] = None) -> bytes:
+        body = (json.dumps(payload).encode("utf-8")
+                if payload is not None else None)
+        request = urllib.request.Request(
+            self.url + path, data=body, method=method,
+            headers={"Content-Type": "application/json"} if body else {})
+        try:
+            with urllib.request.urlopen(request,
+                                        timeout=self.timeout) as response:
+                return response.read()
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except ValueError:
+                decoded = {"error": raw.decode("utf-8", "replace")}
+            raise ServiceError(
+                f"{method} {path} failed with HTTP {error.code}: "
+                f"{decoded.get('error', decoded)}",
+                status=error.code, payload=decoded) from None
+
+    def _json(self, method: str, path: str,
+              payload: Optional[Mapping[str, Any]] = None) -> Any:
+        return json.loads(self._request(method, path, payload)
+                          .decode("utf-8"))
+
+    # ------------------------------------------------------------------
+    def submit(self, scenario: str,
+               overrides: Optional[Mapping[str, Any]] = None,
+               seed: Optional[int] = 0, priority: str = "interactive",
+               label: Optional[str] = None) -> Dict[str, Any]:
+        """Submit a scenario; returns the job descriptor.
+
+        A fully warm submission comes back already ``done`` — every
+        point served from the daemon's store without touching the queue.
+        """
+        payload: Dict[str, Any] = {"scenario": scenario, "seed": seed,
+                                   "priority": priority}
+        if overrides:
+            payload["set"] = dict(overrides)
+        if label:
+            payload["label"] = label
+        return self._json("POST", "/v1/scenarios", payload)
+
+    def status(self, job_id: str) -> Dict[str, Any]:
+        """Job descriptor: status, counts, completed points so far."""
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll_interval: float = 0.2) -> Dict[str, Any]:
+        """Poll until the job settles; returns the final descriptor.
+
+        Raises :class:`ServiceError` when it settles as ``failed`` or
+        ``cancelled`` and ``TimeoutError`` when it does not settle.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            descriptor = self.status(job_id)
+            if descriptor["status"] == "done":
+                return descriptor
+            if descriptor["status"] in ("failed", "cancelled"):
+                raise ServiceError(
+                    f"job {job_id} {descriptor['status']}: "
+                    f"{descriptor.get('error')}", payload=descriptor)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still "
+                                   f"{descriptor['status']} after "
+                                   f"{timeout:g}s")
+            time.sleep(poll_interval)
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """Deterministic ScenarioResult JSON of a finished job, verbatim.
+
+        Byte-identical across clients and resubmissions of the same spec
+        and seed — compare with ``==``, hash it, diff it.
+        """
+        return self._request("GET", f"/v1/jobs/{job_id}/result")
+
+    def result(self, job_id: str) -> Dict[str, Any]:
+        """Decoded ScenarioResult payload of a finished job."""
+        return json.loads(self.result_bytes(job_id).decode("utf-8"))
+
+    def fetch(self, key: str) -> Any:
+        """One cached point by content-addressed store key."""
+        return self._json("GET", f"/v1/results/{key}")
+
+    def health(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/health")
+
+    def stats(self) -> Dict[str, Any]:
+        return self._json("GET", "/v1/stats")
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the daemon to drain and stop."""
+        return self._json("POST", "/v1/shutdown", {})

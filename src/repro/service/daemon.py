@@ -1,0 +1,461 @@
+"""The campaign service: a long-running, multi-client compute daemon.
+
+:class:`CampaignService` owns one concurrent-safe
+:class:`repro.core.store.RunStore` and (optionally) one shared
+:class:`~concurrent.futures.ProcessPoolExecutor`, and serves scenario
+submissions decomposed to **point granularity**:
+
+* **Admission** (:meth:`submit` / :meth:`submit_scenario`) plans the
+  scenario through :func:`repro.core.engine.plan_sweep`; every point
+  whose content-addressed key is already in the store is served
+  immediately (a warm resubmission never enters the queue), every point
+  whose key is already *in flight* joins that computation as a follower
+  (two clients submitting the same spec share one computation), and only
+  genuinely new points are enqueued.
+* **Scheduling** is a priority queue at point granularity: interactive
+  submissions rank ahead of bulk campaign sweeps, so an interactive
+  request enqueued behind a long campaign starts as soon as the next
+  worker frees up — running points are never interrupted.
+* **Recording** writes every completed point to the store the moment it
+  finishes (and, for adaptive-precision jobs, persists the upgraded
+  tally), then fans the canonical stored value out to every follower.
+* **Shutdown** (:meth:`shutdown`) stops admission, drains the points
+  that are already running — their results and partial tallies are
+  persisted like any other completion — and cancels what was still
+  queued; queued-but-cancelled jobs keep their completed points.
+
+Adaptive-precision scenarios ride the same path: their store keys
+exclude the precision target (see :meth:`Scenario.cache_key`), so a
+submission with a tighter :class:`~repro.scenarios.specs.PrecisionSpec`
+resumes the cached tally and simulates only the increment — a cache
+upgrade over HTTP.  Two in-flight adaptive submissions coalesce only
+when their precision targets match; different targets advance their own
+resume states (against the same stored tally).
+
+The HTTP surface lives in :mod:`repro.service.http`; this class is fully
+usable in-process (tests drive it directly).
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core.engine import (
+    SweepPointError,
+    _advance_point,
+    _evaluate_point,
+    plan_sweep,
+)
+from repro.core.store import MemoryStore, RunStore, store_and_canonicalize
+from repro.scenarios.scenario import Scenario
+from repro.service.jobs import PRIORITY_RANKS, Job, parse_request
+from repro.utils.hashing import content_hash
+from repro.utils.serialization import to_plain
+
+
+class ServiceUnavailable(RuntimeError):
+    """The service is draining and no longer accepts submissions."""
+
+
+class _InFlight:
+    """Coalescing record of one queued-or-running computation."""
+
+    __slots__ = ("primary", "followers")
+
+    def __init__(self, primary: Tuple[str, int]) -> None:
+        self.primary = primary                  # (job_id, point_index)
+        self.followers: List[Tuple[str, int]] = []
+
+
+class CampaignService:
+    """Multi-client scenario compute daemon over one shared store.
+
+    Parameters
+    ----------
+    store:
+        The :class:`~repro.core.store.RunStore` every result is read
+        from and written to (defaults to a private
+        :class:`~repro.core.store.MemoryStore`; the daemon CLI passes a
+        :class:`~repro.core.store.DiskStore`).
+    n_workers:
+        Number of points evaluated concurrently (dispatcher threads,
+        and the process-pool size when ``processes=True``).
+    processes:
+        Evaluate points in a shared :class:`ProcessPoolExecutor`
+        (the daemon default — workers and params must be picklable) or
+        inline in the dispatcher threads (``False``; what tests use).
+    """
+
+    def __init__(self, store: Optional[RunStore] = None,
+                 n_workers: int = 2, processes: bool = True) -> None:
+        if n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.store: RunStore = store if store is not None else MemoryStore()
+        self.n_workers = int(n_workers)
+        self._pool: Optional[ProcessPoolExecutor] = (
+            ProcessPoolExecutor(max_workers=self.n_workers)
+            if processes else None)
+        self._lock = threading.Lock()
+        self._completion = threading.Condition(self._lock)
+        self._queue: "queue.PriorityQueue[Tuple[int, int, Optional[str], int]]" \
+            = queue.PriorityQueue()
+        self._seq = itertools.count()
+        self._jobs: Dict[str, Job] = {}
+        self._job_ids = itertools.count(1)
+        self._in_flight: Dict[str, _InFlight] = {}
+        self._busy = 0
+        self._accepting = True
+        self._started_at = time.time()
+        self._counters = {"computed": 0, "store_hits": 0, "coalesced": 0,
+                          "failed": 0}
+        self._threads = [
+            threading.Thread(target=self._dispatch_loop, daemon=True,
+                             name=f"service-dispatch-{index}")
+            for index in range(self.n_workers)]
+        for thread in self._threads:
+            thread.start()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+    def submit(self, payload: Mapping[str, Any]) -> Dict[str, Any]:
+        """Admit a JSON submission (``POST /v1/scenarios``).
+
+        The payload names a registered scenario plus optional ``set``
+        overrides, ``seed``, ``label`` and ``priority``; see
+        :func:`repro.service.jobs.parse_request`.  Raises ``ValueError``
+        on malformed payloads (HTTP 400) and :class:`ServiceUnavailable`
+        while draining (HTTP 503).
+        """
+        entry, priority = parse_request(payload)
+        scenario = entry.build()
+        return self.submit_scenario(scenario, seed=entry.seed,
+                                    priority=priority, label=entry.label)
+
+    def submit_scenario(self, scenario: Scenario, seed: Optional[int] = 0,
+                        priority: str = "interactive",
+                        label: Optional[str] = None) -> Dict[str, Any]:
+        """Admit an already-built :class:`Scenario` (the in-process path).
+
+        Returns the job descriptor (without per-point payloads); the job
+        may already be ``done`` when every point came from the store.
+        """
+        if priority not in PRIORITY_RANKS:
+            raise ValueError(f"priority must be one of "
+                             f"{sorted(PRIORITY_RANKS)}, got {priority!r}")
+        plan = plan_sweep(scenario.worker, scenario.points, rng=seed,
+                          key=scenario.cache_key())
+        rule = (scenario.precision.stopping_rule()
+                if scenario.precision is not None else None)
+        with self._lock:
+            if not self._accepting:
+                raise ServiceUnavailable(
+                    "service is shutting down; submission rejected")
+            job = Job(job_id=f"job-{next(self._job_ids):06d}",
+                      scenario=scenario,
+                      label=label or scenario.name, priority=priority,
+                      seed=seed if isinstance(seed, int) else None,
+                      plan=plan, rule=rule)
+            self._jobs[job.id] = job
+            for index, slot in enumerate(job.slots):
+                self._admit_point(job, index)
+            job.mark_finished_if_complete()
+            return job.descriptor(include_points=False)
+
+    def _inflight_key(self, job: Job, index: int) -> Optional[str]:
+        """Coalescing identity of one point (``None``: never coalesced).
+
+        Fixed-count points coalesce on their store key alone.  Adaptive
+        points additionally fold in the precision target: two clients
+        asking for the same tally at *different* precisions must each
+        advance their own resume state (the tighter one keeps simulating
+        after the looser one is satisfied), while identical targets
+        share one computation like any other point.
+        """
+        key = job.slots[index].planned.store_key
+        if key is None:
+            return None
+        if job.rule is None:
+            return key
+        precision = job.scenario.precision
+        return f"{key}#adaptive:{content_hash(to_plain(precision.to_dict()))}"
+
+    def _admit_point(self, job: Job, index: int) -> None:
+        """Serve one point from the store, join an in-flight twin, or
+        enqueue it (caller holds the lock)."""
+        slot = job.slots[index]
+        key = slot.planned.store_key
+        stored = None
+        if key is not None:
+            try:
+                stored = self.store.get(key)
+            except KeyError:
+                stored = None
+        if job.rule is not None:
+            worker = job.scenario.worker
+            state = worker.decode(stored)
+            slot.state = state
+            slot.resumed_units = int(worker.progress(state))
+            if stored is not None and worker.satisfied(state, job.rule):
+                slot.value = worker.finalize(slot.planned.params, state)
+                slot.status = "done"
+                slot.from_cache = True
+                self._counters["store_hits"] += 1
+                return
+        elif stored is not None:
+            slot.value = stored
+            slot.status = "done"
+            slot.from_cache = True
+            self._counters["store_hits"] += 1
+            return
+        inkey = self._inflight_key(job, index)
+        if inkey is not None and inkey in self._in_flight:
+            self._in_flight[inkey].followers.append((job.id, index))
+            return
+        if inkey is not None:
+            self._in_flight[inkey] = _InFlight(primary=(job.id, index))
+        self._enqueue(job, index)
+
+    def _enqueue(self, job: Job, index: int) -> None:
+        self._queue.put((PRIORITY_RANKS[job.priority], next(self._seq),
+                         job.id, index))
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def _dispatch_loop(self) -> None:
+        while True:
+            rank, _, job_id, index = self._queue.get()
+            if job_id is None:           # shutdown sentinel (rank -1)
+                return
+            with self._lock:
+                job = self._jobs[job_id]
+                if job.error is not None or job.cancelled:
+                    self._skip_dead_task(job, index)
+                    continue
+                job.mark_started()
+                self._busy += 1
+                call = self._build_call(job, index)
+            try:
+                try:
+                    if self._pool is not None:
+                        value = self._pool.submit(*call).result()
+                    else:
+                        value = call[0](*call[1:])
+                except Exception as exc:
+                    self._record_failure(job, index, exc)
+                else:
+                    self._record_success(job, index, value)
+            finally:
+                with self._lock:
+                    self._busy -= 1
+
+    def _build_call(self, job: Job, index: int) -> Tuple[Any, ...]:
+        slot = job.slots[index]
+        if job.rule is not None:
+            return (_advance_point, job.scenario.worker, slot.planned.params,
+                    slot.state, slot.planned.seed_sequence, job.rule)
+        return (_evaluate_point, job.scenario.worker, slot.planned.params,
+                slot.planned.seed_sequence)
+
+    def _skip_dead_task(self, job: Job, index: int) -> None:
+        """A queued point of a failed/cancelled job reached the front:
+        drop it, but never strand followers — promote the first follower
+        to primary and re-enqueue under *its* job's priority (caller
+        holds the lock)."""
+        job.slots[index].status = "skipped"
+        inkey = self._inflight_key(job, index)
+        entry = self._in_flight.get(inkey) if inkey else None
+        if entry is None or entry.primary != (job.id, index):
+            return
+        while entry.followers:
+            follower_id, follower_index = entry.followers.pop(0)
+            follower_job = self._jobs[follower_id]
+            if follower_job.error is None and not follower_job.cancelled:
+                entry.primary = (follower_id, follower_index)
+                self._enqueue(follower_job, follower_index)
+                return
+        del self._in_flight[inkey]
+
+    # ------------------------------------------------------------------
+    # recording
+    # ------------------------------------------------------------------
+    def _record_success(self, job: Job, index: int, value: Any) -> None:
+        with self._lock:
+            slot = job.slots[index]
+            key = slot.planned.store_key
+            if job.rule is not None:
+                worker = job.scenario.worker
+                state = value
+                if key is not None:
+                    # Persist the upgraded tally, then decode it back
+                    # through the store so every consumer (this job, its
+                    # followers, later resumed runs) sees the identical
+                    # canonical representation.
+                    stored = store_and_canonicalize(self.store, key,
+                                                    worker.encode(state))
+                    state = worker.decode(stored)
+                slot.state = state
+                slot.value = worker.finalize(slot.planned.params, state)
+            else:
+                if key is not None:
+                    value = store_and_canonicalize(self.store, key, value)
+                slot.value = value
+            slot.status = "done"
+            self._counters["computed"] += 1
+            job.mark_finished_if_complete()
+            inkey = self._inflight_key(job, index)
+            entry = self._in_flight.pop(inkey, None) if inkey else None
+            for follower_id, follower_index in (entry.followers
+                                                if entry else []):
+                follower_job = self._jobs[follower_id]
+                follower_slot = follower_job.slots[follower_index]
+                follower_slot.value = slot.value
+                follower_slot.state = slot.state
+                follower_slot.status = "done"
+                follower_slot.coalesced = True
+                self._counters["coalesced"] += 1
+                follower_job.mark_finished_if_complete()
+            self._completion.notify_all()
+
+    def _record_failure(self, job: Job, index: int, exc: Exception) -> None:
+        with self._lock:
+            slot = job.slots[index]
+            slot.status = "failed"
+            error = SweepPointError(
+                f"scenario {job.scenario.name!r} point "
+                f"{slot.planned.params!r} failed: {exc}",
+                params=slot.planned.params, scenario=job.scenario.name)
+            job.error = str(error)
+            self._counters["failed"] += 1
+            inkey = self._inflight_key(job, index)
+            entry = self._in_flight.pop(inkey, None) if inkey else None
+            # An identical computation fails identically: fail the
+            # followers too, each attributed to its own job.
+            for follower_id, follower_index in (entry.followers
+                                                if entry else []):
+                follower_job = self._jobs[follower_id]
+                follower_job.slots[follower_index].status = "failed"
+                follower_job.error = str(error)
+            self._completion.notify_all()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def job(self, job_id: str,
+            include_points: bool = True) -> Dict[str, Any]:
+        """Job descriptor (``GET /v1/jobs/<id>``); ``KeyError`` if unknown."""
+        with self._lock:
+            return self._jobs[job_id].descriptor(
+                include_points=include_points)
+
+    def result_json(self, job_id: str) -> str:
+        """Deterministic ScenarioResult JSON of a finished job.
+
+        Byte-identical across clients, across coalesced twins, and
+        against a local ``repro run`` of the same spec and seed —
+        execution provenance stays out of the payload.  ``RuntimeError``
+        when the job is not ``done``.
+        """
+        with self._lock:
+            job = self._jobs[job_id]
+            return job.result(store_info=self.store.describe()).to_json()
+
+    def fetch(self, key: str) -> Any:
+        """A cached point straight from the store (``GET /v1/results/<key>``)."""
+        return self.store.get(key)
+
+    def wait(self, job_id: str, timeout: float = 300.0) -> Dict[str, Any]:
+        """Block until a job reaches a terminal state; returns its
+        descriptor.  Raises ``TimeoutError`` if it does not settle."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            job = self._jobs[job_id]
+            while job.status in ("queued", "running"):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise TimeoutError(
+                        f"job {job_id} still {job.status} after "
+                        f"{timeout:g}s")
+                self._completion.wait(timeout=remaining)
+            return job.descriptor()
+
+    def health(self) -> Dict[str, Any]:
+        """Liveness summary (``GET /v1/health``)."""
+        import repro
+
+        return {"status": "ok" if self._accepting else "draining",
+                "accepting": self._accepting,
+                "version": repro.__version__,
+                "uptime_s": time.time() - self._started_at}
+
+    def stats(self) -> Dict[str, Any]:
+        """Operational statistics (``GET /v1/stats``).
+
+        ``store`` embeds the manifest-backed :meth:`RunStore.info`, so
+        reporting key counts and byte sizes does not walk the store.
+        """
+        with self._lock:
+            by_status: Dict[str, int] = {"queued": 0, "running": 0,
+                                         "done": 0, "failed": 0,
+                                         "cancelled": 0}
+            for job in self._jobs.values():
+                by_status[job.status] += 1
+            served = (self._counters["store_hits"]
+                      + self._counters["coalesced"]
+                      + self._counters["computed"])
+            return {
+                "queue_depth": self._queue.qsize(),
+                "busy_workers": self._busy,
+                "n_workers": self.n_workers,
+                "utilization": self._busy / self.n_workers,
+                "in_flight_keys": len(self._in_flight),
+                "jobs": by_status,
+                "points": dict(self._counters),
+                "hit_rate": ((self._counters["store_hits"]
+                              + self._counters["coalesced"]) / served
+                             if served else None),
+                "accepting": self._accepting,
+                "uptime_s": time.time() - self._started_at,
+                "store": self.store.info(),
+            }
+
+    # ------------------------------------------------------------------
+    # shutdown
+    # ------------------------------------------------------------------
+    def shutdown(self, timeout: Optional[float] = None) -> Dict[str, Any]:
+        """Graceful stop: refuse new work, drain running points, cancel
+        the rest.
+
+        Sentinels are injected *ahead* of every queued point (rank -1),
+        so dispatchers finish only what they had already started —
+        every running point is recorded and persisted (including partial
+        adaptive tallies), then the pool is shut down.  Jobs left with
+        unserved points are marked ``cancelled``; their completed points
+        remain fetchable.  Idempotent.
+        """
+        with self._lock:
+            already_stopped = not self._accepting
+            self._accepting = False
+        if not already_stopped:
+            for _ in self._threads:
+                self._queue.put((-1, next(self._seq), None, -1))
+        for thread in self._threads:
+            thread.join(timeout=timeout)
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+        cancelled = 0
+        with self._lock:
+            for job in self._jobs.values():
+                if job.status in ("queued", "running"):
+                    job.cancelled = True
+                    cancelled += 1
+            self._in_flight.clear()
+            self._completion.notify_all()
+        return {"status": "stopped", "cancelled_jobs": cancelled}

@@ -1,0 +1,215 @@
+"""Jobs of the campaign service: requests, per-point slots, lifecycle.
+
+A *job* is one submitted scenario run, decomposed into point-granular
+tasks at admission (:func:`repro.core.engine.plan_sweep` gives every
+point its seed sequence and content-addressed store key).  The daemon
+(:mod:`repro.service.daemon`) mutates jobs only under its own lock; this
+module holds the passive data model plus the request-payload validation,
+so the HTTP layer and tests can reason about job state without touching
+scheduler internals.
+
+Lifecycle: ``queued`` → ``running`` → one of ``done`` / ``failed`` /
+``cancelled``.  A job whose every point is served from the store at
+admission is born ``done`` without ever entering the queue.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.core.engine import PlannedPoint
+from repro.scenarios.campaign import CampaignEntry
+from repro.scenarios.result import ScenarioResult
+from repro.scenarios.scenario import Scenario
+from repro.utils.serialization import to_plain
+
+#: Admission priorities, lower rank dispatched first: interactive
+#: single-scenario requests preempt (jump the queue of) bulk campaign
+#: sweeps.  Running points are never interrupted — preemption is at
+#: point granularity, which is exactly why jobs are decomposed.
+PRIORITY_RANKS: Dict[str, int] = {"interactive": 0, "bulk": 10}
+
+#: Payload keys accepted by ``POST /v1/scenarios``.
+_REQUEST_KEYS = {"scenario", "set", "seed", "label", "priority"}
+
+
+def parse_request(payload: Mapping[str, Any]) -> "tuple[CampaignEntry, str]":
+    """Validate a submission payload into ``(entry, priority)``.
+
+    The payload is a :class:`~repro.scenarios.campaign.CampaignEntry`
+    dict (``scenario`` / ``set`` / ``seed`` / ``label``) plus an optional
+    ``priority`` (``"interactive"``, the default, or ``"bulk"``).
+    Raises ``ValueError`` on unknown keys or priorities — a typo must
+    never silently run the default experiment at the default priority.
+    """
+    if not isinstance(payload, Mapping):
+        raise ValueError(f"submission payload must be a JSON object, "
+                         f"got {type(payload).__name__}")
+    unknown = set(payload) - _REQUEST_KEYS
+    if unknown:
+        raise ValueError(f"unknown submission key(s): {sorted(unknown)}; "
+                         f"valid keys: {sorted(_REQUEST_KEYS)}")
+    priority = str(payload.get("priority", "interactive"))
+    if priority not in PRIORITY_RANKS:
+        raise ValueError(f"priority must be one of "
+                         f"{sorted(PRIORITY_RANKS)}, got {priority!r}")
+    entry = CampaignEntry.from_dict(
+        {key: value for key, value in payload.items() if key != "priority"})
+    return entry, priority
+
+
+class PointSlot:
+    """One point of one job: planning, status and (eventually) a value."""
+
+    __slots__ = ("planned", "status", "value", "from_cache", "coalesced",
+                 "state", "resumed_units")
+
+    def __init__(self, planned: PlannedPoint) -> None:
+        self.planned = planned
+        self.status = "pending"          # pending | done | failed | skipped
+        self.value: Any = None
+        self.from_cache = False          # served from pre-existing store
+        self.coalesced = False           # fanned out from a twin in-flight
+        self.state: Any = None           # adaptive resume state
+        self.resumed_units = 0           # adaptive: units resumed from store
+
+    def to_dict(self) -> Dict[str, Any]:
+        entry = {"params": to_plain(self.planned.params),
+                 "value": to_plain(self.value),
+                 "spawn_key": list(self.planned.spawn_key),
+                 "store_key": self.planned.store_key,
+                 "from_cache": bool(self.from_cache),
+                 "coalesced": bool(self.coalesced)}
+        return entry
+
+
+class Job:
+    """One submitted scenario run, point-granular.
+
+    All fields are mutated exclusively under the owning service's lock;
+    reads for status reports go through :meth:`descriptor` (also under
+    that lock).
+    """
+
+    def __init__(self, job_id: str, scenario: Scenario, label: str,
+                 priority: str, seed: Optional[int],
+                 plan: List[PlannedPoint], rule: Any = None) -> None:
+        self.id = job_id
+        self.scenario = scenario
+        self.label = label
+        self.priority = priority
+        self.seed = seed
+        self.rule = rule                  # non-None marks the job adaptive
+        self.slots = [PointSlot(planned) for planned in plan]
+        self.error: Optional[str] = None
+        self.cancelled = False
+        self.created_at = time.time()
+        self.started_monotonic: Optional[float] = None
+        self.finished_monotonic: Optional[float] = None
+        self._created_monotonic = time.monotonic()
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.slots)
+
+    @property
+    def completed(self) -> int:
+        return sum(1 for slot in self.slots if slot.status == "done")
+
+    @property
+    def status(self) -> str:
+        if self.error is not None:
+            return "failed"
+        if self.cancelled:
+            return "cancelled"
+        if self.completed == len(self.slots):
+            return "done"
+        if self.started_monotonic is not None:
+            return "running"
+        return "queued"
+
+    def mark_started(self) -> None:
+        if self.started_monotonic is None:
+            self.started_monotonic = time.monotonic()
+
+    def mark_finished_if_complete(self) -> None:
+        if self.finished_monotonic is None \
+                and self.completed == len(self.slots):
+            self.finished_monotonic = time.monotonic()
+
+    def elapsed_s(self) -> Optional[float]:
+        if self.finished_monotonic is None:
+            return None
+        return self.finished_monotonic - self._created_monotonic
+
+    # ------------------------------------------------------------------
+    def descriptor(self, include_points: bool = True) -> Dict[str, Any]:
+        """Machine-readable job state for ``GET /v1/jobs/<id>``.
+
+        ``points`` carries only *completed* points (results stream as
+        they finish); ``pending_params`` names what is still owed so a
+        client can render progress without diffing.
+        """
+        done = [slot for slot in self.slots if slot.status == "done"]
+        descriptor: Dict[str, Any] = {
+            "job_id": self.id,
+            "label": self.label,
+            "scenario": self.scenario.name,
+            "priority": self.priority,
+            "status": self.status,
+            "seed": self.seed,
+            "n_points": len(self.slots),
+            "completed": len(done),
+            "hits": sum(1 for slot in done if slot.from_cache),
+            "coalesced": sum(1 for slot in done if slot.coalesced),
+            "computed": sum(1 for slot in done
+                            if not slot.from_cache and not slot.coalesced),
+            "error": self.error,
+            "created_at": self.created_at,
+            "elapsed_s": self.elapsed_s(),
+        }
+        if include_points:
+            descriptor["points"] = [slot.to_dict() for slot in done]
+            descriptor["pending_params"] = [
+                to_plain(slot.planned.params) for slot in self.slots
+                if slot.status != "done"]
+        return descriptor
+
+    # ------------------------------------------------------------------
+    def result(self,
+               store_info: Optional[Dict[str, Any]] = None) -> ScenarioResult:
+        """The finished job as a :class:`ScenarioResult`.
+
+        Same assembly path as ``repro run`` / ``run-all``
+        (:meth:`Scenario.assemble_result`), so the deterministic JSON a
+        client fetches from the service is byte-identical to what a
+        local run of the same spec and seed would have written.
+        """
+        if self.status != "done":
+            raise RuntimeError(f"job {self.id} is {self.status}, "
+                               "not done — no result to assemble")
+        points = tuple(
+            {"params": to_plain(slot.planned.params),
+             "value": to_plain(slot.value),
+             "spawn_key": list(slot.planned.spawn_key)}
+            for slot in self.slots)
+        from_cache = [slot.from_cache or slot.coalesced
+                      for slot in self.slots]
+        adaptive = None
+        if self.rule is not None:
+            worker = self.scenario.worker
+            adaptive = []
+            for slot in self.slots:
+                total = int(worker.progress(slot.state))
+                adaptive.append({
+                    "resumed_units": slot.resumed_units,
+                    "new_units": total - slot.resumed_units,
+                    "total_units": total,
+                    "satisfied": bool(worker.satisfied(slot.state,
+                                                       self.rule)),
+                })
+        return self.scenario.assemble_result(
+            seed=self.seed, points=points, from_cache=from_cache,
+            elapsed_s=self.elapsed_s(), store_info=store_info,
+            adaptive=adaptive)

@@ -213,3 +213,157 @@ def _hammer_put(root, key, value, barrier):
     barrier.wait(timeout=30)
     for _ in range(50):
         store.put(key, value)
+
+
+class TestDiskStoreConcurrentReaders:
+    def test_readers_race_an_active_writer_without_torn_reads(self,
+                                                              tmp_path):
+        # Readers in other processes while a writer fills the store:
+        # every successful get must be a complete, self-consistent value
+        # (atomic rename), and a not-yet-written key is a clean
+        # KeyError — never a truncated or interleaved read.
+        import multiprocessing
+
+        root = str(tmp_path / "store")
+        DiskStore(root)  # create the layout before the readers start
+        keys = [f"{index:064x}" for index in range(24)]
+        context = multiprocessing.get_context("spawn")
+        barrier = context.Barrier(3)
+        readers = [
+            context.Process(target=_hammer_get, args=(root, keys, barrier))
+            for _ in range(2)]
+        writer = context.Process(target=_fill_store,
+                                 args=(root, keys, barrier))
+        for process in readers + [writer]:
+            process.start()
+        for process in readers + [writer]:
+            process.join(timeout=120)
+            assert process.exitcode == 0
+        # Afterwards the store is complete and consistent.
+        store = DiskStore(root)
+        assert len(store) == len(keys)
+        for key in keys:
+            value = store.get(key)
+            assert value["key"] == key
+            assert value["curve"] == list(range(200))
+
+    def test_len_and_info_stay_correct_under_external_writes(self,
+                                                             tmp_path):
+        # A second handle (stand-in for another process) writes while
+        # this handle's manifests are warm: the mtime token must
+        # invalidate them.
+        root = str(tmp_path / "store")
+        reader = DiskStore(root)
+        writer = DiskStore(root)
+        writer.put(KEY_A, {"x": 1})
+        assert reader.info()["entries"] == 1   # manifests now warm
+        writer.put(KEY_B, {"x": 2})
+        writer.put("a" * 63 + "c", {"x": 3})   # same shard as KEY_A
+        assert len(reader) == 3
+        assert reader.info()["entries"] == 3
+
+
+def _fill_store(root, keys, barrier):
+    """Writer for the reader-race test (module-level: spawn imports it)."""
+    store = DiskStore(root)
+    barrier.wait(timeout=30)
+    for key in keys:
+        store.put(key, {"key": key, "curve": list(range(200))})
+
+
+def _hammer_get(root, keys, barrier):
+    """Reader for the reader-race test: a get may miss (KeyError) but a
+    hit must be complete and self-consistent."""
+    store = DiskStore(root)
+    barrier.wait(timeout=30)
+    seen = set()
+    while len(seen) < len(keys):
+        for key in keys:
+            try:
+                value = store.get(key)
+            except KeyError:
+                continue
+            assert value["key"] == key
+            assert value["curve"] == list(range(200))
+            seen.add(key)
+
+
+class TestDiskStoreManifests:
+    @staticmethod
+    def _walk_objects(root):
+        entries = 0
+        total_bytes = 0
+        for parent, _, names in os.walk(os.path.join(root, "objects")):
+            for name in names:
+                if name.endswith(".json"):
+                    entries += 1
+                    total_bytes += os.path.getsize(
+                        os.path.join(parent, name))
+        return entries, total_bytes
+
+    def test_info_matches_an_exhaustive_walk(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = DiskStore(root)
+        for index in range(12):
+            store.put(f"{index:064x}", {"payload": index * 100})
+        info = store.info()
+        entries, total_bytes = self._walk_objects(root)
+        assert info["entries"] == entries == 12
+        assert info["total_bytes"] == total_bytes
+        assert info["shards"] == len(os.listdir(
+            os.path.join(root, "objects")))
+
+    def test_manifest_files_are_written_and_reused(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = DiskStore(root)
+        store.put(KEY_A, {"x": 1})
+        store.info()
+        manifest_dir = os.path.join(root, "manifest")
+        manifest_path = os.path.join(manifest_dir, KEY_A[:2] + ".json")
+        assert os.path.exists(manifest_path)
+        with open(manifest_path, encoding="utf-8") as stream:
+            manifest = json.load(stream)
+        assert manifest["entries"] == 1
+        assert manifest["total_bytes"] > 0
+        assert "token" in manifest
+        # A second info() trusts the manifest: the file is untouched.
+        before = os.stat(manifest_path).st_mtime_ns
+        assert store.info()["entries"] == 1
+        assert os.stat(manifest_path).st_mtime_ns == before
+
+    def test_corrupt_manifest_is_rebuilt(self, tmp_path):
+        root = str(tmp_path / "store")
+        store = DiskStore(root)
+        store.put(KEY_A, {"x": 1})
+        store.info()
+        manifest_path = os.path.join(root, "manifest",
+                                     KEY_A[:2] + ".json")
+        with open(manifest_path, "w", encoding="utf-8") as stream:
+            stream.write("{not json")
+        assert store.info()["entries"] == 1
+        with open(manifest_path, encoding="utf-8") as stream:
+            assert json.load(stream)["entries"] == 1
+
+    def test_gc_keeps_manifests_consistent(self, tmp_path):
+        now = 1_700_000_000.0
+        store = DiskStore(str(tmp_path / "store"))
+        for key, age in {"a" * 64: 20, "b" * 64: 10, "c" * 64: 0}.items():
+            store.put(key, {"payload": key[:8]})
+            mtime = now - age * 86400.0
+            os.utime(store._path(key), (mtime, mtime))
+        assert store.info()["entries"] == 3    # manifests warm
+        report = store.gc(max_age_days=15, now=now)
+        assert report["removed"] == 1
+        info = store.info()
+        entries, total_bytes = self._walk_objects(str(tmp_path / "store"))
+        assert info["entries"] == entries == 2
+        assert info["total_bytes"] == total_bytes
+
+    def test_clear_resets_manifests(self, tmp_path):
+        store = DiskStore(str(tmp_path / "store"))
+        for index in range(4):
+            store.put(f"{index:064x}", {"payload": index})
+        assert store.info()["entries"] == 4
+        assert store.clear() == 4
+        assert store.info()["entries"] == 0
+        assert len(store) == 0

@@ -217,3 +217,29 @@ class TestRun:
         result.save_json(str(path))
         assert json.loads(path.read_text())["scenarios"]["table1"][
             "n_points"] == 9
+
+
+class TestScenarioErrorAttribution:
+    def test_scenario_run_names_scenario_and_params(self):
+        from repro.core.engine import SweepPointError
+        from repro.scenarios import Scenario
+
+        scenario = Scenario("broken", "off-paper", "always fails",
+                            specs={}, points=[{"x": 1}], worker=_boom)
+        with pytest.raises(SweepPointError) as excinfo:
+            scenario.run(rng=0)
+        assert excinfo.value.scenario == "broken"
+        assert "'broken'" in str(excinfo.value)
+        assert excinfo.value.params == {"x": 1}
+        assert isinstance(excinfo.value.__cause__, RuntimeError)
+
+    def test_attribution_is_applied_once(self):
+        # A campaign wrapping a Scenario.run failure must not stack a
+        # second "scenario ..." prefix onto an already-attributed error.
+        from repro.core.engine import SweepPointError
+
+        error = SweepPointError("point failed", params={"x": 1})
+        attributed = error.with_scenario("fig7")
+        assert attributed.scenario == "fig7"
+        assert attributed.with_scenario("other") is attributed
+        assert str(attributed).count("scenario") == 1

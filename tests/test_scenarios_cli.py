@@ -212,3 +212,86 @@ class TestModuleEntryPoint:
         warm = subprocess.run(command, capture_output=True, text=True,
                               env=env, check=True)
         assert "hits 9 · shared 0 · misses 0" in warm.stdout
+
+
+class TestMachineReadableListDescribe:
+    def test_list_json_is_a_parseable_catalog(self, capsys):
+        assert main(["list", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert [entry["name"] for entry in catalog] == scenario_names()
+        assert all(set(entry) == {"name", "artifact", "summary"}
+                   for entry in catalog)
+
+    def test_list_json_respects_only_filter(self, capsys):
+        assert main(["list", "--only", "noc-*", "--json"]) == 0
+        catalog = json.loads(capsys.readouterr().out)
+        assert catalog
+        assert all(entry["name"].startswith("noc-") for entry in catalog)
+
+    def test_describe_json_is_compact_canonical(self, capsys):
+        assert main(["describe", "fig7", "--json"]) == 0
+        output = capsys.readouterr().out
+        assert output.count("\n") == 1            # one line + newline
+        payload = json.loads(output)
+        assert payload["scenario"] == "fig7"
+        assert payload["n_points"] == 4
+        # Canonical form: re-encoding reproduces the emitted bytes.
+        assert output.strip() == json.dumps(payload, sort_keys=True,
+                                            separators=(",", ":"))
+
+    def test_describe_json_applies_overrides(self, capsys):
+        assert main(["describe", "fig4", "--json",
+                     "--set", "channel.rx_noise_figure_db=7.0"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["specs"]["channel"]["rx_noise_figure_db"] == 7.0
+
+
+class TestServiceVerbs:
+    UNREACHABLE = "http://127.0.0.1:9"
+
+    def test_submit_unreachable_service_exits_2(self, capsys):
+        assert main(["submit", "fig7", "--url", self.UNREACHABLE,
+                     "--timeout", "1"]) == 2
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_status_unreachable_service_exits_2(self, capsys):
+        assert main(["status", "job-000001", "--url", self.UNREACHABLE,
+                     "--timeout", "1"]) == 2
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_fetch_unreachable_service_exits_2(self, capsys):
+        assert main(["fetch", "0" * 64, "--url", self.UNREACHABLE,
+                     "--timeout", "1"]) == 2
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_submit_and_status_against_a_live_service(self, capsys):
+        from repro.core.store import MemoryStore
+        from repro.service import serve
+
+        server = serve(store=MemoryStore(), port=0, n_workers=2,
+                       processes=False)
+        import threading
+
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        try:
+            assert main(["submit", "fig7", "--url", server.url,
+                         "--wait"]) == 0
+            output = capsys.readouterr().out
+            assert "computed 4" in output
+            job_id = output.split()[1]
+            assert main(["status", job_id, "--url", server.url]) == 0
+            descriptor = json.loads(capsys.readouterr().out)
+            assert descriptor["status"] == "done"
+            assert descriptor["computed"] == 4
+            # Warm resubmission through the CLI: all hits, 0 computed.
+            assert main(["submit", "fig7", "--url", server.url,
+                         "--wait"]) == 0
+            assert "hits 4" in capsys.readouterr().out
+            key = descriptor["points"][0]["store_key"]
+            assert main(["fetch", key, "--url", server.url]) == 0
+            assert json.loads(capsys.readouterr().out) \
+                == descriptor["points"][0]["value"]
+        finally:
+            server.stop()
+            server.server_close()

@@ -1,0 +1,438 @@
+"""Tests for the campaign service scheduler (repro.service.daemon).
+
+The service is driven fully in-process (``processes=False``: points are
+evaluated inline in the dispatcher threads), so these tests can gate
+worker execution on :class:`threading.Event` objects to pin down the
+interleavings that matter — coalescing while a twin is in flight,
+interactive-over-bulk priority, drain-on-shutdown.
+"""
+
+import contextlib
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping
+
+import numpy as np
+import pytest
+
+import repro
+from repro.coding.ber import batch_seed_sequence
+from repro.core.store import DiskStore, MemoryStore
+from repro.scenarios import PrecisionSpec, Scenario
+from repro.service import CampaignService, ServiceUnavailable, parse_request
+
+#: Gates the inline workers block on, keyed by the ``gate`` param value.
+_EVENTS: Dict[str, threading.Event] = {}
+#: Evaluation order log (single list: appends are atomic under the GIL,
+#: and the ordering tests run with one dispatcher thread anyway).
+_LOG: List[Any] = []
+
+
+def _gate(name: str) -> threading.Event:
+    return _EVENTS.setdefault(name, threading.Event())
+
+
+def _gated_worker(params: Mapping[str, Any], rng: np.random.Generator):
+    gate = params.get("gate")
+    if gate:
+        _gate(gate).wait(timeout=30)
+    _LOG.append(params["x"])
+    return {"y": params["x"] * 2}
+
+
+def _gated_boom(params: Mapping[str, Any], rng: np.random.Generator):
+    gate = params.get("gate")
+    if gate:
+        _gate(gate).wait(timeout=30)
+    raise RuntimeError("kaboom")
+
+
+@dataclass(frozen=True)
+class GatedCoin:
+    """Minimal incremental worker; ``gate`` params block ``advance``."""
+
+    batch: int = 16
+
+    def decode(self, stored) -> Dict[str, int]:
+        if stored is None:
+            return {"n": 0, "k": 0, "units": 0, "batches": 0}
+        return {key: int(stored[key]) for key in ("n", "k", "units",
+                                                  "batches")}
+
+    def encode(self, state) -> Dict[str, int]:
+        return dict(state)
+
+    def satisfied(self, state, rule) -> bool:
+        return rule.satisfied(state["k"], state["n"], state["units"])
+
+    def advance(self, params: Mapping[str, Any], state, seed_sequence,
+                rule):
+        gate = params.get("gate")
+        if gate:
+            _gate(gate).wait(timeout=30)
+        state = dict(state)
+        while not self.satisfied(state, rule):
+            child = batch_seed_sequence(seed_sequence, state["batches"])
+            draws = np.random.default_rng(child).random(self.batch)
+            state["k"] += int(np.count_nonzero(draws < params["p"]))
+            state["n"] += self.batch
+            state["units"] += self.batch
+            state["batches"] += 1
+        return state
+
+    def progress(self, state) -> int:
+        return int(state["units"])
+
+    def finalize(self, params: Mapping[str, Any], state) -> Dict[str, Any]:
+        return {"estimate": state["k"] / state["n"] if state["n"] else 0.0}
+
+
+def _scenario(points, name="svc-test", worker=_gated_worker,
+              precision=None) -> Scenario:
+    return Scenario(name, "off-paper", "service test scenario",
+                    specs={}, points=points, worker=worker,
+                    precision=precision)
+
+
+def _coin_scenario(precision, points=({"p": 0.4}, {"p": 0.1})) -> Scenario:
+    return _scenario(list(points), name="svc-coin", worker=GatedCoin(),
+                     precision=precision)
+
+
+@pytest.fixture(autouse=True)
+def _clean_gates():
+    _EVENTS.clear()
+    _LOG.clear()
+    yield
+    for event in _EVENTS.values():
+        event.set()
+
+
+@contextlib.contextmanager
+def _service(**kwargs):
+    kwargs.setdefault("processes", False)
+    service = CampaignService(**kwargs)
+    try:
+        yield service
+    finally:
+        for event in _EVENTS.values():
+            event.set()
+        service.shutdown()
+
+
+def _spin_until(predicate, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while not predicate():
+        if time.monotonic() >= deadline:
+            raise AssertionError("condition not reached in time")
+        time.sleep(0.005)
+
+
+class TestAdmission:
+    def test_cold_submission_computes_every_point(self):
+        with _service(n_workers=2) as service:
+            job = service.submit_scenario(_scenario([{"x": 1}, {"x": 2}]))
+            done = service.wait(job["job_id"], timeout=30)
+        assert done["status"] == "done"
+        assert done["computed"] == 2
+        assert done["hits"] == done["coalesced"] == 0
+        values = {point["params"]["x"]: point["value"]["y"]
+                  for point in done["points"]}
+        assert values == {1: 2, 2: 4}
+
+    def test_warm_resubmission_is_all_hits_and_byte_identical(self):
+        store = MemoryStore()
+        with _service(store=store, n_workers=2) as service:
+            cold = service.submit_scenario(_scenario([{"x": 1}, {"x": 2}]),
+                                           seed=3)
+            service.wait(cold["job_id"], timeout=30)
+            warm = service.submit_scenario(_scenario([{"x": 1}, {"x": 2}]),
+                                           seed=3)
+            # Born done: never touched the queue, zero new computations.
+            assert warm["status"] == "done"
+            assert warm["hits"] == 2 and warm["computed"] == 0
+            assert service.result_json(warm["job_id"]) \
+                == service.result_json(cold["job_id"])
+
+    def test_service_result_matches_local_run(self):
+        store = MemoryStore()
+        with _service(store=store, n_workers=2) as service:
+            job = service.submit_scenario(_scenario([{"x": 1}, {"x": 2}]),
+                                          seed=7)
+            service.wait(job["job_id"], timeout=30)
+            served = service.result_json(job["job_id"])
+        local = _scenario([{"x": 1}, {"x": 2}]).run(
+            rng=7, store=MemoryStore()).to_json()
+        assert served == local
+
+    def test_unknown_job_raises_keyerror(self):
+        with _service(n_workers=1) as service:
+            with pytest.raises(KeyError):
+                service.job("job-999999")
+
+    def test_result_of_unfinished_job_is_a_conflict(self):
+        with _service(n_workers=1) as service:
+            job = service.submit_scenario(
+                _scenario([{"x": 1, "gate": "hold"}]))
+            with pytest.raises(RuntimeError, match="not done"):
+                service.result_json(job["job_id"])
+            _gate("hold").set()
+            service.wait(job["job_id"], timeout=30)
+
+    def test_wait_times_out_on_a_stuck_job(self):
+        with _service(n_workers=1) as service:
+            job = service.submit_scenario(
+                _scenario([{"x": 1, "gate": "stuck"}]))
+            with pytest.raises(TimeoutError):
+                service.wait(job["job_id"], timeout=0.05)
+            _gate("stuck").set()
+
+
+class TestCoalescing:
+    def test_identical_inflight_submissions_share_one_computation(self):
+        # Two clients submit the same spec while it is still in flight:
+        # exactly one evaluation per point, both jobs get the value.
+        points = [{"x": 1, "gate": "go"}, {"x": 2, "gate": "go"}]
+        with _service(n_workers=2) as service:
+            first = service.submit_scenario(_scenario(points), seed=0)
+            twin = service.submit_scenario(_scenario(points), seed=0)
+            _gate("go").set()
+            done_first = service.wait(first["job_id"], timeout=30)
+            done_twin = service.wait(twin["job_id"], timeout=30)
+        assert sorted(_LOG) == [1, 2]          # one computation per point
+        assert done_first["computed"] == 2
+        assert done_twin["coalesced"] == 2
+        assert done_twin["computed"] == done_twin["hits"] == 0
+        assert service.result_json(first["job_id"]) \
+            == service.result_json(twin["job_id"])
+
+    def test_different_seeds_do_not_coalesce(self):
+        points = [{"x": 1, "gate": "go"}]
+        with _service(n_workers=2) as service:
+            one = service.submit_scenario(_scenario(points), seed=0)
+            two = service.submit_scenario(_scenario(points), seed=1)
+            _gate("go").set()
+            assert service.wait(one["job_id"], timeout=30)["computed"] == 1
+            assert service.wait(two["job_id"], timeout=30)["computed"] == 1
+        assert _LOG == [1, 1]
+
+    def test_follower_fails_with_the_primary(self):
+        points = [{"x": 1, "gate": "go"}]
+        with _service(n_workers=1) as service:
+            first = service.submit_scenario(
+                _scenario(points, worker=_gated_boom), seed=0)
+            twin = service.submit_scenario(
+                _scenario(points, worker=_gated_boom), seed=0)
+            _gate("go").set()
+            _spin_until(lambda: service.job(first["job_id"])["status"]
+                        == "failed")
+            _spin_until(lambda: service.job(twin["job_id"])["status"]
+                        == "failed")
+            for job_id in (first["job_id"], twin["job_id"]):
+                error = service.job(job_id)["error"]
+                assert "svc-test" in error
+                assert "kaboom" in error
+                assert "'x': 1" in error
+
+
+class TestPriority:
+    def test_interactive_preempts_queued_bulk_points(self):
+        # One worker, a bulk sweep holding it: an interactive submission
+        # enqueued behind the bulk job runs before the bulk job's
+        # remaining points.
+        bulk_points = [{"x": 0, "gate": "hold"}, {"x": 1}, {"x": 2}]
+        with _service(n_workers=1) as service:
+            bulk = service.submit_scenario(_scenario(bulk_points),
+                                           priority="bulk")
+            _spin_until(lambda: service.stats()["busy_workers"] == 1)
+            interactive = service.submit_scenario(
+                _scenario([{"x": 100}], name="svc-urgent"),
+                priority="interactive")
+            _gate("hold").set()
+            service.wait(interactive["job_id"], timeout=30)
+            service.wait(bulk["job_id"], timeout=30)
+        assert _LOG == [0, 100, 1, 2]
+
+    def test_bad_priority_rejected(self):
+        with _service(n_workers=1) as service:
+            with pytest.raises(ValueError, match="priority"):
+                service.submit_scenario(_scenario([{"x": 1}]),
+                                        priority="urgent")
+
+
+class TestAdaptive:
+    LOOSE = PrecisionSpec(rel_ci_target=5.0, min_errors=1,
+                          min_codewords=4, max_codewords=64)
+    TIGHT = PrecisionSpec(rel_ci_target=0.2, min_errors=1,
+                          min_codewords=4, max_codewords=8192)
+
+    def test_warm_adaptive_resubmission_is_all_hits(self):
+        store = MemoryStore()
+        with _service(store=store, n_workers=2) as service:
+            cold = service.submit_scenario(_coin_scenario(self.LOOSE),
+                                           seed=0)
+            assert service.wait(cold["job_id"], timeout=30)["computed"] == 2
+            warm = service.submit_scenario(_coin_scenario(self.LOOSE),
+                                           seed=0)
+            assert warm["status"] == "done"
+            assert warm["hits"] == 2 and warm["computed"] == 0
+
+    def test_tighter_precision_upgrades_the_cached_tally(self):
+        store = MemoryStore()
+        with _service(store=store, n_workers=2) as service:
+            loose = service.submit_scenario(_coin_scenario(self.LOOSE),
+                                            seed=0)
+            service.wait(loose["job_id"], timeout=30)
+            loose_units = sum(value["units"]
+                              for value in store._entries.values())
+            tight = service.submit_scenario(_coin_scenario(self.TIGHT),
+                                            seed=0)
+            done = service.wait(tight["job_id"], timeout=30)
+            # Upgraded, not recomputed: the stored tallies only grew.
+            assert done["computed"] == 2 and done["hits"] == 0
+            tight_units = sum(value["units"]
+                              for value in store._entries.values())
+            assert tight_units > loose_units
+            # ... and the looser target is now satisfied from the store.
+            again = service.submit_scenario(_coin_scenario(self.LOOSE),
+                                            seed=0)
+            assert again["status"] == "done" and again["hits"] == 2
+
+    def test_same_precision_coalesces_different_precision_does_not(self):
+        points = [{"p": 0.4, "gate": "tally"}]
+        with _service(n_workers=1) as service:
+            first = service.submit_scenario(
+                _coin_scenario(self.LOOSE, points), seed=0)
+            _spin_until(lambda: service.stats()["busy_workers"] == 1)
+            twin = service.submit_scenario(
+                _coin_scenario(self.LOOSE, points), seed=0)
+            other = service.submit_scenario(
+                _coin_scenario(self.TIGHT, points), seed=0)
+            _gate("tally").set()
+            assert service.wait(first["job_id"], timeout=30)["computed"] == 1
+            assert service.wait(twin["job_id"], timeout=30)["coalesced"] == 1
+            # The tighter target ran its own (upgrading) computation.
+            assert service.wait(other["job_id"], timeout=30)["computed"] == 1
+
+
+class TestFailure:
+    def test_failure_names_scenario_and_params(self):
+        with _service(n_workers=1) as service:
+            job = service.submit_scenario(
+                _scenario([{"x": 9}], worker=_gated_boom))
+            _spin_until(lambda: service.job(job["job_id"])["status"]
+                        == "failed")
+            error = service.job(job["job_id"])["error"]
+            assert "'svc-test'" in error
+            assert "'x': 9" in error
+            assert "kaboom" in error
+            with pytest.raises(RuntimeError):
+                service.result_json(job["job_id"])
+
+
+class TestShutdown:
+    def test_drains_running_points_and_cancels_the_queue(self, tmp_path):
+        store = DiskStore(str(tmp_path / "store"))
+        with _service(store=store, n_workers=1) as service:
+            job = service.submit_scenario(
+                _scenario([{"x": 5, "gate": "drain"}, {"x": 6}]))
+            _spin_until(lambda: service.stats()["busy_workers"] == 1)
+            threading.Timer(0.1, _gate("drain").set).start()
+            report = service.shutdown()
+            assert report == {"status": "stopped", "cancelled_jobs": 1}
+            descriptor = service.job(job["job_id"])
+            # The running point was drained and persisted; the queued
+            # one was cancelled without being started.
+            assert descriptor["status"] == "cancelled"
+            assert descriptor["completed"] == 1
+            assert _LOG == [5]
+            (completed,) = descriptor["points"]
+            assert store.get(completed["store_key"]) == completed["value"]
+
+    def test_rejects_submissions_while_stopped(self):
+        with _service(n_workers=1) as service:
+            service.shutdown()
+            assert service.health()["accepting"] is False
+            with pytest.raises(ServiceUnavailable):
+                service.submit_scenario(_scenario([{"x": 1}]))
+            with pytest.raises(ServiceUnavailable):
+                service.submit({"scenario": "fig7"})
+
+    def test_shutdown_is_idempotent(self):
+        with _service(n_workers=1) as service:
+            first = service.shutdown()
+            second = service.shutdown()
+        assert first["status"] == second["status"] == "stopped"
+        assert second["cancelled_jobs"] == 0
+
+
+class TestIntrospection:
+    def test_health_reports_version_and_acceptance(self):
+        with _service(n_workers=1) as service:
+            health = service.health()
+            assert health["status"] == "ok"
+            assert health["accepting"] is True
+            assert health["version"] == repro.__version__
+            assert health["uptime_s"] >= 0.0
+
+    def test_stats_counters_and_hit_rate(self):
+        with _service(n_workers=2) as service:
+            assert service.stats()["hit_rate"] is None
+            job = service.submit_scenario(_scenario([{"x": 1}, {"x": 2}]))
+            service.wait(job["job_id"], timeout=30)
+            warm = service.submit_scenario(_scenario([{"x": 1}, {"x": 2}]))
+            service.wait(warm["job_id"], timeout=30)
+            stats = service.stats()
+            assert stats["points"]["computed"] == 2
+            assert stats["points"]["store_hits"] == 2
+            assert stats["hit_rate"] == 0.5
+            assert stats["jobs"]["done"] == 2
+            assert stats["n_workers"] == 2
+            assert stats["store"]["entries"] == 2
+
+    def test_descriptor_streams_completed_points(self):
+        with _service(n_workers=1) as service:
+            job = service.submit_scenario(
+                _scenario([{"x": 1}, {"x": 2, "gate": "later"}]))
+            job_id = job["job_id"]
+            _spin_until(lambda: service.job(job_id)["completed"] == 1)
+            partial = service.job(job_id)
+            assert partial["status"] == "running"
+            assert [point["params"]["x"]
+                    for point in partial["points"]] == [1]
+            assert partial["pending_params"] == [{"x": 2, "gate": "later"}]
+            _gate("later").set()
+            assert service.wait(job_id, timeout=30)["completed"] == 2
+
+
+class TestParseRequest:
+    def test_minimal_payload_defaults(self):
+        entry, priority = parse_request({"scenario": "fig7"})
+        assert entry.scenario == "fig7"
+        assert priority == "interactive"
+
+    def test_full_payload_roundtrip(self):
+        entry, priority = parse_request(
+            {"scenario": "fig7", "set": {"sweep.n_symbols": 200},
+             "seed": 5, "label": "quick", "priority": "bulk"})
+        assert entry.overrides == {"sweep.n_symbols": 200}
+        assert entry.seed == 5 and entry.label == "quick"
+        assert priority == "bulk"
+
+    @pytest.mark.parametrize("payload, match", [
+        ([1, 2], "JSON object"),
+        ({"scenario": "fig7", "bogus": 1}, "unknown submission key"),
+        ({"scenario": "fig7", "priority": "asap"}, "priority"),
+    ])
+    def test_malformed_payloads_rejected(self, payload, match):
+        with pytest.raises(ValueError, match=match):
+            parse_request(payload)
+
+    def test_submit_payload_runs_a_registered_scenario(self):
+        with _service(n_workers=2) as service:
+            job = service.submit({"scenario": "fig7", "label": "from-json"})
+            done = service.wait(job["job_id"], timeout=120)
+            assert done["label"] == "from-json"
+            assert done["scenario"] == "fig7"
+            assert done["status"] == "done"

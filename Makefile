@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test lint smoke bench scenarios run-scenario run-all noc phy serve
+.PHONY: test lint smoke bench scenarios run-scenario run-all noc phy \
+	instrument serve
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks.
 test:
@@ -52,6 +53,16 @@ phy:
 		--set mc.n_codewords=2
 	$(PYTHON) -m repro run phy-oversampling-coding-ablation --seed 0 \
 		--set mc.n_codewords=2
+
+# The instrument acquisition pipeline: acquire a measured-channel dataset
+# through the simulated VNA (fixed seed, content-addressed file under
+# .repro-datasets/), list it, and replay it through the coded-BER stack.
+instrument:
+	$(PYTHON) -m repro acquire --environment parallel-copper-boards \
+		--distances 0.05,0.1,0.15 --seed 23
+	$(PYTHON) -m repro datasets list
+	$(PYTHON) -m repro run measured-channel-coded-ber-sweep --seed 0
+	$(PYTHON) -m repro run measured-freespace-vs-copper --seed 0
 
 # The campaign service: a long-running, multi-client compute daemon over
 # .repro-store (submit with `python -m repro submit NAME --wait`, stop

@@ -29,15 +29,24 @@ The library is organised as four substrates plus integration layers:
   deduplication, in-flight request coalescing, interactive-over-bulk
   priority), with :class:`~repro.service.client.ServiceClient` and the
   ``submit``/``status``/``fetch`` CLI verbs as consumers.
+* :mod:`repro.instrument` — the acquisition layer: an abstract
+  :class:`~repro.instrument.driver.Instrument` driver
+  (connect/configure/sweep/fetch) with a
+  :class:`~repro.instrument.driver.SimulatedVna` backend, explicit-seed
+  :class:`~repro.instrument.acquire.AcquisitionPlan` campaigns, and
+  versioned, content-addressed
+  :class:`~repro.instrument.dataset.ChannelDataset` files that the
+  :class:`~repro.phy.measured.MeasuredChannelFrontend` replays through
+  the 1-bit trellis stack (``python -m repro acquire`` / ``datasets``).
 
 The user-facing surface is re-exported here, so a single ``import repro``
 gives the links, the system, the sweep engine and the scenario registry;
 :mod:`repro.api` is the same facade as a flat importable module.
 """
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
-from repro import channel, coding, core, noc, phy, utils
+from repro import channel, coding, core, instrument, noc, phy, utils
 from repro.core import (
     DiskStore,
     LinkReport,
@@ -52,10 +61,19 @@ from repro.core import (
     link_flit_error_rate,
     parameter_grid,
 )
+from repro.instrument import (
+    AcquisitionPlan,
+    ChannelDataset,
+    Instrument,
+    SimulatedVna,
+    acquire_dataset,
+    resolve_dataset,
+)
 from repro.noc import NocEvaluation, NocModel, SimulatedNocModel
 from repro.phy import (
     BpskAwgnFrontend,
     ChannelFrontend,
+    MeasuredChannelFrontend,
     OneBitWaveformFrontend,
     TrellisKernel,
 )
@@ -92,6 +110,7 @@ __all__ = [
     "channel",
     "coding",
     "core",
+    "instrument",
     "noc",
     "phy",
     "scenarios",
@@ -116,7 +135,15 @@ __all__ = [
     "ChannelFrontend",
     "BpskAwgnFrontend",
     "OneBitWaveformFrontend",
+    "MeasuredChannelFrontend",
     "TrellisKernel",
+    # instrument acquisition layer
+    "Instrument",
+    "SimulatedVna",
+    "AcquisitionPlan",
+    "acquire_dataset",
+    "ChannelDataset",
+    "resolve_dataset",
     # execution stores
     "RunStore",
     "MemoryStore",

@@ -32,10 +32,19 @@ from repro.core import (
     link_flit_error_rate,
     parameter_grid,
 )
+from repro.instrument import (
+    AcquisitionPlan,
+    ChannelDataset,
+    Instrument,
+    SimulatedVna,
+    acquire_dataset,
+    resolve_dataset,
+)
 from repro.noc import NocEvaluation, NocModel, SimulatedNocModel
 from repro.phy import (
     BpskAwgnFrontend,
     ChannelFrontend,
+    MeasuredChannelFrontend,
     OneBitWaveformFrontend,
     TrellisKernel,
 )
@@ -85,7 +94,14 @@ __all__ = [
     "ChannelFrontend",
     "BpskAwgnFrontend",
     "OneBitWaveformFrontend",
+    "MeasuredChannelFrontend",
     "TrellisKernel",
+    "Instrument",
+    "SimulatedVna",
+    "AcquisitionPlan",
+    "acquire_dataset",
+    "ChannelDataset",
+    "resolve_dataset",
     "RunStore",
     "MemoryStore",
     "DiskStore",

@@ -9,8 +9,9 @@ log-distance space the authors used to obtain those numbers.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Any, Dict, Mapping, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +43,26 @@ class PathLossFit:
     reference_distance_m: float
     rms_error_db: float
     frequency_hz: float
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (canonical-JSON-safe, fields as Python floats)."""
+        return {field.name: float(getattr(self, field.name))
+                for field in dataclasses.fields(self)}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "PathLossFit":
+        """Rebuild a fit from :meth:`to_dict` output (validating keys)."""
+        field_names = {field.name for field in dataclasses.fields(cls)}
+        unknown = set(data) - field_names
+        if unknown:
+            raise ValueError(
+                f"unknown PathLossFit field(s): {sorted(unknown)}; "
+                f"valid fields: {sorted(field_names)}")
+        missing = field_names - set(data)
+        if missing:
+            raise ValueError(
+                f"PathLossFit dict lacks field(s) {sorted(missing)}")
+        return cls(**{name: float(data[name]) for name in field_names})
 
     def to_model(self) -> LogDistancePathLossModel:
         """Convert the fit into a usable pathloss model."""

@@ -23,7 +23,7 @@ matters for the reproduction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -151,6 +151,46 @@ class FrequencySweep:
         """
         mean_gain = float(np.mean(np.abs(self.s21) ** 2))
         return -10.0 * np.log10(mean_gain) + remove_antenna_gain_db
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Canonical-JSON-safe form of the sweep.
+
+        The complex S21 trace is split into separate real/imaginary lists
+        (JSON has no complex type); Python floats round-trip JSON exactly,
+        so ``from_dict(to_dict())`` reproduces the sweep bit for bit.
+        This is the wire format of
+        :class:`repro.instrument.ChannelDataset`.
+        """
+        return {
+            "frequencies_hz": [float(f) for f in self.frequencies_hz],
+            "s21_real": [float(v) for v in np.real(self.s21)],
+            "s21_imag": [float(v) for v in np.imag(self.s21)],
+            "distance_m": float(self.distance_m),
+            "scenario": str(self.scenario),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FrequencySweep":
+        """Rebuild a sweep from :meth:`to_dict` output (validating it)."""
+        required = {"frequencies_hz", "s21_real", "s21_imag", "distance_m",
+                    "scenario"}
+        missing = required - set(data)
+        if missing:
+            raise ValueError(
+                f"frequency-sweep dict lacks field(s) {sorted(missing)}")
+        unknown = set(data) - required
+        if unknown:
+            raise ValueError(
+                f"unknown frequency-sweep field(s): {sorted(unknown)}")
+        real = np.asarray(data["s21_real"], dtype=float)
+        imag = np.asarray(data["s21_imag"], dtype=float)
+        if real.shape != imag.shape:
+            raise ValueError("s21_real and s21_imag must have the same shape")
+        return cls(
+            frequencies_hz=np.asarray(data["frequencies_hz"], dtype=float),
+            s21=real + 1j * imag,
+            distance_m=float(data["distance_m"]),
+            scenario=str(data["scenario"]))
 
 
 @dataclass

@@ -1,5 +1,5 @@
 """Command-line entry point: ``python -m repro
-{list,describe,run,run-all,cache,serve,submit,status,fetch}``.
+{list,describe,run,run-all,cache,acquire,datasets,serve,submit,status,fetch}``.
 
 The zero-code path to every experiment in the scenario registry:
 
@@ -15,6 +15,17 @@ The zero-code path to every experiment in the scenario registry:
     python -m repro cache info --store .repro-store
     python -m repro cache gc --store .repro-store --max-age-days 30
     python -m repro cache clear --store .repro-store
+
+the instrument-acquisition verbs (see :mod:`repro.instrument`):
+
+.. code-block:: console
+
+    python -m repro acquire --environment parallel-copper-boards \
+        --distances 0.05,0.1,0.15 --seed 7
+    python -m repro datasets list
+    python -m repro datasets describe <content-key-or-path> --json
+    python -m repro run measured-channel-coded-ber-sweep \
+        --set channel.dataset=<content-key>
 
 and the campaign-service verbs (see :mod:`repro.service`):
 
@@ -251,6 +262,89 @@ def _cmd_cache(args: argparse.Namespace) -> int:
     return 0
 
 
+#: CLI environment names (hyphenated, shell-friendly) to the scenario
+#: labels recorded in sweeps/datasets.
+_ENVIRONMENTS = {"freespace": "freespace",
+                 "parallel-copper-boards": "parallel copper boards"}
+
+
+def _cmd_acquire(args: argparse.Namespace) -> int:
+    from repro.instrument import (AcquisitionPlan, SimulatedVna,
+                                  acquire_dataset, datasets_dir)
+
+    try:
+        distances = tuple(float(value)
+                          for value in args.distances.split(","))
+    except ValueError:
+        raise SystemExit(f"--distances expects a comma-separated list of "
+                         f"metres, got {args.distances!r}")
+    plan = AcquisitionPlan(distances_m=distances, seed=args.seed,
+                           environment=_ENVIRONMENTS[args.environment],
+                           n_points=args.n_points, name=args.name or "")
+    with SimulatedVna(seed=plan.seed) as vna:
+        dataset = acquire_dataset(vna, plan)
+    key = dataset.content_key
+    path = args.out or os.path.join(datasets_dir(args.datasets),
+                                    key + ".json")
+    dataset.save(path)
+    if args.store:
+        dataset.store(DiskStore(args.store))
+    if not args.quiet:
+        print(f"acquired {len(dataset.sweeps)} sweep(s) · "
+              f"environment {plan.environment!r} · seed {plan.seed} · "
+              f"{plan.n_points} points/sweep")
+        print(f"wrote {path}")
+    # Machine-parsable (the CI instrument-smoke job greps this line to
+    # feed the key into `run --set channel.dataset=...`).
+    print(f"content key {key}")
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    from repro.instrument import (ChannelDataset, datasets_dir,
+                                  resolve_dataset)
+
+    if args.action == "list":
+        directory = datasets_dir(args.datasets)
+        rows = []
+        if os.path.isdir(directory):
+            for name in sorted(os.listdir(directory)):
+                if not name.endswith(".json"):
+                    continue
+                try:
+                    dataset = ChannelDataset.load(
+                        os.path.join(directory, name))
+                except (OSError, ValueError, json.JSONDecodeError):
+                    continue  # not a dataset file; ignore, don't crash
+                rows.append(dataset.describe())
+        if args.json:
+            print(json.dumps(rows, indent=2, sort_keys=True))
+            return 0
+        if not rows:
+            print(f"no datasets under {directory}")
+            return 0
+        for row in rows:
+            distances = ", ".join(f"{d:g}" for d in row["distances_m"])
+            print(f"{row['content_key'][:16]}…  "
+                  f"{'/'.join(row['scenarios']):<24s}  "
+                  f"{row['n_sweeps']:2d} sweep(s) · "
+                  f"{row['n_points']} pts · d = {distances} m")
+        return 0
+    # describe
+    if not args.ref:
+        raise SystemExit("datasets describe needs a dataset reference "
+                         "(file path or content key)")
+    store = DiskStore(args.store) if args.store else None
+    dataset = resolve_dataset(args.ref, store=store,
+                              directory=args.datasets)
+    payload = dataset.describe()
+    if args.json:
+        print(json.dumps(payload, sort_keys=True, separators=(",", ":")))
+    else:
+        print(json.dumps(payload, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -473,6 +567,66 @@ def build_parser() -> argparse.ArgumentParser:
         "--dry-run", action="store_true",
         help="gc: report what would be evicted without removing anything")
     cache_parser.set_defaults(handler=_cmd_cache)
+
+    acquire_parser = subparsers.add_parser(
+        "acquire",
+        help="drive the (simulated) VNA across a distance grid and record "
+             "a content-addressed channel dataset")
+    acquire_parser.add_argument(
+        "--environment", choices=sorted(_ENVIRONMENTS),
+        default="parallel-copper-boards",
+        help="measurement setup (default parallel-copper-boards)")
+    acquire_parser.add_argument(
+        "--distances", default="0.05,0.1,0.15", metavar="M,M,...",
+        help="comma-separated LoS distances in metres "
+             "(default 0.05,0.1,0.15)")
+    acquire_parser.add_argument(
+        "--n-points", type=int, default=256, metavar="N",
+        help="frequency points per sweep (default 256)")
+    acquire_parser.add_argument(
+        "--seed", type=int, default=0,
+        help="measurement-noise seed — explicit and recorded in the "
+             "dataset metadata (default 0)")
+    acquire_parser.add_argument(
+        "--name", default=None, help="free-form dataset label")
+    acquire_parser.add_argument(
+        "--datasets", metavar="DIR", default=None,
+        help="directory for the dataset file (default: $REPRO_DATASETS "
+             "or .repro-datasets); the file is named <content-key>.json")
+    acquire_parser.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the dataset to PATH instead of the datasets "
+             "directory")
+    acquire_parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="additionally put the dataset into a DiskStore under DIR "
+             "(so `run --store DIR` resolves the key without the file)")
+    acquire_parser.add_argument(
+        "--quiet", action="store_true",
+        help="print only the machine-parsable content-key line")
+    acquire_parser.set_defaults(handler=_cmd_acquire)
+
+    datasets_parser = subparsers.add_parser(
+        "datasets", help="list or describe recorded channel datasets")
+    datasets_parser.add_argument(
+        "action", choices=("list", "describe"),
+        help="'list' scans the datasets directory; 'describe' resolves "
+             "one dataset by file path or content key")
+    datasets_parser.add_argument(
+        "ref", nargs="?", default=None,
+        help="describe: dataset file path or 64-hex content key")
+    datasets_parser.add_argument(
+        "--datasets", metavar="DIR", default=None,
+        help="datasets directory (default: $REPRO_DATASETS or "
+             ".repro-datasets)")
+    datasets_parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help="describe: also try resolving content keys in a DiskStore "
+             "under DIR")
+    datasets_parser.add_argument(
+        "--json", action="store_true",
+        help="emit machine-readable JSON (compact for describe)")
+    datasets_parser.set_defaults(handler=_cmd_datasets)
 
     serve_parser = subparsers.add_parser(
         "serve",

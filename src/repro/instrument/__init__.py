@@ -1,0 +1,50 @@
+"""Instrument acquisition subsystem.
+
+Drivers (:mod:`repro.instrument.driver`) speak the
+connect/configure/sweep/fetch lifecycle of a real VNA; the acquisition
+runner (:mod:`repro.instrument.acquire`) drives any driver across a
+distance grid; the result is a content-addressed, file-backed
+:class:`ChannelDataset` (:mod:`repro.instrument.dataset`) that the PHY
+layer replays through ``repro.phy.MeasuredChannelFrontend``.
+"""
+
+from repro.instrument.acquire import AcquisitionPlan, acquire_dataset
+from repro.instrument.dataset import (
+    DATASET_FORMAT,
+    DATASET_VERSION,
+    DATASETS_DIR_ENV,
+    DEFAULT_DATASETS_DIR,
+    ChannelDataset,
+    dataset_reference_key,
+    datasets_dir,
+    is_content_key,
+    resolve_dataset,
+)
+from repro.instrument.driver import (
+    ENVIRONMENTS,
+    Instrument,
+    InstrumentError,
+    InstrumentStateError,
+    SimulatedVna,
+    UnsupportedCapabilityError,
+)
+
+__all__ = [
+    "AcquisitionPlan",
+    "acquire_dataset",
+    "DATASET_FORMAT",
+    "DATASET_VERSION",
+    "DATASETS_DIR_ENV",
+    "DEFAULT_DATASETS_DIR",
+    "ChannelDataset",
+    "dataset_reference_key",
+    "datasets_dir",
+    "is_content_key",
+    "resolve_dataset",
+    "ENVIRONMENTS",
+    "Instrument",
+    "InstrumentError",
+    "InstrumentStateError",
+    "SimulatedVna",
+    "UnsupportedCapabilityError",
+]

@@ -1,0 +1,103 @@
+"""Acquisition runner: drive an Instrument across a grid, record a dataset.
+
+The runner is backend-agnostic — it only speaks the
+:class:`~repro.instrument.driver.Instrument` lifecycle — so the same
+:class:`AcquisitionPlan` replayed against a future SCPI VNA backend would
+produce a :class:`~repro.instrument.dataset.ChannelDataset` with the same
+shape and the same provenance fields.
+
+Seeds are **explicit**: :class:`AcquisitionPlan` has no default seed, and
+the seed is recorded in the dataset metadata.  Two plans differing only
+in seed produce different datasets (different measurement noise →
+different content keys); the same plan reproduces the same dataset bit
+for bit.  This is the same discipline the sweep engine applies to
+simulation seeds, extended to the acquisition boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from repro.instrument.dataset import ChannelDataset
+from repro.instrument.driver import (ENVIRONMENTS, Instrument,
+                                     InstrumentStateError)
+from repro.utils.constants import PAPER_BAND_START_HZ, PAPER_BAND_STOP_HZ
+
+
+@dataclass(frozen=True)
+class AcquisitionPlan:
+    """What to acquire: environment, distance grid, sweep grid, seed.
+
+    ``seed`` is deliberately required — an acquisition without a recorded
+    seed cannot be reproduced, which is the silent-default bug class the
+    execution layer has already eliminated everywhere else.
+    """
+
+    distances_m: Tuple[float, ...]
+    seed: int
+    environment: str = "freespace"
+    n_points: int = 256
+    start_frequency_hz: float = PAPER_BAND_START_HZ
+    stop_frequency_hz: float = PAPER_BAND_STOP_HZ
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "distances_m",
+                           tuple(float(d) for d in self.distances_m))
+        if not self.distances_m:
+            raise ValueError("an acquisition needs at least one distance")
+        if any(d <= 0.0 for d in self.distances_m):
+            raise ValueError("distances must be strictly positive")
+        if self.environment not in ENVIRONMENTS:
+            raise ValueError(
+                f"unknown environment {self.environment!r}; choose from "
+                f"{sorted(ENVIRONMENTS)}")
+        if self.n_points < 2:
+            raise ValueError("a sweep needs at least two frequency points")
+        object.__setattr__(self, "seed", int(self.seed))
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form recorded into the dataset metadata."""
+        return {
+            "distances_m": [float(d) for d in self.distances_m],
+            "seed": int(self.seed),
+            "environment": str(self.environment),
+            "n_points": int(self.n_points),
+            "start_frequency_hz": float(self.start_frequency_hz),
+            "stop_frequency_hz": float(self.stop_frequency_hz),
+            "name": str(self.name),
+        }
+
+
+def acquire_dataset(instrument: Instrument,
+                    plan: AcquisitionPlan) -> ChannelDataset:
+    """Run ``plan`` on a *connected* instrument, returning the dataset.
+
+    The instrument is configured from the plan (grid + seed), swept once
+    per distance, and the fetched traces are recorded together with the
+    instrument's identification, its final configuration and the plan
+    itself — everything needed to re-acquire the identical dataset.
+    """
+    if not instrument.is_connected:
+        raise InstrumentStateError(
+            "acquire_dataset needs a connected instrument "
+            "(use `with instrument:` or call connect() first)")
+    configuration = instrument.configure(
+        start_frequency_hz=float(plan.start_frequency_hz),
+        stop_frequency_hz=float(plan.stop_frequency_hz),
+        n_points=int(plan.n_points),
+        seed=int(plan.seed),
+    )
+    sweeps = tuple(
+        instrument.sweep(distance_m=distance,
+                         environment=plan.environment).fetch()
+        for distance in plan.distances_m
+    )
+    metadata = {
+        "instrument": instrument.identify(),
+        "configuration": configuration,
+        "plan": plan.to_dict(),
+        "name": plan.name,
+    }
+    return ChannelDataset(sweeps=sweeps, metadata=metadata)

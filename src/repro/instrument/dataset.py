@@ -1,0 +1,241 @@
+"""Versioned, content-addressed channel datasets.
+
+A :class:`ChannelDataset` is the durable record of one acquisition run:
+the frequency sweeps an :class:`~repro.instrument.driver.Instrument`
+produced across a distance grid, plus the acquisition metadata needed to
+reproduce them (instrument identification, configuration, plan, seed).
+
+The wire format is canonical JSON (``repro.utils.hashing.canonical_json``)
+with an explicit ``format``/``version`` envelope, so old readers reject
+new majors loudly instead of misinterpreting them.  Its identity is the
+SHA-256 of that canonical JSON — the **content key** — which makes
+datasets first-class citizens of the execution layer:
+
+* they store into any :class:`~repro.core.store.RunStore` under their
+  content key (64-hex keys are valid DiskStore keys),
+* spec references (``ChannelSpec.dataset``) resolve either a file path or
+  a content key, and scenario cache keys hash the *content key*, so two
+  byte-identical datasets reached by different paths share every cached
+  BER point,
+* loading verifies the key: a dataset fetched from a store under key K
+  whose recomputed content hash is not K is rejected.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.channel.measurement import FrequencySweep
+from repro.core.store import RunStore
+from repro.utils.hashing import canonical_json, content_hash
+
+#: Envelope identifying a serialized dataset.  The version is bumped on
+#: incompatible layout changes; readers reject anything they don't know.
+DATASET_FORMAT = "repro-channel-dataset"
+DATASET_VERSION = 1
+
+#: Environment variable / default directory where the CLI drops dataset
+#: files named ``<content-key>.json`` (the file-system face of the
+#: content-addressed store).
+DATASETS_DIR_ENV = "REPRO_DATASETS"
+DEFAULT_DATASETS_DIR = ".repro-datasets"
+
+_CONTENT_KEY_RE = re.compile(r"^[0-9a-f]{64}$")
+
+
+def is_content_key(ref: str) -> bool:
+    """Whether ``ref`` is syntactically a SHA-256 content key."""
+    return bool(_CONTENT_KEY_RE.match(str(ref)))
+
+
+@dataclass(frozen=True)
+class ChannelDataset:
+    """An immutable set of measured frequency sweeps plus provenance.
+
+    Attributes
+    ----------
+    sweeps:
+        The acquired :class:`~repro.channel.measurement.FrequencySweep`
+        traces, in acquisition order.
+    metadata:
+        Acquisition provenance — instrument identification and
+        configuration, the acquisition plan (including its explicit
+        seed), and a free-form ``name``.  Must be canonical-JSON-safe.
+    """
+
+    sweeps: Tuple[FrequencySweep, ...]
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "sweeps", tuple(self.sweeps))
+        if not self.sweeps:
+            raise ValueError("a channel dataset needs at least one sweep")
+        object.__setattr__(self, "metadata", dict(self.metadata))
+
+    # -- views ---------------------------------------------------------
+    @property
+    def distances_m(self) -> Tuple[float, ...]:
+        """LoS distances of the sweeps, in acquisition order."""
+        return tuple(float(sweep.distance_m) for sweep in self.sweeps)
+
+    def sweep_near(self, distance_m: float) -> FrequencySweep:
+        """The sweep whose distance is closest to ``distance_m``."""
+        distances = np.asarray(self.distances_m)
+        return self.sweeps[int(np.argmin(np.abs(distances
+                                                - float(distance_m))))]
+
+    def describe(self) -> Dict[str, Any]:
+        """Human/CLI-facing summary (content key, grid, provenance)."""
+        first = self.sweeps[0]
+        return {
+            "format": DATASET_FORMAT,
+            "version": DATASET_VERSION,
+            "content_key": self.content_key,
+            "n_sweeps": len(self.sweeps),
+            "distances_m": list(self.distances_m),
+            "scenarios": sorted({sweep.scenario for sweep in self.sweeps}),
+            "n_points": first.n_points,
+            "start_frequency_hz": float(first.frequencies_hz[0]),
+            "stop_frequency_hz": float(first.frequencies_hz[-1]),
+            "metadata": dict(self.metadata),
+        }
+
+    # -- serialization -------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Versioned plain-dict form (the canonical wire format)."""
+        return {
+            "format": DATASET_FORMAT,
+            "version": DATASET_VERSION,
+            "metadata": dict(self.metadata),
+            "sweeps": [sweep.to_dict() for sweep in self.sweeps],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ChannelDataset":
+        """Rebuild a dataset, validating the format envelope."""
+        if not isinstance(data, Mapping):
+            raise ValueError("a channel dataset must be a JSON object")
+        fmt = data.get("format")
+        if fmt != DATASET_FORMAT:
+            raise ValueError(
+                f"not a channel dataset: format={fmt!r} "
+                f"(expected {DATASET_FORMAT!r})")
+        version = data.get("version")
+        if version != DATASET_VERSION:
+            raise ValueError(
+                f"unsupported channel-dataset version {version!r} "
+                f"(this reader understands version {DATASET_VERSION})")
+        unknown = set(data) - {"format", "version", "metadata", "sweeps"}
+        if unknown:
+            raise ValueError(
+                f"unknown channel-dataset field(s): {sorted(unknown)}")
+        sweeps = tuple(FrequencySweep.from_dict(item)
+                       for item in data.get("sweeps", ()))
+        return cls(sweeps=sweeps, metadata=dict(data.get("metadata", {})))
+
+    def to_json(self) -> str:
+        """Canonical JSON — the exact bytes the content key hashes."""
+        return canonical_json(self.to_dict())
+
+    @property
+    def content_key(self) -> str:
+        """SHA-256 of the canonical JSON: the dataset's durable identity."""
+        return content_hash(self.to_dict())
+
+    # -- files ---------------------------------------------------------
+    def save(self, path: str) -> str:
+        """Write the canonical JSON to ``path``, returning the content key."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        with open(path, "w", encoding="utf-8") as stream:
+            stream.write(self.to_json())
+        return self.content_key
+
+    @classmethod
+    def load(cls, path: str) -> "ChannelDataset":
+        """Read a dataset file written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as stream:
+            return cls.from_dict(json.load(stream))
+
+    # -- stores --------------------------------------------------------
+    def store(self, store: RunStore) -> str:
+        """Put the dataset into a run store under its content key."""
+        key = self.content_key
+        store.put(key, self.to_dict())
+        return key
+
+    @classmethod
+    def from_store(cls, store: RunStore, key: str) -> "ChannelDataset":
+        """Fetch a dataset by content key, verifying its integrity."""
+        dataset = cls.from_dict(store.get(key))
+        actual = dataset.content_key
+        if actual != key:
+            raise ValueError(
+                f"channel dataset stored under key {key} hashes to "
+                f"{actual}: store entry is corrupt or mislabeled")
+        return dataset
+
+
+def datasets_dir(override: Optional[str] = None) -> str:
+    """The directory dataset files live in (flag > env > default)."""
+    if override:
+        return str(override)
+    return os.environ.get(DATASETS_DIR_ENV, DEFAULT_DATASETS_DIR)
+
+
+def resolve_dataset(ref: str,
+                    store: Optional[RunStore] = None,
+                    directory: Optional[str] = None) -> ChannelDataset:
+    """Resolve a dataset reference — a file path or a content key.
+
+    Resolution order:
+
+    1. ``ref`` names an existing file → load it.
+    2. ``ref`` is a 64-hex content key → try the run store (if given),
+       then ``<datasets dir>/<key>.json``; either must hash back to the
+       key.
+    3. Otherwise: ``ValueError`` describing both interpretations.
+    """
+    ref = str(ref)
+    if os.path.isfile(ref):
+        return ChannelDataset.load(ref)
+    if is_content_key(ref):
+        if store is not None and ref in store:
+            return ChannelDataset.from_store(store, ref)
+        path = os.path.join(datasets_dir(directory), ref + ".json")
+        if os.path.isfile(path):
+            dataset = ChannelDataset.load(path)
+            if dataset.content_key != ref:
+                raise ValueError(
+                    f"dataset file {path} hashes to "
+                    f"{dataset.content_key}, not the requested {ref}")
+            return dataset
+        raise ValueError(
+            f"dataset {ref} not found in the run store or under "
+            f"{datasets_dir(directory)}/ — acquire it first "
+            f"(python -m repro acquire)")
+    raise ValueError(
+        f"cannot resolve dataset reference {ref!r}: it is neither an "
+        f"existing file nor a 64-hex content key")
+
+
+def dataset_reference_key(ref: str,
+                          store: Optional[RunStore] = None,
+                          directory: Optional[str] = None) -> str:
+    """Canonicalize a dataset reference to its content key.
+
+    Used by ``ChannelSpec.cache_dict`` so cache keys depend on dataset
+    *content*, never on the path it was loaded from: referencing the
+    same bytes via a file or via a key yields the same scenario cache
+    entries.  A content key canonicalizes to itself without I/O.
+    """
+    ref = str(ref)
+    if is_content_key(ref):
+        return ref
+    return resolve_dataset(ref, store=store, directory=directory).content_key

@@ -1,0 +1,277 @@
+"""Abstract instrument drivers and the simulated VNA backend.
+
+The paper's channel data comes from an R&S ZVA24 vector network analyser
+driven over SCPI: open the connection, push a sweep configuration, trigger
+a sweep, fetch the trace.  :class:`Instrument` captures exactly that
+lifecycle — ``connect`` / ``configure`` / ``sweep`` / ``fetch`` plus
+context-manager sugar and *typed* errors — so acquisition code written
+against it works unchanged whether the backend is the synthetic ray model
+shipped here (:class:`SimulatedVna`) or, later, a real SCPI instrument.
+
+Design points mirrored from real VNA drivers:
+
+* **Explicit connection state.**  Configuring or sweeping a disconnected
+  instrument raises :class:`InstrumentStateError` instead of silently
+  auto-connecting — a real driver cannot configure hardware it has not
+  opened.
+* **Capability-checked configuration.**  Each driver declares the
+  settings it supports (:meth:`Instrument.capabilities`); an unknown
+  setting raises :class:`UnsupportedCapabilityError` naming the valid
+  ones, so a typo in an acquisition script fails at configure time, not
+  after an hour of sweeping.
+* **Two-phase sweeps.**  ``sweep(...)`` triggers and ``fetch()`` returns
+  the :class:`~repro.channel.measurement.FrequencySweep` — the idiom a
+  triggered instrument imposes (and the natural seam for async backends).
+
+The acquisition runner (:mod:`repro.instrument.acquire`) drives any
+:class:`Instrument` across a distance grid and records the result as a
+content-addressed :class:`~repro.instrument.dataset.ChannelDataset`.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Any, Dict, Mapping, Optional
+
+from repro.channel.measurement import FrequencySweep
+from repro.utils.constants import PAPER_BAND_START_HZ, PAPER_BAND_STOP_HZ
+
+#: Environment names accepted by ``sweep(environment=...)`` — the two
+#: setups of the paper's measurement campaign.
+ENVIRONMENTS = ("freespace", "parallel copper boards")
+
+
+class InstrumentError(RuntimeError):
+    """Base class of every instrument-driver failure."""
+
+
+class InstrumentStateError(InstrumentError):
+    """An operation was attempted in the wrong lifecycle state.
+
+    Examples: configuring before :meth:`Instrument.connect`, fetching
+    before any sweep was triggered, connecting twice.
+    """
+
+
+class UnsupportedCapabilityError(InstrumentError):
+    """A configuration setting the driver does not implement.
+
+    Carries the offending setting name as ``capability`` so callers can
+    degrade gracefully (skip an optional setting) instead of parsing the
+    message.
+    """
+
+    def __init__(self, capability: str, message: str) -> None:
+        super().__init__(message)
+        self.capability = str(capability)
+
+
+class Instrument(abc.ABC):
+    """Abstract measurement-instrument driver.
+
+    Lifecycle::
+
+        with SomeVna(...) as vna:                  # connect ... disconnect
+            vna.configure(n_points=512)            # capability-checked
+            sweep = vna.sweep(distance_m=0.1).fetch()
+
+    Subclasses implement the four hooks: :meth:`capabilities` (the
+    settings :meth:`configure` accepts), :meth:`identify` (the ``*IDN?``
+    analogue), :meth:`_apply_settings` (validate/commit a configuration
+    update) and :meth:`_run_sweep` (produce one
+    :class:`~repro.channel.measurement.FrequencySweep`).  The base class
+    owns all state-machine discipline, so every driver fails the same
+    way in the same situations.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = str(name)
+        self._connected = False
+        self._settings: Dict[str, Any] = {}
+        self._pending: Optional[FrequencySweep] = None
+
+    # -- connection lifecycle ------------------------------------------
+    @property
+    def is_connected(self) -> bool:
+        """Whether :meth:`connect` has been called (and not undone)."""
+        return self._connected
+
+    def connect(self) -> "Instrument":
+        """Open the instrument; connecting twice is a state error."""
+        if self._connected:
+            raise InstrumentStateError(
+                f"instrument {self.name!r} is already connected")
+        self._on_connect()
+        self._connected = True
+        return self
+
+    def disconnect(self) -> None:
+        """Close the instrument (idempotent, like closing a socket)."""
+        if self._connected:
+            self._on_disconnect()
+        self._connected = False
+        self._pending = None
+
+    def __enter__(self) -> "Instrument":
+        return self.connect()
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.disconnect()
+
+    def _require_connected(self, operation: str) -> None:
+        if not self._connected:
+            raise InstrumentStateError(
+                f"cannot {operation}: instrument {self.name!r} is not "
+                f"connected (call connect() or use a with-block)")
+
+    # -- configuration -------------------------------------------------
+    @property
+    def settings(self) -> Dict[str, Any]:
+        """The currently applied configuration (a private copy)."""
+        return dict(self._settings)
+
+    def configure(self, **settings: Any) -> Dict[str, Any]:
+        """Apply configuration settings, returning the full active set.
+
+        Unknown settings raise :class:`UnsupportedCapabilityError`;
+        invalid values raise whatever the driver's validation raises
+        (typically ``ValueError``), with nothing partially applied.
+        """
+        self._require_connected("configure")
+        supported = self.capabilities()
+        for key in settings:
+            if key not in supported:
+                raise UnsupportedCapabilityError(
+                    key,
+                    f"instrument {self.name!r} does not support setting "
+                    f"{key!r}; supported: {sorted(supported)}")
+        merged = dict(self._settings)
+        merged.update(settings)
+        self._apply_settings(merged)   # validates before committing
+        self._settings = merged
+        return self.settings
+
+    # -- sweeping ------------------------------------------------------
+    def sweep(self, **params: Any) -> "Instrument":
+        """Trigger one sweep; the trace is collected with :meth:`fetch`."""
+        self._require_connected("sweep")
+        self._pending = self._run_sweep(**params)
+        return self
+
+    def fetch(self) -> FrequencySweep:
+        """Return the trace of the last :meth:`sweep` (one-shot)."""
+        self._require_connected("fetch")
+        if self._pending is None:
+            raise InstrumentStateError(
+                f"nothing to fetch from instrument {self.name!r}: "
+                f"trigger a sweep() first")
+        sweep, self._pending = self._pending, None
+        return sweep
+
+    # -- driver hooks --------------------------------------------------
+    def _on_connect(self) -> None:
+        """Open the backend (sockets, sessions); default is a no-op."""
+
+    def _on_disconnect(self) -> None:
+        """Release the backend; default is a no-op."""
+
+    @abc.abstractmethod
+    def capabilities(self) -> Mapping[str, str]:
+        """Supported configuration settings: name -> one-line description."""
+
+    @abc.abstractmethod
+    def identify(self) -> str:
+        """Identification string (the SCPI ``*IDN?`` analogue)."""
+
+    @abc.abstractmethod
+    def _apply_settings(self, settings: Mapping[str, Any]) -> None:
+        """Validate and commit a full settings mapping."""
+
+    @abc.abstractmethod
+    def _run_sweep(self, **params: Any) -> FrequencySweep:
+        """Execute one sweep and return its trace."""
+
+
+class SimulatedVna(Instrument):
+    """The synthetic ray model behind the :class:`Instrument` interface.
+
+    Wraps :class:`repro.channel.measurement.SyntheticVNA` — the stand-in
+    for the paper's R&S ZVA24 campaign — so acquisition scripts exercise
+    the exact driver seam a hardware VNA would implement.
+
+    Randomness is **explicit**: the measurement-noise seed is a first-
+    class configuration setting (``seed``), recorded into every dataset's
+    acquisition metadata, so two acquisitions are identical exactly when
+    their seeds (and grids) are.  Reconfiguring the seed re-arms the
+    noise stream; sweeps after identical ``configure(seed=...)`` calls
+    draw identical noise in identical order.
+    """
+
+    _CAPABILITIES = {
+        "start_frequency_hz": "sweep start frequency (default 220 GHz)",
+        "stop_frequency_hz": "sweep stop frequency (default 245 GHz)",
+        "n_points": "frequency points per sweep (default 4096)",
+        "noise_floor_db": "instrument noise floor below the LoS level",
+        "board_separation_m": "copper-board spacing for the board setup",
+        "seed": "measurement-noise seed (explicit; no silent default)",
+    }
+
+    def __init__(self, seed: int, **settings: Any) -> None:
+        super().__init__(name="simulated-zva24")
+        self._initial_settings = dict(settings, seed=int(seed))
+        self._vna = None
+
+    def capabilities(self) -> Mapping[str, str]:
+        return dict(self._CAPABILITIES)
+
+    def identify(self) -> str:
+        n_points = self._settings.get("n_points", 4096)
+        return (f"repro,SimulatedVna,ray-model,"
+                f"n_points={n_points}")
+
+    def _on_connect(self) -> None:
+        # configure() is not usable until connect() returns, so the
+        # constructor settings are applied through the same validated
+        # path here.
+        self._settings = {}
+        self._connected = True          # temporarily, for configure()
+        try:
+            self.configure(**self._initial_settings)
+        finally:
+            self._connected = False     # connect() flips it for real
+
+    def _apply_settings(self, settings: Mapping[str, Any]) -> None:
+        from repro.channel.measurement import SyntheticVNA
+
+        if "seed" not in settings:
+            raise ValueError(
+                "SimulatedVna needs an explicit measurement-noise seed "
+                "(configure(seed=...)); implicit seeding would make "
+                "acquisitions silently irreproducible")
+        kwargs = {key: value for key, value in settings.items()
+                  if key in ("start_frequency_hz", "stop_frequency_hz",
+                             "n_points", "noise_floor_db")}
+        kwargs.setdefault("start_frequency_hz", PAPER_BAND_START_HZ)
+        kwargs.setdefault("stop_frequency_hz", PAPER_BAND_STOP_HZ)
+        # Constructing the SyntheticVNA validates grid/noise settings and
+        # re-arms the noise stream at the (mandatory) seed.
+        self._vna = SyntheticVNA(rng=int(settings["seed"]),
+                                 **{k: type(v)(v)
+                                    for k, v in kwargs.items()})
+        if "board_separation_m" in settings \
+                and float(settings["board_separation_m"]) <= 0.0:
+            raise ValueError("board_separation_m must be positive")
+
+    def _run_sweep(self, *, distance_m: float,
+                   environment: str = "freespace") -> FrequencySweep:
+        if self._vna is None:  # pragma: no cover - guarded by lifecycle
+            raise InstrumentStateError("instrument is not configured")
+        if environment not in ENVIRONMENTS:
+            raise ValueError(f"unknown environment {environment!r}; "
+                             f"choose from {sorted(ENVIRONMENTS)}")
+        if environment == "freespace":
+            return self._vna.measure_freespace(float(distance_m))
+        return self._vna.measure_parallel_copper_boards(
+            float(distance_m),
+            board_separation_m=float(
+                self._settings.get("board_separation_m", 0.05)))

@@ -27,6 +27,9 @@ Modules:
 * :mod:`repro.phy.frontend` — the :class:`ChannelFrontend` protocol tying
   coded bits to decoder LLRs over either the idealized BPSK/AWGN channel
   or the full 1-bit oversampled waveform chain.
+* :mod:`repro.phy.measured` — :class:`MeasuredChannelFrontend`, the same
+  protocol replaying a measured frequency sweep (echoes composed into the
+  ISI pulse) from a :class:`repro.instrument.ChannelDataset`.
 * :mod:`repro.phy.filter_design` — ISI filter optimisation strategies.
 """
 
@@ -55,6 +58,7 @@ from repro.phy.frontend import (
     ChannelFrontend,
     OneBitWaveformFrontend,
 )
+from repro.phy.measured import MeasuredChannelFrontend
 from repro.phy.filter_design import (
     FilterDesignResult,
     optimize_pulse,
@@ -83,6 +87,7 @@ __all__ = [
     "ChannelFrontend",
     "BpskAwgnFrontend",
     "OneBitWaveformFrontend",
+    "MeasuredChannelFrontend",
     "FilterDesignResult",
     "optimize_pulse",
     "unique_detection_fraction",

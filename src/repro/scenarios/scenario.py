@@ -119,11 +119,14 @@ class Scenario:
         :class:`~repro.scenarios.specs.PrecisionSpec` layers are excluded
         too: precision describes how *well* to measure, not *what* —
         stored tallies must be shared (and upgraded) across precision
-        targets rather than recomputed per target.
+        targets rather than recomputed per target.  Specs enter through
+        :meth:`~repro.scenarios.specs.SpecBase.cache_dict` (not
+        ``to_dict``), so reference fields — e.g. a measured-channel
+        dataset path — are canonicalized to content before hashing.
         """
         return {
             "specs": {layer: {"spec_type": type(spec).__name__,
-                              **to_plain(spec.to_dict())}
+                              **to_plain(spec.cache_dict())}
                       for layer, spec in self.specs.items()
                       if not isinstance(spec, PrecisionSpec)},
             "worker": worker_cache_key(self.worker),

@@ -65,6 +65,17 @@ class SpecBase:
         """A copy with some fields replaced (re-validated on construction)."""
         return dataclasses.replace(self, **changes)
 
+    def cache_dict(self) -> Dict[str, Any]:
+        """The spec as it enters scenario cache keys.
+
+        Defaults to :meth:`to_dict`.  Specs whose fields are *references*
+        override this to canonicalize them — e.g.
+        :meth:`ChannelSpec.cache_dict` replaces a dataset file path with
+        its content key, so equal dataset bytes share cached points no
+        matter how they were referenced.
+        """
+        return self.to_dict()
+
 
 def _check_choice(name: str, value: str, choices: Tuple[str, ...]) -> None:
     if value not in choices:
@@ -79,6 +90,12 @@ class ChannelSpec(SpecBase):
 
     Defaults reproduce Table I of the paper; ``distance_m`` /
     ``tx_power_dbm`` describe the operating point of the link under study.
+
+    ``dataset`` optionally references a measured channel dataset
+    (:class:`repro.instrument.ChannelDataset`) — either a file path or a
+    64-hex content key — for scenarios that replay measured data through
+    a ``MeasuredChannelFrontend``.  Cache keys hash the dataset's
+    *content key* (:meth:`cache_dict`), never the path.
     """
 
     distance_m: float = 0.1
@@ -93,9 +110,16 @@ class ChannelSpec(SpecBase):
     butler_matrix_inaccuracy_db: float = 5.0
     polarization_mismatch_db: float = 3.0
     implementation_loss_db: float = 5.0
+    dataset: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive("distance_m", self.distance_m)
+        if self.dataset is not None:
+            dataset = str(self.dataset)
+            if not dataset:
+                raise ValueError("dataset reference must be a non-empty "
+                                 "string (file path or content key) or None")
+            object.__setattr__(self, "dataset", dataset)
         check_positive("frequency_hz", self.frequency_hz)
         check_positive("bandwidth_hz", self.bandwidth_hz)
         check_positive("rx_temperature_k", self.rx_temperature_k)
@@ -128,6 +152,32 @@ class ChannelSpec(SpecBase):
 
         return LinkBudget(self.budget_parameters())
 
+    def cache_dict(self) -> Dict[str, Any]:
+        """:meth:`to_dict` with the dataset reference canonicalized.
+
+        A dataset referenced by file path and the same dataset referenced
+        by content key describe the same computation, so both hash to the
+        content key in cache identities.
+        """
+        data = self.to_dict()
+        if data.get("dataset") is not None:
+            from repro.instrument.dataset import dataset_reference_key
+
+            data["dataset"] = dataset_reference_key(data["dataset"])
+        return data
+
+    def resolve_dataset(self, store=None):
+        """Load the referenced :class:`~repro.instrument.ChannelDataset`.
+
+        Raises ``ValueError`` when no dataset is referenced or the
+        reference cannot be resolved.
+        """
+        if self.dataset is None:
+            raise ValueError("this ChannelSpec references no dataset")
+        from repro.instrument.dataset import resolve_dataset
+
+        return resolve_dataset(self.dataset, store=store)
+
 
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
@@ -148,7 +198,7 @@ class PhySpec(SpecBase):
                      "sequence_optimized", "symbolwise_optimized",
                      "suboptimal_unique")
     DETECTORS = ("bcjr", "symbolwise")
-    FRONTENDS = ("bpsk-awgn", "one-bit-waveform")
+    FRONTENDS = ("bpsk-awgn", "one-bit-waveform", "measured")
 
     pulse_design: str = "sequence_optimized"
     oversampling: int = 5
@@ -188,14 +238,18 @@ class PhySpec(SpecBase):
 
         return AskConstellation(self.modulation_order)
 
-    def make_frontend(self, rate: float = 0.5, kind: Optional[str] = None):
+    def make_frontend(self, rate: float = 0.5, kind: Optional[str] = None,
+                      dataset=None, distance_m: Optional[float] = None):
         """Build the :class:`~repro.phy.frontend.ChannelFrontend` described.
 
         ``rate`` is the code rate folded into the Eb/N0 conversion (take
         it from the :class:`CodingSpec` riding the same scenario);
         ``kind`` overrides the spec's :attr:`frontend` field, e.g. to
         force the waveform chain for a ``method="waveform"`` cross-layer
-        derivation.
+        derivation.  The ``"measured"`` frontend additionally needs the
+        :class:`~repro.instrument.ChannelDataset` to replay (``dataset``)
+        and optionally the link distance whose sweep to pick
+        (``distance_m``, defaulting to the dataset's first sweep).
         """
         from repro.phy.frontend import BpskAwgnFrontend, OneBitWaveformFrontend
 
@@ -203,6 +257,19 @@ class PhySpec(SpecBase):
         _check_choice("frontend", kind, self.FRONTENDS)
         if kind == "bpsk-awgn":
             return BpskAwgnFrontend(rate=float(rate))
+        if kind == "measured":
+            if dataset is None:
+                raise ValueError(
+                    "the 'measured' frontend needs a channel dataset; pass "
+                    "make_frontend(dataset=...) — typically resolved from "
+                    "ChannelSpec.dataset")
+            from repro.phy.measured import MeasuredChannelFrontend
+
+            return MeasuredChannelFrontend.from_dataset(
+                dataset, distance_m=distance_m,
+                rate=float(rate), base_pulse=self.make_pulse(),
+                constellation=self.make_constellation(),
+                detector=self.detector)
         return OneBitWaveformFrontend(pulse=self.make_pulse(),
                                       constellation=self.make_constellation(),
                                       rate=float(rate),

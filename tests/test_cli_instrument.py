@@ -1,0 +1,126 @@
+"""Tests for the `acquire` and `datasets` CLI verbs."""
+
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.store import DiskStore
+from repro.instrument import ChannelDataset
+
+
+def _acquire(tmp_path, *extra):
+    datasets = str(tmp_path / "datasets")
+    assert main(["acquire", "--environment", "parallel-copper-boards",
+                 "--distances", "0.05,0.1", "--n-points", "48",
+                 "--seed", "7", "--datasets", datasets, *extra]) == 0
+    return datasets
+
+
+class TestAcquire:
+    def test_acquire_writes_a_loadable_dataset(self, tmp_path, capsys):
+        datasets = _acquire(tmp_path)
+        out = capsys.readouterr().out
+        assert "acquired 2 sweep(s)" in out
+        key = out.split("content key ")[1].strip()
+        dataset = ChannelDataset.load(os.path.join(datasets, key + ".json"))
+        assert dataset.content_key == key
+        assert dataset.metadata["plan"]["seed"] == 7
+
+    def test_acquire_is_deterministic(self, tmp_path, capsys):
+        _acquire(tmp_path / "a")
+        first = capsys.readouterr().out.split("content key ")[1].strip()
+        _acquire(tmp_path / "b")
+        second = capsys.readouterr().out.split("content key ")[1].strip()
+        assert first == second
+
+    def test_quiet_still_prints_the_machine_parsable_key(self, tmp_path,
+                                                         capsys):
+        _acquire(tmp_path, "--quiet")
+        out = capsys.readouterr().out
+        assert out.startswith("content key ")
+        assert len(out.splitlines()) == 1
+
+    def test_acquire_can_mirror_into_a_disk_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        _acquire(tmp_path, "--store", store_dir)
+        key = capsys.readouterr().out.split("content key ")[1].strip()
+        assert key in DiskStore(store_dir)
+
+    def test_out_overrides_the_datasets_dir(self, tmp_path, capsys):
+        out_path = str(tmp_path / "campaign.json")
+        _acquire(tmp_path, "--out", out_path)
+        capsys.readouterr()
+        assert os.path.isfile(out_path)
+
+    def test_bad_distances_fail_loudly(self, tmp_path):
+        with pytest.raises(SystemExit, match="comma-separated"):
+            main(["acquire", "--distances", "five centimetres",
+                  "--seed", "0", "--datasets", str(tmp_path)])
+
+
+class TestDatasets:
+    def test_list_shows_acquired_datasets(self, tmp_path, capsys):
+        datasets = _acquire(tmp_path)
+        capsys.readouterr()
+        assert main(["datasets", "list", "--datasets", datasets]) == 0
+        out = capsys.readouterr().out
+        assert "parallel copper boards" in out
+        assert "2 sweep(s)" in out
+
+    def test_list_json_is_machine_readable(self, tmp_path, capsys):
+        datasets = _acquire(tmp_path)
+        key = capsys.readouterr().out.split("content key ")[1].strip()
+        assert main(["datasets", "list", "--datasets", datasets,
+                     "--json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert [row["content_key"] for row in rows] == [key]
+
+    def test_list_skips_non_dataset_json_files(self, tmp_path, capsys):
+        datasets = _acquire(tmp_path)
+        capsys.readouterr()
+        with open(os.path.join(datasets, "notes.json"), "w") as stream:
+            stream.write('{"not": "a dataset"}')
+        with open(os.path.join(datasets, "broken.json"), "w") as stream:
+            stream.write("{nope")
+        assert main(["datasets", "list", "--datasets", datasets,
+                     "--json"]) == 0
+        assert len(json.loads(capsys.readouterr().out)) == 1
+
+    def test_list_of_an_empty_directory(self, tmp_path, capsys):
+        assert main(["datasets", "list", "--datasets",
+                     str(tmp_path / "nowhere")]) == 0
+        assert "no datasets" in capsys.readouterr().out
+
+    def test_describe_by_key_emits_compact_json(self, tmp_path, capsys):
+        datasets = _acquire(tmp_path)
+        key = capsys.readouterr().out.split("content key ")[1].strip()
+        assert main(["datasets", "describe", key, "--datasets", datasets,
+                     "--json"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("\n") == 1               # one line + newline
+        payload = json.loads(out)
+        assert payload["content_key"] == key
+        assert payload["n_sweeps"] == 2
+        assert payload["metadata"]["plan"]["seed"] == 7
+
+    def test_describe_resolves_from_a_disk_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "store")
+        _acquire(tmp_path, "--store", store_dir)
+        key = capsys.readouterr().out.split("content key ")[1].strip()
+        # empty datasets dir: resolution must come from the store
+        assert main(["datasets", "describe", key,
+                     "--datasets", str(tmp_path / "empty"),
+                     "--store", store_dir, "--json"]) == 0
+        assert json.loads(capsys.readouterr().out)["content_key"] == key
+
+    def test_describe_without_a_reference_fails(self, tmp_path):
+        with pytest.raises(SystemExit, match="reference"):
+            main(["datasets", "describe"])
+
+    def test_describe_unknown_key_reports_an_error(self, tmp_path, capsys):
+        code = main(["datasets", "describe", "e" * 64,
+                     "--datasets", str(tmp_path)])
+        assert code == 2
+        assert "error" in capsys.readouterr().err

@@ -1,0 +1,216 @@
+"""Tests for the versioned, content-addressed ChannelDataset format."""
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.store import DiskStore, MemoryStore
+from repro.instrument import (
+    DATASET_FORMAT,
+    DATASET_VERSION,
+    AcquisitionPlan,
+    ChannelDataset,
+    SimulatedVna,
+    acquire_dataset,
+    dataset_reference_key,
+    is_content_key,
+    resolve_dataset,
+)
+from repro.instrument.driver import InstrumentStateError
+from repro.utils.hashing import content_hash
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    plan = AcquisitionPlan(distances_m=(0.05, 0.1), seed=11,
+                           environment="parallel copper boards",
+                           n_points=64, name="unit-test campaign")
+    with SimulatedVna(seed=plan.seed) as vna:
+        return acquire_dataset(vna, plan)
+
+
+class TestAcquisition:
+    def test_needs_a_connected_instrument(self):
+        plan = AcquisitionPlan(distances_m=(0.1,), seed=0)
+        with pytest.raises(InstrumentStateError, match="connected"):
+            acquire_dataset(SimulatedVna(seed=0), plan)
+
+    def test_plan_validates_inputs(self):
+        with pytest.raises(ValueError, match="at least one distance"):
+            AcquisitionPlan(distances_m=(), seed=0)
+        with pytest.raises(ValueError, match="positive"):
+            AcquisitionPlan(distances_m=(0.0,), seed=0)
+        with pytest.raises(ValueError, match="environment"):
+            AcquisitionPlan(distances_m=(0.1,), seed=0,
+                            environment="office")
+        with pytest.raises(ValueError, match="two frequency points"):
+            AcquisitionPlan(distances_m=(0.1,), seed=0, n_points=1)
+
+    def test_plan_seed_is_required(self):
+        with pytest.raises(TypeError):
+            AcquisitionPlan(distances_m=(0.1,))
+
+    def test_metadata_records_full_provenance(self, dataset):
+        meta = dataset.metadata
+        assert "SimulatedVna" in meta["instrument"]
+        assert meta["configuration"]["seed"] == 11
+        assert meta["configuration"]["n_points"] == 64
+        assert meta["plan"]["distances_m"] == [0.05, 0.1]
+        assert meta["plan"]["seed"] == 11
+        assert meta["name"] == "unit-test campaign"
+
+    def test_sweeps_follow_the_plan_grid(self, dataset):
+        assert dataset.distances_m == (0.05, 0.1)
+        assert all(sweep.scenario == "parallel copper boards"
+                   for sweep in dataset.sweeps)
+        assert all(sweep.n_points == 64 for sweep in dataset.sweeps)
+
+    def test_same_plan_reproduces_the_same_content_key(self, dataset):
+        plan = AcquisitionPlan(distances_m=(0.05, 0.1), seed=11,
+                               environment="parallel copper boards",
+                               n_points=64, name="unit-test campaign")
+        with SimulatedVna(seed=plan.seed) as vna:
+            again = acquire_dataset(vna, plan)
+        assert again.content_key == dataset.content_key
+        assert again.to_json() == dataset.to_json()
+
+    def test_distinct_seeds_produce_distinct_datasets(self):
+        def acquire(seed):
+            plan = AcquisitionPlan(distances_m=(0.1,), seed=seed,
+                                   n_points=64)
+            with SimulatedVna(seed=plan.seed) as vna:
+                return acquire_dataset(vna, plan)
+
+        assert acquire(1).content_key != acquire(2).content_key
+
+
+class TestSerialization:
+    def test_round_trip_is_exact(self, dataset):
+        rebuilt = ChannelDataset.from_dict(dataset.to_dict())
+        assert rebuilt.to_json() == dataset.to_json()
+        assert rebuilt.content_key == dataset.content_key
+        for original, copy in zip(dataset.sweeps, rebuilt.sweeps):
+            np.testing.assert_array_equal(original.s21, copy.s21)
+
+    def test_envelope_carries_format_and_version(self, dataset):
+        data = dataset.to_dict()
+        assert data["format"] == DATASET_FORMAT
+        assert data["version"] == DATASET_VERSION
+
+    def test_wrong_format_is_rejected(self, dataset):
+        data = dict(dataset.to_dict(), format="something-else")
+        with pytest.raises(ValueError, match="not a channel dataset"):
+            ChannelDataset.from_dict(data)
+
+    def test_future_version_is_rejected(self, dataset):
+        data = dict(dataset.to_dict(), version=DATASET_VERSION + 1)
+        with pytest.raises(ValueError, match="version"):
+            ChannelDataset.from_dict(data)
+
+    def test_unknown_fields_are_rejected(self, dataset):
+        data = dict(dataset.to_dict(), extra=1)
+        with pytest.raises(ValueError, match="unknown"):
+            ChannelDataset.from_dict(data)
+
+    def test_empty_dataset_is_rejected(self):
+        with pytest.raises(ValueError, match="at least one sweep"):
+            ChannelDataset(sweeps=())
+
+    def test_content_key_is_the_hash_of_the_canonical_dict(self, dataset):
+        assert dataset.content_key == content_hash(dataset.to_dict())
+        assert is_content_key(dataset.content_key)
+
+    def test_file_round_trip(self, dataset, tmp_path):
+        path = str(tmp_path / "nested" / "campaign.json")
+        key = dataset.save(path)
+        assert key == dataset.content_key
+        loaded = ChannelDataset.load(path)
+        assert loaded.content_key == key
+
+    def test_describe_summarizes_grid_and_provenance(self, dataset):
+        summary = dataset.describe()
+        assert summary["content_key"] == dataset.content_key
+        assert summary["n_sweeps"] == 2
+        assert summary["distances_m"] == [0.05, 0.1]
+        assert summary["scenarios"] == ["parallel copper boards"]
+        assert summary["metadata"]["plan"]["seed"] == 11
+        # The summary must itself be JSON-serializable (CLI --json path).
+        json.dumps(summary)
+
+    def test_sweep_near_picks_the_closest_distance(self, dataset):
+        assert dataset.sweep_near(0.04).distance_m == 0.05
+        assert dataset.sweep_near(0.4).distance_m == 0.1
+
+
+class TestStoreIntegration:
+    def test_store_and_fetch_round_trip(self, dataset):
+        store = MemoryStore()
+        key = dataset.store(store)
+        assert key == dataset.content_key
+        fetched = ChannelDataset.from_store(store, key)
+        assert fetched.to_json() == dataset.to_json()
+
+    def test_corrupt_store_entry_is_rejected(self, dataset):
+        store = MemoryStore()
+        key = dataset.store(store)
+        tampered = dataset.to_dict()
+        tampered["metadata"] = dict(tampered["metadata"], name="tampered")
+        store.put(key, tampered)       # mislabeled: content no longer hashes to key
+        with pytest.raises(ValueError, match="corrupt or mislabeled"):
+            ChannelDataset.from_store(store, key)
+
+    def test_disk_store_round_trip(self, dataset, tmp_path):
+        store = DiskStore(str(tmp_path / "store"))
+        key = dataset.store(store)
+        fetched = ChannelDataset.from_store(store, key)
+        assert fetched.content_key == key
+
+
+class TestResolution:
+    def test_resolves_a_file_path(self, dataset, tmp_path):
+        path = str(tmp_path / "d.json")
+        dataset.save(path)
+        assert resolve_dataset(path).content_key == dataset.content_key
+
+    def test_resolves_a_content_key_from_a_store(self, dataset):
+        store = MemoryStore()
+        key = dataset.store(store)
+        resolved = resolve_dataset(key, store=store)
+        assert resolved.content_key == key
+
+    def test_resolves_a_content_key_from_the_datasets_dir(self, dataset,
+                                                          tmp_path):
+        key = dataset.content_key
+        dataset.save(str(tmp_path / (key + ".json")))
+        resolved = resolve_dataset(key, directory=str(tmp_path))
+        assert resolved.content_key == key
+
+    def test_mismatched_dataset_file_is_rejected(self, dataset, tmp_path):
+        wrong_key = "0" * 64
+        dataset.save(str(tmp_path / (wrong_key + ".json")))
+        with pytest.raises(ValueError, match="hashes to"):
+            resolve_dataset(wrong_key, directory=str(tmp_path))
+
+    def test_missing_key_explains_how_to_acquire(self, tmp_path):
+        with pytest.raises(ValueError, match="acquire"):
+            resolve_dataset("f" * 64, directory=str(tmp_path))
+
+    def test_garbage_reference_is_rejected(self):
+        with pytest.raises(ValueError, match="neither"):
+            resolve_dataset("not-a-path-nor-a-key")
+
+    def test_reference_key_canonicalizes_path_and_key_alike(self, dataset,
+                                                            tmp_path):
+        path = str(tmp_path / "d.json")
+        dataset.save(path)
+        key = dataset.content_key
+        assert dataset_reference_key(path) == key
+        assert dataset_reference_key(key) == key   # no I/O needed
+
+    def test_is_content_key_is_strict(self):
+        assert is_content_key("a" * 64)
+        assert not is_content_key("A" * 64)        # lowercase hex only
+        assert not is_content_key("a" * 63)
+        assert not is_content_key("g" * 64)

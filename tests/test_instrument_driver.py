@@ -1,0 +1,174 @@
+"""Tests for the abstract Instrument driver and the SimulatedVna backend."""
+
+import numpy as np
+import pytest
+
+from repro.channel.measurement import FrequencySweep
+from repro.instrument import (
+    ENVIRONMENTS,
+    Instrument,
+    InstrumentError,
+    InstrumentStateError,
+    SimulatedVna,
+    UnsupportedCapabilityError,
+)
+
+
+class TestLifecycle:
+    def test_context_manager_connects_and_disconnects(self):
+        vna = SimulatedVna(seed=0)
+        assert not vna.is_connected
+        with vna as connected:
+            assert connected is vna
+            assert vna.is_connected
+        assert not vna.is_connected
+
+    def test_double_connect_is_a_state_error(self):
+        with SimulatedVna(seed=0) as vna:
+            with pytest.raises(InstrumentStateError):
+                vna.connect()
+
+    def test_disconnect_is_idempotent(self):
+        vna = SimulatedVna(seed=0)
+        vna.connect()
+        vna.disconnect()
+        vna.disconnect()          # no error: like closing a closed socket
+        assert not vna.is_connected
+
+    def test_configure_before_connect_is_a_state_error(self):
+        with pytest.raises(InstrumentStateError):
+            SimulatedVna(seed=0).configure(n_points=64)
+
+    def test_sweep_before_connect_is_a_state_error(self):
+        with pytest.raises(InstrumentStateError):
+            SimulatedVna(seed=0).sweep(distance_m=0.1)
+
+    def test_fetch_without_sweep_is_a_state_error(self):
+        with SimulatedVna(seed=0) as vna:
+            with pytest.raises(InstrumentStateError, match="sweep"):
+                vna.fetch()
+
+    def test_fetch_is_one_shot(self):
+        with SimulatedVna(seed=0) as vna:
+            sweep = vna.sweep(distance_m=0.1).fetch()
+            assert isinstance(sweep, FrequencySweep)
+            with pytest.raises(InstrumentStateError):
+                vna.fetch()
+
+    def test_disconnect_drops_a_pending_sweep(self):
+        vna = SimulatedVna(seed=0)
+        vna.connect()
+        vna.sweep(distance_m=0.1)
+        vna.disconnect()
+        vna.connect()
+        with pytest.raises(InstrumentStateError):
+            vna.fetch()
+
+
+class TestTypedErrors:
+    def test_error_hierarchy(self):
+        assert issubclass(InstrumentStateError, InstrumentError)
+        assert issubclass(UnsupportedCapabilityError, InstrumentError)
+        assert issubclass(InstrumentError, RuntimeError)
+
+    def test_unknown_setting_names_the_capability(self):
+        with SimulatedVna(seed=0) as vna:
+            with pytest.raises(UnsupportedCapabilityError) as info:
+                vna.configure(averaging_factor=16)
+        assert info.value.capability == "averaging_factor"
+        assert "n_points" in str(info.value)   # names the supported set
+
+    def test_unknown_setting_leaves_configuration_untouched(self):
+        with SimulatedVna(seed=0) as vna:
+            before = vna.settings
+            with pytest.raises(UnsupportedCapabilityError):
+                vna.configure(bogus=1)
+            assert vna.settings == before
+
+    def test_invalid_value_is_rejected_before_commit(self):
+        with SimulatedVna(seed=0) as vna:
+            before = vna.settings
+            with pytest.raises(ValueError):
+                vna.configure(n_points=1)     # a sweep needs >= 2 points
+            assert vna.settings == before
+
+
+class TestSimulatedVna:
+    def test_identify_names_the_driver_and_grid(self):
+        with SimulatedVna(seed=0, n_points=128) as vna:
+            idn = vna.identify()
+        assert "SimulatedVna" in idn
+        assert "n_points=128" in idn
+
+    def test_capabilities_cover_the_documented_settings(self):
+        caps = SimulatedVna(seed=0).capabilities()
+        assert {"start_frequency_hz", "stop_frequency_hz", "n_points",
+                "noise_floor_db", "board_separation_m", "seed"} <= set(caps)
+
+    def test_constructor_settings_go_through_configure_validation(self):
+        vna = SimulatedVna(seed=0, nonsense=3)
+        with pytest.raises(UnsupportedCapabilityError):
+            vna.connect()
+
+    def test_seed_is_mandatory(self):
+        class NoSeed(SimulatedVna):
+            def __init__(self):
+                Instrument.__init__(self, name="no-seed")
+                self._initial_settings = {}
+                self._vna = None
+
+        with pytest.raises(ValueError, match="seed"):
+            NoSeed().connect()
+
+    def test_environments_are_the_papers_two_setups(self):
+        assert ENVIRONMENTS == ("freespace", "parallel copper boards")
+
+    def test_unknown_environment_is_rejected(self):
+        with SimulatedVna(seed=0) as vna:
+            with pytest.raises(ValueError, match="environment"):
+                vna.sweep(distance_m=0.1, environment="anechoic chamber")
+
+    def test_same_seed_same_sweep(self):
+        def one_sweep(seed):
+            with SimulatedVna(seed=seed, n_points=64) as vna:
+                return vna.sweep(distance_m=0.1).fetch()
+
+        first, second = one_sweep(7), one_sweep(7)
+        np.testing.assert_array_equal(first.s21, second.s21)
+        np.testing.assert_array_equal(first.frequencies_hz,
+                                      second.frequencies_hz)
+
+    def test_reconfiguring_the_seed_rearms_the_noise_stream(self):
+        with SimulatedVna(seed=3, n_points=64) as vna:
+            first = vna.sweep(distance_m=0.1).fetch()
+            second = vna.sweep(distance_m=0.1).fetch()
+            vna.configure(seed=3)              # re-arm
+            replay = vna.sweep(distance_m=0.1).fetch()
+        # consecutive sweeps draw fresh noise ...
+        assert not np.array_equal(first.s21, second.s21)
+        # ... but re-seeding replays the stream from the start
+        np.testing.assert_array_equal(first.s21, replay.s21)
+
+    def test_distinct_seeds_differ(self):
+        def one_sweep(seed):
+            with SimulatedVna(seed=seed, n_points=64) as vna:
+                return vna.sweep(distance_m=0.1).fetch()
+
+        assert not np.array_equal(one_sweep(1).s21, one_sweep(2).s21)
+
+    def test_copper_board_sweep_uses_the_configured_separation(self):
+        def echoes(separation):
+            from repro.channel.impulse_response import (
+                sweep_to_impulse_response,
+            )
+            with SimulatedVna(seed=0, n_points=512,
+                              board_separation_m=separation) as vna:
+                sweep = vna.sweep(distance_m=0.1,
+                                  environment="parallel copper boards"
+                                  ).fetch()
+            response = sweep_to_impulse_response(sweep)
+            return [delay for delay, _ in
+                    response.peaks(threshold_below_los_db=20.0)]
+
+        # Wider board spacing pushes the dominant copper echo later.
+        assert max(echoes(0.08)) > max(echoes(0.05))

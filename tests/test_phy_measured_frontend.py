@@ -1,0 +1,119 @@
+"""Tests for MeasuredChannelFrontend: the ChannelFrontend over measured data."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.instrument import AcquisitionPlan, SimulatedVna, acquire_dataset
+from repro.phy import (
+    BpskAwgnFrontend,
+    ChannelFrontend,
+    MeasuredChannelFrontend,
+    Pulse,
+)
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    plan = AcquisitionPlan(distances_m=(0.05, 0.1, 0.15), seed=11,
+                           environment="parallel copper boards",
+                           n_points=128)
+    with SimulatedVna(seed=plan.seed) as vna:
+        return acquire_dataset(vna, plan)
+
+
+@pytest.fixture(scope="module")
+def frontend(dataset):
+    return MeasuredChannelFrontend.from_dataset(dataset, distance_m=0.1)
+
+
+class TestProtocol:
+    def test_satisfies_the_channel_frontend_protocol(self, frontend):
+        assert isinstance(frontend, ChannelFrontend)
+
+    def test_reports_rate_and_sampling(self, frontend):
+        assert frontend.bits_per_channel_use > 0
+        assert frontend.samples_per_bit > 0
+        assert np.isfinite(frontend.snr_db(6.0))
+
+    def test_from_dataset_picks_the_nearest_sweep(self, dataset):
+        frontend = MeasuredChannelFrontend.from_dataset(dataset,
+                                                        distance_m=0.16)
+        assert frontend.sweep.distance_m == 0.15
+        default = MeasuredChannelFrontend.from_dataset(dataset)
+        assert default.sweep.distance_m == dataset.sweeps[0].distance_m
+
+
+class TestEchoComposition:
+    def test_copper_board_echoes_are_detected(self, frontend):
+        assert frontend.echoes            # at least the copper-board bounce
+        for excess_s, amplitude in frontend.echoes:
+            assert excess_s > 0.0
+            # the paper's headline margin: every echo >= ~15 dB below LoS
+            assert amplitude < 10.0 ** (-14.0 / 20.0)
+
+    def test_composite_pulse_is_normalized_and_span_capped(self, frontend):
+        pulse = frontend.pulse
+        assert pulse.span_symbols <= frontend.max_span_symbols
+        # normalized() scales to unit average power per sample — the
+        # equal-transmit-power convention every pulse design follows.
+        assert np.isclose(pulse.average_power_per_sample, 1.0)
+
+    def test_freespace_echoes_are_weaker_than_copper(self, dataset):
+        plan = AcquisitionPlan(distances_m=(0.1,), seed=11,
+                               environment="freespace", n_points=128)
+        with SimulatedVna(seed=plan.seed) as vna:
+            freespace = acquire_dataset(vna, plan)
+        copper = MeasuredChannelFrontend.from_dataset(dataset,
+                                                      distance_m=0.1)
+        free = MeasuredChannelFrontend.from_dataset(freespace)
+        strongest = lambda fe: max((a for _, a in fe.echoes), default=0.0)
+        assert strongest(free) < strongest(copper)
+
+    def test_span_must_cover_the_base_pulse(self, dataset):
+        wide = Pulse(taps=np.ones(20), oversampling=5,
+                     name="four-symbol test pulse").normalized()
+        with pytest.raises(ValueError, match="max_span_symbols"):
+            MeasuredChannelFrontend.from_dataset(
+                dataset, base_pulse=wide, max_span_symbols=3)
+
+    def test_parameter_validation(self, dataset):
+        with pytest.raises(ValueError, match="symbol_rate_hz"):
+            MeasuredChannelFrontend.from_dataset(dataset,
+                                                 symbol_rate_hz=0.0)
+        with pytest.raises(ValueError, match="echo_threshold_db"):
+            MeasuredChannelFrontend.from_dataset(dataset,
+                                                 echo_threshold_db=-1.0)
+
+
+class TestTransmission:
+    def test_llrs_are_finite_and_deterministic(self, frontend):
+        bits = np.arange(200) % 2
+        first = frontend.transmit_llrs(bits, ebn0_db=8.0, rng=5)
+        second = frontend.transmit_llrs(bits, ebn0_db=8.0, rng=5)
+        assert np.all(np.isfinite(first))
+        np.testing.assert_array_equal(first, second)
+
+    def test_pickle_round_trip_preserves_behaviour(self, frontend):
+        clone = pickle.loads(pickle.dumps(frontend))
+        bits = np.arange(120) % 2
+        np.testing.assert_array_equal(
+            frontend.transmit_llrs(bits, ebn0_db=8.0, rng=3),
+            clone.transmit_llrs(bits, ebn0_db=8.0, rng=3))
+
+    def test_measured_channel_is_harder_than_ideal_bpsk(self, frontend):
+        # Same Eb/N0, same bits: the 1-bit measured-echo chain must make
+        # more raw decisions errors than the ideal BPSK/AWGN baseline —
+        # the right-shift the measured scenarios assert at the coded
+        # level.
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, 4000)
+        ideal = BpskAwgnFrontend(rate=frontend.rate)
+
+        def raw_error_rate(fe):
+            llrs = fe.transmit_llrs(bits, ebn0_db=6.0, rng=1)
+            hard = (llrs < 0).astype(int)
+            return np.mean(hard != bits[:hard.size])
+
+        assert raw_error_rate(frontend) > raw_error_rate(ideal)

@@ -1,0 +1,193 @@
+"""Tests for the measured-channel scenarios and dataset cache-key threading."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.instrument import AcquisitionPlan, SimulatedVna, acquire_dataset
+from repro.scenarios import (
+    ChannelSpec,
+    build_scenario,
+    describe_scenario,
+    run_scenario,
+    scenario_names,
+)
+
+MEASURED_SCENARIOS = {
+    "measured-channel-coded-ber-sweep",
+    "measured-freespace-vs-copper",
+}
+
+#: Fast override set for the coded-BER sweep: loosest CI the spec allows,
+#: tiny code, so the full adaptive pipeline still runs in seconds.
+FAST = {"coding.lifting_factor": 13, "coding.termination_length": 6,
+        "precision.max_codewords": 8, "precision.min_codewords": 2,
+        "precision.rel_ci_target": 0.9, "precision.min_errors": 2}
+
+
+@pytest.fixture(scope="module")
+def small_dataset(tmp_path_factory):
+    plan = AcquisitionPlan(distances_m=(0.1,), seed=23,
+                           environment="parallel copper boards",
+                           n_points=96)
+    with SimulatedVna(seed=plan.seed) as vna:
+        dataset = acquire_dataset(vna, plan)
+    path = str(tmp_path_factory.mktemp("datasets") / "small.json")
+    dataset.save(path)
+    return dataset, path
+
+
+class TestRegistry:
+    def test_measured_scenarios_are_registered(self):
+        assert MEASURED_SCENARIOS <= set(scenario_names())
+
+    def test_build_and_describe(self):
+        for name in sorted(MEASURED_SCENARIOS):
+            description = describe_scenario(name)
+            assert description["scenario"] == name
+            assert description["n_points"] > 0
+
+    def test_coded_ber_sweep_records_the_dataset_content_key(self):
+        scenario = build_scenario("measured-channel-coded-ber-sweep")
+        recorded = scenario.specs["channel"].dataset
+        assert recorded is not None and len(recorded) == 64
+        assert scenario.describe()["specs"]["channel"]["dataset"] == recorded
+
+
+class TestCacheKeyThreading:
+    def test_cache_dict_canonicalizes_path_to_content_key(self,
+                                                          small_dataset):
+        dataset, path = small_dataset
+        by_path = ChannelSpec(dataset=path)
+        by_key = ChannelSpec(dataset=dataset.content_key)
+        assert by_path.to_dict() != by_key.to_dict()      # paths differ ...
+        assert by_path.cache_dict() == by_key.cache_dict()  # ... keys don't
+        assert by_path.cache_dict()["dataset"] == dataset.content_key
+
+    def test_scenario_cache_key_is_path_independent(self, small_dataset,
+                                                    monkeypatch):
+        dataset, path = small_dataset
+        via_path = build_scenario("measured-channel-coded-ber-sweep",
+                                  {"channel.dataset": path})
+        monkeypatch.setenv("REPRO_DATASETS", os.path.dirname(path))
+        dataset.save(os.path.join(os.path.dirname(path),
+                                  dataset.content_key + ".json"))
+        via_key = build_scenario("measured-channel-coded-ber-sweep",
+                                 {"channel.dataset": dataset.content_key})
+        # Both reference styles canonicalize to the same recorded key and
+        # the same computation identity — path never enters the hash.
+        assert via_path.specs["channel"].dataset == dataset.content_key
+        assert via_path.cache_key() == via_key.cache_key()
+
+    def test_default_spec_has_no_dataset(self):
+        assert ChannelSpec().dataset is None
+        assert ChannelSpec().cache_dict()["dataset"] is None
+
+    def test_empty_dataset_reference_is_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ChannelSpec(dataset="")
+
+
+class TestMeasuredCodedBerSweep:
+    @pytest.fixture(scope="class")
+    def result(self, small_dataset):
+        _, path = small_dataset
+        return run_scenario("measured-channel-coded-ber-sweep", rng=0,
+                            overrides=dict(FAST, **{
+                                "channel.dataset": path}))
+
+    def test_measured_curve_is_finite_and_right_shifted(self, result):
+        curves = {}
+        for point in result.points:
+            curves.setdefault(point["params"]["frontend"], []).append(
+                (point["params"]["ebn0_db"], point["value"]["bit_error_rate"]))
+        assert set(curves) == {"bpsk-awgn", "measured"}
+        for frontend, curve in curves.items():
+            assert all(np.isfinite(ber) for _, ber in curve), frontend
+        # Right shift: at every shared Eb/N0 the measured (1-bit + echo)
+        # chain is no better than ideal BPSK, and strictly worse at the
+        # low end where BPSK has already fallen off its waterfall.
+        bpsk = dict(curves["bpsk-awgn"])
+        measured = dict(curves["measured"])
+        assert all(measured[e] >= bpsk[e] for e in bpsk)
+        lowest = min(bpsk)
+        assert measured[lowest] > bpsk[lowest]
+
+    def test_result_is_deterministic_given_the_seed(self, result,
+                                                    small_dataset):
+        _, path = small_dataset
+        again = run_scenario("measured-channel-coded-ber-sweep", rng=0,
+                             overrides=dict(FAST, **{
+                                 "channel.dataset": path}))
+        assert again.to_json() == result.to_json()
+
+
+class TestMeasuredEnvironmentSweep:
+    def test_recovers_the_papers_fig1_exponents(self):
+        result = run_scenario("measured-freespace-vs-copper", rng=0,
+                              overrides={"acquire.n_points": 128})
+        values = {point["params"]["environment"]: point["value"]
+                  for point in result.points}
+        assert abs(values["freespace"]["fitted_exponent"] - 2.0) < 0.01
+        copper = values["parallel copper boards"]
+        assert abs(copper["fitted_exponent"] - 2.0454) < 0.05
+        # the headline reflection margin: every echo >= ~15 dB below LoS
+        for value in values.values():
+            assert value["min_reflection_margin_db"] > 14.0
+            assert len(value["content_key"]) == 64
+
+
+class TestEndToEndReplay:
+    @staticmethod
+    def _module_env():
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+        env["PYTHONPATH"] = os.path.abspath(src) + os.pathsep + \
+            env.get("PYTHONPATH", "")
+        return env
+
+    def test_separate_processes_share_every_measured_tally(self, tmp_path):
+        """The PR's acceptance claim, end to end: acquire once, then two
+        fresh processes replaying the same dataset over a shared DiskStore
+        produce byte-identical results, the second without simulating a
+        single new codeword."""
+        env = self._module_env()
+        store = str(tmp_path / "store")
+        datasets = str(tmp_path / "datasets")
+        env["REPRO_DATASETS"] = datasets
+
+        acquired = subprocess.run(
+            [sys.executable, "-m", "repro", "acquire",
+             "--environment", "parallel-copper-boards",
+             "--distances", "0.1", "--n-points", "96", "--seed", "23",
+             "--quiet"],
+            capture_output=True, text=True, env=env, check=True)
+        key = acquired.stdout.split("content key ")[1].strip()
+        assert len(key) == 64
+
+        command = [sys.executable, "-m", "repro", "run",
+                   "measured-channel-coded-ber-sweep", "--seed", "0",
+                   "--store", store]
+        for layer_field, value in FAST.items():
+            command += ["--set", f"{layer_field}={value}"]
+        command += ["--set", f"channel.dataset={key}"]
+
+        cold_json = str(tmp_path / "cold.json")
+        warm_json = str(tmp_path / "warm.json")
+        cold = subprocess.run(command + ["--json", cold_json],
+                              capture_output=True, text=True, env=env,
+                              check=True)
+        warm = subprocess.run(command + ["--json", warm_json],
+                              capture_output=True, text=True, env=env,
+                              check=True)
+        assert "simulated 0 new codewords" in warm.stdout
+        assert "simulated 0 new codewords" not in cold.stdout
+        with open(cold_json, "rb") as a, open(warm_json, "rb") as b:
+            cold_bytes, warm_bytes = a.read(), b.read()
+        assert cold_bytes == warm_bytes                # byte-identical JSON
+        payload = json.loads(warm_bytes)
+        assert payload["specs"]["channel"]["dataset"] == key

@@ -1,0 +1,70 @@
+"""The campaign service accepts measured-channel submissions.
+
+The ISSUE's service-level acceptance claim: submitting
+``measured-channel-coded-ber-sweep`` to a running daemon returns a
+payload byte-identical to a local ``run_scenario`` of the same seed and
+overrides — the dataset reference resolves and canonicalizes identically
+on both paths.
+"""
+
+import threading
+
+import pytest
+
+from repro.core.store import MemoryStore
+from repro.instrument import AcquisitionPlan, SimulatedVna, acquire_dataset
+from repro.scenarios import run_scenario
+from repro.service import ServiceClient, serve
+
+SCENARIO = "measured-channel-coded-ber-sweep"
+
+#: Same fast override set as tests/test_scenarios_measured.py.
+FAST = {"coding.lifting_factor": 13, "coding.termination_length": 6,
+        "precision.max_codewords": 8, "precision.min_codewords": 2,
+        "precision.rel_ci_target": 0.9, "precision.min_errors": 2}
+
+
+@pytest.fixture()
+def client():
+    instance = serve(store=MemoryStore(), port=0, n_workers=2,
+                     processes=False)
+    thread = threading.Thread(target=instance.serve_forever, daemon=True)
+    thread.start()
+    try:
+        yield ServiceClient(instance.url, timeout=30.0)
+    finally:
+        instance.stop()
+        instance.server_close()
+
+
+@pytest.fixture(scope="module")
+def dataset_path(tmp_path_factory):
+    plan = AcquisitionPlan(distances_m=(0.1,), seed=23,
+                           environment="parallel copper boards",
+                           n_points=96)
+    with SimulatedVna(seed=plan.seed) as vna:
+        dataset = acquire_dataset(vna, plan)
+    path = str(tmp_path_factory.mktemp("datasets") / "measured.json")
+    dataset.save(path)
+    return path
+
+
+def test_measured_submission_matches_a_local_run(client, dataset_path):
+    overrides = dict(FAST, **{"channel.dataset": dataset_path})
+    job = client.submit(SCENARIO, seed=0, overrides=overrides)
+    done = client.wait(job["job_id"], timeout=300)
+    assert done["status"] == "done"
+    local = run_scenario(SCENARIO, rng=0,
+                         overrides=overrides).to_json().encode("utf-8")
+    assert client.result_bytes(job["job_id"]) == local
+
+
+def test_warm_measured_resubmission_computes_nothing(client, dataset_path):
+    overrides = dict(FAST, **{"channel.dataset": dataset_path})
+    cold = client.submit(SCENARIO, seed=0, overrides=overrides)
+    client.wait(cold["job_id"], timeout=300)
+    warm = client.submit(SCENARIO, seed=0, overrides=overrides)
+    assert warm["status"] == "done"
+    assert warm["computed"] == 0
+    assert client.result_bytes(warm["job_id"]) \
+        == client.result_bytes(cold["job_id"])

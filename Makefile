@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test lint smoke bench scenarios run-scenario run-all noc phy \
-	instrument serve
+	instrument serve backend-smoke
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks.
 test:
@@ -28,6 +28,18 @@ smoke:
 # Every paper figure/table benchmark.
 bench:
 	$(PYTHON) -m pytest -q benchmarks
+
+# The array-backend seam: selection rules, pre-seam bit-exactness
+# digests, and the >=5x kernel-throughput floor vs the frozen pre-seam
+# implementations.
+backend-smoke:
+	$(PYTHON) -m pytest -q tests/test_backend_module.py \
+		tests/test_backend_kernels.py \
+		benchmarks/test_bench_backend_kernels.py
+	$(PYTHON) -m repro bench --json BENCH_kernels.json \
+		--batch-sizes 64 --repeats 1
+	$(PYTHON) -c "import json; r = json.load(open('BENCH_kernels.json')); \
+		assert r['records'], 'empty benchmark report'"
 
 # The scenario registry: list everything runnable by name.
 scenarios:

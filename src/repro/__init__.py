@@ -29,6 +29,12 @@ The library is organised as four substrates plus integration layers:
   deduplication, in-flight request coalescing, interactive-over-bulk
   priority), with :class:`~repro.service.client.ServiceClient` and the
   ``submit``/``status``/``fetch`` CLI verbs as consumers.
+* :mod:`repro.backend` — the pluggable array-backend seam
+  (:class:`~repro.backend.module.ArrayModule`) behind the three hot
+  kernels (batched BP decode, trellis demod, NoC cycle engine): NumPy
+  default, optional accelerator backends resolved lazily via the
+  ``backend=`` knobs or ``REPRO_BACKEND``, plus the ``python -m repro
+  bench`` kernel microbenchmarks.
 * :mod:`repro.instrument` — the acquisition layer: an abstract
   :class:`~repro.instrument.driver.Instrument` driver
   (connect/configure/sweep/fetch) with a
@@ -44,9 +50,15 @@ gives the links, the system, the sweep engine and the scenario registry;
 :mod:`repro.api` is the same facade as a flat importable module.
 """
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
-from repro import channel, coding, core, instrument, noc, phy, utils
+from repro import backend, channel, coding, core, instrument, noc, phy, utils
+from repro.backend import (
+    ArrayModule,
+    available_backends,
+    resolve_backend,
+    resolve_dtype,
+)
 from repro.core import (
     DiskStore,
     LinkReport,
@@ -107,6 +119,7 @@ from repro import api, scenarios, service
 __all__ = [
     # submodules
     "api",
+    "backend",
     "channel",
     "coding",
     "core",
@@ -117,6 +130,11 @@ __all__ = [
     "service",
     "utils",
     "__version__",
+    # array-backend seam
+    "ArrayModule",
+    "available_backends",
+    "resolve_backend",
+    "resolve_dtype",
     # integration layer
     "WirelessBoardLink",
     "LinkReport",

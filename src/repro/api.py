@@ -13,6 +13,13 @@ Everything here is re-exported from its home package; importing
 ``repro.api`` never builds anything.
 """
 
+from repro.backend import (
+    ArrayModule,
+    available_backends,
+    resolve_backend,
+    resolve_dtype,
+    run_kernel_benchmarks,
+)
 from repro.channel import (
     LinkBudget,
     LinkBudgetParameters,
@@ -76,6 +83,11 @@ from repro.service import (
 )
 
 __all__ = [
+    "ArrayModule",
+    "available_backends",
+    "resolve_backend",
+    "resolve_dtype",
+    "run_kernel_benchmarks",
     "LinkBudget",
     "LinkBudgetParameters",
     "PAPER_LINK_BUDGET",

@@ -1,0 +1,50 @@
+"""Pluggable array backends for the hot kernels (NumPy default).
+
+Public surface:
+
+* :class:`~repro.backend.module.ArrayModule` — the seam object.
+* :func:`~repro.backend.module.resolve_backend` /
+  :func:`~repro.backend.module.resolve_dtype` — knob normalisation.
+* :func:`~repro.backend.module.available_backends` — what is installed.
+* :class:`~repro.backend.module.UnknownBackendError` /
+  :class:`~repro.backend.module.BackendFallbackWarning` — typed failure
+  modes.
+* :func:`~repro.backend.bench.run_kernel_benchmarks` — the
+  ``python -m repro bench`` microbenchmark engine.
+"""
+
+from repro.backend.bench import (
+    KERNELS,
+    format_report,
+    run_kernel_benchmarks,
+)
+from repro.backend.module import (
+    BACKEND_ENV_VAR,
+    KNOWN_BACKENDS,
+    SUPPORTED_DTYPES,
+    ArrayModule,
+    BackendFallbackWarning,
+    NUMPY_MODULE,
+    UnknownBackendError,
+    available_backends,
+    numpy_compat_module,
+    resolve_backend,
+    resolve_dtype,
+)
+
+__all__ = [
+    "ArrayModule",
+    "BackendFallbackWarning",
+    "BACKEND_ENV_VAR",
+    "KERNELS",
+    "KNOWN_BACKENDS",
+    "NUMPY_MODULE",
+    "SUPPORTED_DTYPES",
+    "UnknownBackendError",
+    "available_backends",
+    "format_report",
+    "numpy_compat_module",
+    "resolve_backend",
+    "resolve_dtype",
+    "run_kernel_benchmarks",
+]

@@ -1,0 +1,199 @@
+"""The array-module seam: one object describing *where* arrays live.
+
+The three hot kernels (batched BP decoding, the batched trellis demod and
+the NoC cycle engine) are written against an :class:`ArrayModule` — a
+small frozen descriptor bundling a numpy-like namespace (``xp``) with the
+capability flags and host-transfer hooks the kernels need.  NumPy is the
+always-available default; CuPy, JAX and torch register behind guarded
+imports (see :mod:`repro.backend.optional`) so that merely *naming* them
+never imports anything heavy, and naming one that is not installed
+degrades to NumPy with a single warning instead of an ImportError deep
+inside a sweep.
+
+Selection
+---------
+Every kernel constructor takes ``backend=`` (a name or an
+:class:`ArrayModule`); ``None`` defers to the ``REPRO_BACKEND``
+environment variable and finally to ``"numpy"``.  Unknown names raise
+:class:`UnknownBackendError` listing the valid choices — a typo should
+fail loudly, only a *known but uninstalled* backend falls back.
+
+Dtypes
+------
+``resolve_dtype`` normalises the kernel ``dtype=`` knob to float64 (the
+bit-exact default) or float32 (the fast SIMD path).  Kernels guarantee
+byte-identical results only for the NumPy/float64 combination; float32
+results are validated statistically (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional, Union
+
+import numpy as np
+
+#: Environment variable consulted when no explicit backend is passed.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+#: Names the seam knows about (installed or not), in registry order.
+KNOWN_BACKENDS = ("numpy", "cupy", "jax", "torch")
+
+#: Dtype spellings accepted by ``resolve_dtype``.
+SUPPORTED_DTYPES = ("float64", "float32")
+
+
+class UnknownBackendError(ValueError):
+    """An array backend name the registry has never heard of."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.valid = KNOWN_BACKENDS
+        super().__init__(
+            f"unknown array backend {name!r}; valid choices are "
+            f"{', '.join(KNOWN_BACKENDS)} (set via backend= or the "
+            f"{BACKEND_ENV_VAR} environment variable)")
+
+
+class BackendFallbackWarning(UserWarning):
+    """A known backend is not installed; the kernel runs on NumPy."""
+
+
+@dataclass(frozen=True)
+class ArrayModule:
+    """A numpy-like namespace plus the capabilities the kernels rely on.
+
+    Attributes
+    ----------
+    name:
+        Registry name (``"numpy"``, ``"cupy"``, ...).
+    xp:
+        The namespace providing ``asarray``/``zeros``/``tanh``/... with
+        NumPy semantics.
+    supports_out:
+        Whether ufuncs accept ``out=`` (in-place fused updates).  The
+        kernels fall back to allocating expressions when False.
+    supports_reduceat:
+        Whether ``xp.add.reduceat`` exists; segment sums fall back to a
+        cumulative-sum formulation when False.
+    """
+
+    name: str
+    xp: Any = field(repr=False)
+    supports_out: bool = True
+    supports_reduceat: bool = True
+    _to_numpy: Optional[Callable] = field(default=None, repr=False)
+    _from_numpy: Optional[Callable] = field(default=None, repr=False)
+
+    # -- host transfer -------------------------------------------------
+    def to_numpy(self, array) -> np.ndarray:
+        """Copy/view a backend array back to host NumPy."""
+        if self._to_numpy is not None:
+            return self._to_numpy(array)
+        return np.asarray(array)
+
+    def from_numpy(self, array):
+        """Move a host NumPy array onto the backend."""
+        if self._from_numpy is not None:
+            return self._from_numpy(array)
+        return self.xp.asarray(array)
+
+    def asarray(self, array, dtype=None):
+        """Backend array of ``array`` (converting dtype when asked)."""
+        if dtype is None:
+            return self.xp.asarray(array)
+        return self.xp.asarray(array, dtype=dtype)
+
+    @property
+    def is_numpy(self) -> bool:
+        """True when arrays are plain host NumPy (the bit-exact default)."""
+        return self.xp is np
+
+
+#: The always-available default backend.
+NUMPY_MODULE = ArrayModule(name="numpy", xp=np)
+
+
+def numpy_compat_module() -> ArrayModule:
+    """NumPy stripped to the lowest-common-denominator capability set.
+
+    Runs the same generic (allocate-per-op, no ``reduceat``) kernel code
+    paths a CuPy/JAX backend would take, on plain NumPy arrays — used by
+    the test suite to exercise the portable paths without GPU hardware.
+    """
+    return ArrayModule(name="numpy-compat", xp=np, supports_out=False,
+                       supports_reduceat=False)
+
+
+BackendLike = Union[None, str, ArrayModule]
+_warned_fallbacks: set = set()
+
+
+def _optional_factories():
+    from repro.backend.optional import OPTIONAL_FACTORIES
+    return OPTIONAL_FACTORIES
+
+
+def available_backends() -> tuple:
+    """Names that resolve to an installed backend right now."""
+    names = ["numpy"]
+    for name, factory in _optional_factories().items():
+        if factory() is not None:
+            names.append(name)
+    return tuple(names)
+
+
+def resolve_backend(backend: BackendLike = None) -> ArrayModule:
+    """Normalise any accepted backend designator to an :class:`ArrayModule`.
+
+    ``None`` consults ``REPRO_BACKEND`` then defaults to NumPy; unknown
+    names raise :class:`UnknownBackendError`; known-but-missing optional
+    backends warn once per process and return NumPy.
+    """
+    if isinstance(backend, ArrayModule):
+        return backend
+    if backend is None:
+        backend = os.environ.get(BACKEND_ENV_VAR) or "numpy"
+    if not isinstance(backend, str):
+        raise TypeError("backend must be None, a name or an ArrayModule, "
+                        f"got {type(backend).__name__}")
+    name = backend.strip().lower()
+    if name == "numpy":
+        return NUMPY_MODULE
+    if name == "numpy-compat":
+        return numpy_compat_module()
+    factories = _optional_factories()
+    if name not in factories:
+        raise UnknownBackendError(backend)
+    module = factories[name]()
+    if module is not None:
+        return module
+    if name not in _warned_fallbacks:
+        _warned_fallbacks.add(name)
+        warnings.warn(
+            f"array backend {name!r} is not installed; falling back to "
+            "numpy (this warning is emitted once per process)",
+            BackendFallbackWarning, stacklevel=2)
+    return NUMPY_MODULE
+
+
+DtypeLike = Union[None, str, type, np.dtype]
+
+
+def resolve_dtype(dtype: DtypeLike = None) -> np.dtype:
+    """Normalise the kernel ``dtype=`` knob to float64 (default) / float32."""
+    if dtype is None:
+        return np.dtype(np.float64)
+    try:
+        resolved = np.dtype(dtype)
+    except TypeError as exc:
+        raise ValueError(
+            f"unsupported kernel dtype {dtype!r}; valid choices are "
+            f"{', '.join(SUPPORTED_DTYPES)}") from exc
+    if resolved.name not in SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported kernel dtype {resolved.name!r}; valid choices "
+            f"are {', '.join(SUPPORTED_DTYPES)}")
+    return resolved

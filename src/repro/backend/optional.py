@@ -1,0 +1,67 @@
+"""Guarded adapters for the optional GPU/accelerator array backends.
+
+Each factory returns an :class:`~repro.backend.module.ArrayModule` when
+its library imports cleanly and ``None`` otherwise — nothing in this
+module raises on a missing dependency, and nothing imports a backend
+until it is actually requested.  The container this repo ships in has
+only NumPy; these adapters are the seam the GPU door opens through, and
+:func:`~repro.backend.module.resolve_backend` downgrades a missing one
+to NumPy with a single :class:`~repro.backend.module.BackendFallbackWarning`.
+
+Capability notes
+----------------
+* CuPy mirrors NumPy's ufunc ``out=`` semantics but has no
+  ``ufunc.reduceat``; the kernels' cumulative-sum segment fallback
+  covers it.
+* ``jax.numpy`` is functional (no ``out=``, no ``reduceat``); the
+  kernels' allocate-per-op generic path covers it.
+* torch is exposed through its (largely) numpy-like top-level namespace
+  and is the most experimental of the three — only the generic paths
+  apply.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.backend.module import ArrayModule
+
+
+def _cupy_module() -> Optional[ArrayModule]:
+    try:
+        import cupy  # noqa: F401 — optional dependency
+    except Exception:
+        return None
+    return ArrayModule(name="cupy", xp=cupy, supports_out=True,
+                       supports_reduceat=False,
+                       _to_numpy=cupy.asnumpy, _from_numpy=cupy.asarray)
+
+
+def _jax_module() -> Optional[ArrayModule]:
+    try:
+        import jax.numpy as jnp
+        import numpy as np
+    except Exception:
+        return None
+    return ArrayModule(name="jax", xp=jnp, supports_out=False,
+                       supports_reduceat=False,
+                       _to_numpy=np.asarray, _from_numpy=jnp.asarray)
+
+
+def _torch_module() -> Optional[ArrayModule]:
+    try:
+        import torch
+    except Exception:
+        return None
+    return ArrayModule(name="torch", xp=torch, supports_out=False,
+                       supports_reduceat=False,
+                       _to_numpy=lambda t: t.detach().cpu().numpy(),
+                       _from_numpy=torch.as_tensor)
+
+
+#: name -> zero-argument factory returning an ArrayModule or None.
+OPTIONAL_FACTORIES: Dict[str, Callable[[], Optional[ArrayModule]]] = {
+    "cupy": _cupy_module,
+    "jax": _jax_module,
+    "torch": _torch_module,
+}

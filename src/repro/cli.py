@@ -1,5 +1,5 @@
 """Command-line entry point: ``python -m repro
-{list,describe,run,run-all,cache,acquire,datasets,serve,submit,status,fetch}``.
+{list,describe,run,run-all,cache,acquire,datasets,bench,serve,submit,status,fetch}``.
 
 The zero-code path to every experiment in the scenario registry:
 
@@ -15,6 +15,13 @@ The zero-code path to every experiment in the scenario registry:
     python -m repro cache info --store .repro-store
     python -m repro cache gc --store .repro-store --max-age-days 30
     python -m repro cache clear --store .repro-store
+
+the hot-kernel microbenchmarks (see :mod:`repro.backend.bench`):
+
+.. code-block:: console
+
+    python -m repro bench
+    python -m repro bench --json BENCH_kernels.json --batch-sizes 256
 
 the instrument-acquisition verbs (see :mod:`repro.instrument`):
 
@@ -345,6 +352,28 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.backend.bench import format_report, run_kernel_benchmarks
+
+    report = run_kernel_benchmarks(
+        kernels=args.kernels.split(",") if args.kernels else None,
+        # None defers to REPRO_BACKEND (or numpy) via resolve_backend.
+        backends=tuple(args.backends.split(","))
+        if args.backends else (None,),
+        dtypes=tuple(args.dtypes.split(",")),
+        batch_sizes=tuple(int(value)
+                          for value in args.batch_sizes.split(",")),
+        repeats=args.repeats)
+    if args.json_path:
+        with open(args.json_path, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.json_path}")
+    else:
+        print(format_report(report))
+    return 0
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
@@ -627,6 +656,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true",
         help="emit machine-readable JSON (compact for describe)")
     datasets_parser.set_defaults(handler=_cmd_datasets)
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the hot-kernel microbenchmarks (BP decode, trellis "
+             "BCJR, NoC cycle engine) across backends/dtypes/batch sizes")
+    bench_parser.add_argument(
+        "--json", dest="json_path", metavar="FILE", nargs="?",
+        const="BENCH_kernels.json", default=None,
+        help="write the machine-readable report to FILE "
+             "(default with bare --json: BENCH_kernels.json); without "
+             "this flag a table is printed instead")
+    bench_parser.add_argument(
+        "--kernels", default=None, metavar="K1,K2",
+        help="comma-separated kernel subset (default: all of "
+             "bp_decode,trellis_bcjr,noc_cycle)")
+    bench_parser.add_argument(
+        "--backends", default=None, metavar="B1,B2",
+        help="comma-separated backends to measure (default: the "
+             "REPRO_BACKEND environment variable, else numpy)")
+    bench_parser.add_argument(
+        "--dtypes", default="float64,float32", metavar="D1,D2",
+        help="comma-separated dtypes (default: float64,float32)")
+    bench_parser.add_argument(
+        "--batch-sizes", dest="batch_sizes", default="64,256",
+        metavar="N1,N2", help="comma-separated batch sizes "
+                              "(default: 64,256)")
+    bench_parser.add_argument(
+        "--repeats", type=int, default=2,
+        help="timing repeats per cell, best-of (default 2)")
+    bench_parser.set_defaults(handler=_cmd_bench)
 
     serve_parser = subparsers.add_parser(
         "serve",

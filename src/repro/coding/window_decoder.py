@@ -96,10 +96,15 @@ class WindowDecoder:
         cross-checks).
     max_iterations:
         BP iteration limit per window position.
+    backend, dtype:
+        Array backend and message dtype forwarded to every per-window
+        :class:`~repro.coding.bp.BeliefPropagationDecoder` (see
+        :mod:`repro.backend`); the defaults preserve the bit-exact
+        NumPy/float64 reference path.
     """
 
     def __init__(self, code: LdpcConvolutionalCode, window_size: int,
-                 max_iterations: int = 50) -> None:
+                 max_iterations: int = 50, backend=None, dtype=None) -> None:
         if window_size < code.memory + 1:
             raise ValueError(
                 "window size must be at least the coupling memory + 1")
@@ -109,6 +114,8 @@ class WindowDecoder:
         self.code = code
         self.window_size = int(window_size)
         self.max_iterations = int(max_iterations)
+        self.backend = backend
+        self.dtype = dtype
         self._decoder_cache: Dict[Tuple[int, int, int], Tuple[BeliefPropagationDecoder, np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
@@ -139,7 +146,9 @@ class WindowDecoder:
             rows = np.arange(row_start, row_stop)
             sub_matrix = code.parity_check[rows][:, columns]
             decoder = BeliefPropagationDecoder(sub_matrix,
-                                               max_iterations=self.max_iterations)
+                                               max_iterations=self.max_iterations,
+                                               backend=self.backend,
+                                               dtype=self.dtype)
             self._decoder_cache[cache_key] = (decoder, columns, rows)
         return self._decoder_cache[cache_key]
 

@@ -56,10 +56,11 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.backend import resolve_backend
 from repro.noc.routing import DimensionOrderedRouting
 from repro.noc.topology import GridTopology
 from repro.noc.traffic import UniformTraffic, _TrafficPattern
-from repro.utils.rng import RngLike, ensure_rng
+from repro.utils.rng import RngLike, ensure_rng, spawn_generators
 from repro.utils.validation import (
     check_non_negative,
     check_positive,
@@ -160,6 +161,7 @@ class NocSimulator:
                  link_latency_cycles: int = 0,
                  buffer_depth_flits: Optional[int] = None,
                  link_error_rate: float = 0.0,
+                 backend=None,
                  **traffic_kwargs) -> None:
         if pipeline_latency_cycles < 0:
             raise ValueError("pipeline_latency_cycles must be non-negative")
@@ -178,6 +180,7 @@ class NocSimulator:
         self.buffer_depth_flits = (int(buffer_depth_flits)
                                    if buffer_depth_flits else None)
         self.link_error_rate = float(link_error_rate)
+        self.backend = resolve_backend(backend)
         self.traffic_class = traffic_class
         self.traffic_kwargs = traffic_kwargs
         self._tables = self._build_tables()
@@ -282,20 +285,86 @@ class NocSimulator:
         check_positive("n_cycles", n_cycles)
         if warmup_cycles < 0 or warmup_cycles >= n_cycles:
             raise ValueError("warmup_cycles must lie in [0, n_cycles)")
-        generator = ensure_rng(rng)
-        n_cycles = int(n_cycles)
-        warmup_cycles = int(warmup_cycles)
+        return self._run_merged(injection_rate, int(n_cycles),
+                                int(warmup_cycles), [ensure_rng(rng)])[0]
+
+    def run_batch(self, injection_rate: float, n_cycles: int = 5_000,
+                  warmup_cycles: int = 1_000, rngs=None,
+                  n_replications: Optional[int] = None,
+                  rng: RngLike = None) -> List[SimulationResult]:
+        """Run several independent replications in one merged cycle loop.
+
+        The replications are simulated as one system whose queue/packet id
+        spaces are partitioned per replication: replication ``r``'s queue
+        ``q`` is global queue ``r*n_queues + q``, so replications never
+        interact and each per-replication result is **bit-identical** to a
+        solo :meth:`run` with the same generator (including lossy-link
+        retransmission draws).  The per-cycle Python/NumPy dispatch
+        overhead — which dominates the solo engine on the paper's 64-module
+        topologies — is paid once for all replications instead of once per
+        replication.
+
+        Parameters
+        ----------
+        injection_rate, n_cycles, warmup_cycles:
+            As in :meth:`run`.
+        rngs:
+            Explicit per-replication seeds/generators.  Each entry yields
+            the same result a solo ``run(..., rng=entry)`` would.
+        n_replications:
+            Alternative to ``rngs``: spawn this many independent child
+            generators from ``rng``.
+        rng:
+            Parent generator for ``n_replications``.
+
+        Returns
+        -------
+        One :class:`SimulationResult` per replication, in input order.
+        """
+        check_non_negative("injection_rate", injection_rate)
+        check_positive("n_cycles", n_cycles)
+        if warmup_cycles < 0 or warmup_cycles >= n_cycles:
+            raise ValueError("warmup_cycles must lie in [0, n_cycles)")
+        if rngs is not None:
+            if n_replications is not None and n_replications != len(rngs):
+                raise ValueError("pass either rngs or n_replications, "
+                                 "not conflicting values of both")
+            generators = [ensure_rng(entry) for entry in rngs]
+        else:
+            if n_replications is None:
+                raise ValueError("run_batch needs rngs or n_replications")
+            check_positive("n_replications", n_replications)
+            generators = spawn_generators(ensure_rng(rng),
+                                          int(n_replications))
+        if not generators:
+            raise ValueError("run_batch needs at least one replication")
+        return self._run_merged(injection_rate, int(n_cycles),
+                                int(warmup_cycles), generators)
+
+    def _run_merged(self, injection_rate: float, n_cycles: int,
+                    warmup_cycles: int, generators) -> List[SimulationResult]:
+        """The cycle engine over ``len(generators)`` merged replications.
+
+        Array work runs through the :mod:`repro.backend` seam (``xp`` is
+        plain NumPy by default); injection randomness and result statistics
+        stay on the host.
+        """
+        xp = self.backend.xp
+        n_reps = len(generators)
         topology = self.topology
         n_modules = topology.n_modules
         concentration = topology.concentration
         measured_cycles = n_cycles - warmup_cycles
 
-        source_module, destination_module, creation = \
-            self._pregenerate_injections(injection_rate, n_cycles, generator)
-        n_packets = source_module.size
+        per_rep = [self._pregenerate_injections(injection_rate, n_cycles,
+                                                generator)
+                   for generator in generators]
+        pkt_counts = np.array([sources.size for sources, _, _ in per_rep],
+                              dtype=np.int64)
+        n_packets = int(pkt_counts.sum())
         if n_packets == 0:
-            return _finish(injection_rate, 0.0, 0, 0, measured_cycles,
-                           n_modules)
+            return [_finish(injection_rate, 0.0, 0, 0, measured_cycles,
+                            n_modules) for _ in generators]
 
         tables = self._tables
         n_links = tables["n_links"]
@@ -303,46 +372,61 @@ class NocSimulator:
         first_q_flat = tables["first_q"].ravel()
         next_q_flat = tables["next_q"].ravel()
         n_routers = topology.n_routers
+        total_queues = n_reps * n_queues
+
+        source_module = np.concatenate([p[0] for p in per_rep])
+        destination_module = np.concatenate([p[1] for p in per_rep])
+        creation = np.concatenate([p[2] for p in per_rep])
+        pkt_rep = np.repeat(np.arange(n_reps, dtype=np.int64), pkt_counts)
 
         pkt_dest = destination_module // concentration
-        pkt_first = first_q_flat[(source_module // concentration) * n_routers
-                                 + pkt_dest]
+        pkt_first = pkt_rep * n_queues \
+            + first_q_flat[(source_module // concentration) * n_routers
+                           + pkt_dest]
         pkt_measured = creation >= warmup_cycles
         pkt_ready = creation + self.pipeline_latency_cycles
-        offered_measured = int(pkt_measured.sum())
+        offered_measured = np.zeros(n_reps, dtype=np.int64)
+        np.add.at(offered_measured, pkt_rep[pkt_measured], 1)
+        # Packets in (cycle, replication, module) order: a stable sort by
+        # creation keeps each replication's within-cycle order, so every
+        # queue receives its packets in exactly the solo-run order.
+        injection_order = np.argsort(creation, kind="stable")
         cycle_start = np.zeros(n_cycles + 1, dtype=np.int64)
         np.cumsum(np.bincount(creation, minlength=n_cycles),
                   out=cycle_start[1:])
-        packet_ids = np.arange(n_packets, dtype=np.int64)
+        rep_queue_bounds = n_queues * np.arange(1, n_reps, dtype=np.int64)
 
-        # One flat ring buffer of packet ids for all channels; grown by
-        # doubling whenever any queue would overflow its slice.
+        # One flat ring buffer of packet ids for all channels of all
+        # replications; grown by doubling whenever any queue would
+        # overflow its slice.
         capacity = 16
-        buf = np.zeros(n_queues * capacity, dtype=np.int64)
-        base = np.arange(n_queues, dtype=np.int64) * capacity
-        head = np.zeros(n_queues, dtype=np.int64)
-        count = np.zeros(n_queues, dtype=np.int64)
+        buf = xp.zeros(total_queues * capacity, dtype=np.int64)
+        base = xp.arange(total_queues, dtype=np.int64) * capacity
+        head = xp.zeros(total_queues, dtype=np.int64)
+        count = xp.zeros(total_queues, dtype=np.int64)
 
         def grow() -> None:
             nonlocal buf, capacity, base
-            old = buf.reshape(n_queues, capacity)
+            old = buf.reshape(total_queues, capacity)
             positions = (head[:, None]
-                         + np.arange(capacity)[None, :]) & (capacity - 1)
+                         + xp.arange(capacity)[None, :]) & (capacity - 1)
             capacity *= 2
-            buf = np.zeros(n_queues * capacity, dtype=np.int64)
-            buf.reshape(n_queues, capacity)[:, :capacity // 2] = \
-                old[np.arange(n_queues)[:, None], positions]
+            buf = xp.zeros(total_queues * capacity, dtype=np.int64)
+            buf.reshape(total_queues, capacity)[:, :capacity // 2] = \
+                old[xp.arange(total_queues)[:, None], positions]
             head[:] = 0
-            base = np.arange(n_queues, dtype=np.int64) * capacity
+            base = xp.arange(total_queues, dtype=np.int64) * capacity
 
         def push(queues: np.ndarray, packets: np.ndarray) -> None:
             # Grouped tail insert: stable order by queue keeps the within-
             # cycle arrival order deterministic (module-ascending for
-            # injections, channel-ascending for forwards).
-            order = np.argsort(queues, kind="stable")
+            # injections, channel-ascending for forwards; replication
+            # queue id ranges are disjoint, so merged pushes preserve each
+            # replication's solo order).
+            order = xp.argsort(queues, kind="stable")
             sorted_q = queues[order]
-            rank = (np.arange(sorted_q.size)
-                    - np.searchsorted(sorted_q, sorted_q))
+            rank = (xp.arange(sorted_q.size)
+                    - xp.searchsorted(sorted_q, sorted_q))
             while int((count[sorted_q] + rank).max()) >= capacity:
                 grow()
             slots = base[sorted_q] + ((head[sorted_q] + count[sorted_q]
@@ -355,15 +439,16 @@ class NocSimulator:
         error_rate = self.link_error_rate
         forward_delay = (max(self.pipeline_latency_cycles, 1)
                         + self.link_latency_cycles)
-        delivered_measured = 0
-        latency_sum = 0
-        retransmitted = 0
+        delivered_measured = np.zeros(n_reps, dtype=np.int64)
+        latency_sum = np.zeros(n_reps, dtype=np.int64)
+        retransmitted = np.zeros(n_reps, dtype=np.int64)
 
         for cycle in range(n_cycles):
             # --- injection (pre-generated, pushed in module order) ------
             first, last = cycle_start[cycle], cycle_start[cycle + 1]
             if last > first:
-                push(pkt_first[first:last], packet_ids[first:last])
+                ids = injection_order[first:last]
+                push(pkt_first[ids], ids)
 
             # --- one service decision per channel per cycle -------------
             head_packet = buf[base + (head & (capacity - 1))]
@@ -376,32 +461,46 @@ class NocSimulator:
             if lossy:
                 # Each attempted link traversal fails independently; the
                 # flit stays at the head of its buffer and retries next
-                # cycle.  Ejection ports are local and lossless.
-                attempts = serviced < n_links
-                failed = attempts & (generator.random(serviced.size)
-                                     < error_rate)
+                # cycle.  Ejection ports are local and lossless.  Each
+                # replication draws from its own generator, over its own
+                # (ascending-id) serviced queues — exactly the solo-run
+                # stream.
+                attempts = (serviced % n_queues) < n_links
+                if n_reps == 1:
+                    draws = generators[0].random(serviced.size)
+                else:
+                    sizes = np.diff(np.concatenate(
+                        ([0], np.searchsorted(serviced, rep_queue_bounds),
+                         [serviced.size])))
+                    draws = np.concatenate(
+                        [generator.random(int(size))
+                         for generator, size in zip(generators, sizes)])
+                failed = attempts & (draws < error_rate)
                 if failed.any():
                     pkt_ready[serviced_packet[failed]] = cycle + 1
-                    retransmitted += int(failed.sum())
+                    np.add.at(retransmitted,
+                              serviced[failed] // n_queues, 1)
                     kept = ~failed
                     serviced = serviced[kept]
                     serviced_packet = serviced_packet[kept]
 
-            ejecting = serviced >= n_links
+            ejecting = (serviced % n_queues) >= n_links
             if ejecting.any():
                 ejected = serviced_packet[ejecting]
                 measured = pkt_measured[ejected]
-                n_done = int(measured.sum())
-                if n_done:
-                    delivered_measured += n_done
-                    latency_sum += ((cycle + 1) * n_done
-                                    - int(creation[ejected[measured]].sum()))
+                if measured.any():
+                    done = ejected[measured]
+                    reps = pkt_rep[done]
+                    np.add.at(delivered_measured, reps, 1)
+                    np.add.at(latency_sum, reps,
+                              (cycle + 1) - creation[done])
 
             forward_q = serviced[~ejecting]
             forward_p = serviced_packet[~ejecting]
             if forward_q.size:
-                target = next_q_flat[forward_q * n_routers
-                                     + pkt_dest[forward_p]]
+                target = (forward_q // n_queues) * n_queues \
+                    + next_q_flat[(forward_q % n_queues) * n_routers
+                                  + pkt_dest[forward_p]]
                 if depth:
                     # Backpressure: only advance into a link buffer with a
                     # free slot at the cycle's occupancy (ejection ports
@@ -414,7 +513,7 @@ class NocSimulator:
                     admitted_sorted = rank < depth - count[sorted_t]
                     admitted = np.empty(sorted_t.size, dtype=bool)
                     admitted[order] = admitted_sorted
-                    admitted |= target >= n_links
+                    admitted |= (target % n_queues) >= n_links
                     forward_q = forward_q[admitted]
                     forward_p = forward_p[admitted]
                     target = target[admitted]
@@ -427,9 +526,11 @@ class NocSimulator:
             if forward_q.size:
                 push(target, forward_p)
 
-        return _finish(injection_rate, latency_sum, delivered_measured,
-                       offered_measured, measured_cycles, n_modules,
-                       retransmitted)
+        return [_finish(injection_rate, int(latency_sum[rep]),
+                        int(delivered_measured[rep]),
+                        int(offered_measured[rep]), measured_cycles,
+                        n_modules, int(retransmitted[rep]))
+                for rep in range(n_reps)]
 
     # ------------------------------------------------------------------
     def latency_sweep(self, injection_rates, n_cycles: int = 5_000,

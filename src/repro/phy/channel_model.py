@@ -28,6 +28,11 @@ from repro.utils.units import db_to_linear
 #: metrics.
 _PROBABILITY_EPS = 1e-12
 
+#: Oversampling factors up to this many bits use the cached
+#: sign-pattern lookup table (2**O table rows); larger factors fall back
+#: to the direct per-sample computation.
+_SIGN_TABLE_MAX_BITS = 12
+
 
 @dataclass
 class OversampledOneBitChannel:
@@ -65,6 +70,7 @@ class OversampledOneBitChannel:
         self._noise_std = float(
             np.sqrt(self._oversampling / db_to_linear(self.snr_db)))
         self._prob_plus = self._build_transition_probabilities()
+        self._log_obs_table = None  # lazy (2**O, S, M) sign-pattern table
 
     # ------------------------------------------------------------------
     # basic properties
@@ -198,12 +204,36 @@ class OversampledOneBitChannel:
                 f"signs must have shape (..., n, {self._oversampling})"
             )
         positive = (signs > 0)
+        if self._oversampling <= _SIGN_TABLE_MAX_BITS:
+            # With only 2**oversampling possible sign blocks, precompute
+            # log P(block | state, input) for every block once and reduce
+            # each symbol period to a single table gather.  The table rows
+            # are built by the exact expression of the direct branch below
+            # (same operands, same sample-axis summation order), so the
+            # result is bit-identical — just ~two orders of magnitude less
+            # arithmetic per call.
+            table = self._sign_pattern_table()
+            weights = 1 << np.arange(self._oversampling)
+            patterns = positive @ weights                 # (..., n)
+            return table[patterns]
         log_p = np.log(self._prob_plus)
         log_q = np.log1p(-self._prob_plus)
         # Broadcast: (..., n, 1, 1, M) selecting between log_p/log_q of
         # shape (S, O, M), then sum over the sample axis.
         chosen = np.where(positive[..., None, None, :], log_p, log_q)
         return chosen.sum(axis=-1)
+
+    def _sign_pattern_table(self) -> np.ndarray:
+        """``(2**O, n_states, order)`` log-likelihoods of every sign block."""
+        if self._log_obs_table is None:
+            bits = np.arange(1 << self._oversampling)
+            positive = ((bits[:, None] >> np.arange(self._oversampling))
+                        & 1).astype(bool)
+            log_p = np.log(self._prob_plus)
+            log_q = np.log1p(-self._prob_plus)
+            chosen = np.where(positive[:, None, None, :], log_p, log_q)
+            self._log_obs_table = chosen.sum(axis=-1)
+        return self._log_obs_table
 
     # ------------------------------------------------------------------
     # simulation

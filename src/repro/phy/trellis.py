@@ -16,24 +16,44 @@ One :class:`TrellisKernel` serves every trellis algorithm in the PHY:
 All methods take batched observation log-probabilities of shape
 ``(B, n, n_states, order)`` (``B`` codewords/sequences on the leading
 axis) and run a Python loop only over the ``n`` symbol periods; the state
-and batch dimensions are pure NumPy array operations.  The trellis
-structure is exploited through *predecessor* index tables: for the
-shift-register state encoding of
+and batch dimensions are pure array operations behind the
+:mod:`repro.backend` seam.
+
+Broadcast recursions
+--------------------
+For the shift-register state encoding of
 :class:`repro.phy.channel_model.OversampledOneBitChannel`
-(``next_state = input * order**(memory-1) + state // order``) every state
-``s'`` has exactly ``order`` predecessors ``(s' % order**(memory-1)) *
-order + j`` and a unique arriving input ``s' // order**(memory-1)``, so
-one fancy-indexed ``max`` per step replaces the historical
-states-by-inputs Python double loop.
+(``next_state = input * order**(memory-1) + state // order``) the
+predecessor table has closed form: writing ``S_h = order**(memory-1)``,
+state ``s' = g*S_h + h`` has predecessors ``h*order + j`` and arriving
+input ``g``.  Both trellis sweeps therefore need *no* gathers at all —
+reshaping the metric vector to ``(B, S_h, order)`` and broadcasting over
+the new-input axis visits exactly the elements the historical
+fancy-indexed formulation gathered, in the same order, so results stay
+bit-identical while the per-step data movement disappears.  A
+non-canonical (but still shift-register) trellis falls back to the
+index-table path.
+
+Array backend and dtype
+-----------------------
+``backend=``/``dtype=`` select the array namespace and precision
+(``REPRO_BACKEND`` environment variable and float64 by default).  The
+NumPy/float64 default is bit-identical to the pre-seam kernels; float32
+halves the memory traffic of the sweeps and is validated statistically.
+Work buffers are cached per instance and per shape, so repeated
+equal-sized calls (the sweep pattern) do not re-allocate; batches larger
+than ``tile_rows`` are processed in independent tiles.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 import numpy as np
 from scipy.special import logsumexp
 
+from repro.backend import resolve_backend, resolve_dtype
 from repro.phy.channel_model import OversampledOneBitChannel
 
 
@@ -46,23 +66,39 @@ class TrellisKernel:
     channel:
         The finite-state channel whose trellis (state count, successor
         structure, observation model) the kernel operates on.
+    backend:
+        Array backend — a name, an :class:`repro.backend.ArrayModule` or
+        ``None`` (``REPRO_BACKEND`` env var, default numpy).
+    dtype:
+        Metric dtype: ``"float64"`` (bit-exact default) or ``"float32"``.
+    tile_rows:
+        Batch tile size; ``None`` picks a cache-sized tile per call.
     """
 
     channel: OversampledOneBitChannel
+    backend: object = None
+    dtype: object = None
+    tile_rows: Optional[int] = None
     _pred_state: np.ndarray = field(init=False, repr=False)
     _pred_input: np.ndarray = field(init=False, repr=False)
     _successors: np.ndarray = field(init=False, repr=False)
 
     def __post_init__(self) -> None:
+        self.backend = resolve_backend(self.backend)
+        self.dtype = resolve_dtype(self.dtype)
+        if self.tile_rows is not None and self.tile_rows < 1:
+            raise ValueError("tile_rows must be positive")
         order = self.channel.order
         memory = self.channel.memory
         n_states = self.channel.n_states
+        self._buffers = {}
         self._successors = np.array(
             [[self.channel.next_state(state, inp) for inp in range(order)]
              for state in range(n_states)], dtype=np.int64)
         if memory == 0:
             self._pred_input = np.zeros(1, dtype=np.int64)
             self._pred_state = np.zeros((1, order), dtype=np.int64)
+            self._canonical = False
             return
         # Predecessor tables inverted from the successor table itself, so
         # the forward (predecessor-indexed) and backward (successor-
@@ -85,6 +121,34 @@ class TrellisKernel:
                 "input of a state must be unique")
         # Input that *arrives in* each state (its most-recent symbol).
         self._pred_input = arriving[:, 0].copy()
+        # Canonical shift-register layout: pred(g*S_h + h) = h*J + j with
+        # arriving input g.  When it holds (it does for every channel the
+        # repo builds) the sweeps run gather-free on reshaped views.
+        sub_states = n_states // order
+        states = np.arange(n_states)
+        canon_pred = (states % sub_states)[:, None] * order \
+            + np.arange(order)
+        canon_input = states // sub_states
+        self._canonical = (np.array_equal(self._pred_state, canon_pred)
+                           and np.array_equal(self._pred_input, canon_input))
+
+    # ------------------------------------------------------------------
+    def _buffer(self, name: str, shape: tuple, dtype=None):
+        """Per-instance work array, reused across equal-shaped calls."""
+        dtype = self.dtype if dtype is None else dtype
+        key = (name, shape, np.dtype(dtype).name)
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = self.backend.xp.empty(shape, dtype=dtype)
+            self._buffers[key] = buf
+        return buf
+
+    def _default_tile_rows(self, n_symbols: int) -> int:
+        # Bound the dominant (n, B, n_states, order) reordered-observation
+        # buffer to a few MB per tile.
+        per_row = max(1, n_symbols * self.channel.n_states
+                      * self.channel.order * self.dtype.itemsize)
+        return max(8, (16 << 20) // per_row)
 
     # ------------------------------------------------------------------
     def log_observations(self, signs: np.ndarray) -> np.ndarray:
@@ -95,9 +159,8 @@ class TrellisKernel:
         """
         return self.channel.log_observation_probabilities(signs)
 
-    @staticmethod
-    def _as_batch(log_obs: np.ndarray) -> tuple:
-        log_obs = np.asarray(log_obs, dtype=float)
+    def _as_batch(self, log_obs: np.ndarray) -> tuple:
+        log_obs = np.asarray(log_obs, dtype=self.dtype)
         if log_obs.ndim == 3:
             return log_obs[None], True
         if log_obs.ndim != 4:
@@ -109,12 +172,37 @@ class TrellisKernel:
     def _initial_metrics(self, n_rows: int, initial: str) -> np.ndarray:
         n_states = self.channel.n_states
         if initial == "zero-state":
-            metrics = np.full((n_rows, n_states), -np.inf)
+            metrics = np.full((n_rows, n_states), -np.inf, dtype=self.dtype)
             metrics[:, 0] = 0.0
             return metrics
         if initial == "uniform":
-            return np.zeros((n_rows, n_states))
+            return np.zeros((n_rows, n_states), dtype=self.dtype)
         raise ValueError("initial must be 'zero-state' or 'uniform'")
+
+    def _tiled(self, log_obs: np.ndarray, tile_fn, initial: str):
+        n_rows, n_symbols = log_obs.shape[:2]
+        tile = self.tile_rows or self._default_tile_rows(n_symbols)
+        if n_rows <= tile:
+            return tile_fn(log_obs, initial)
+        parts = [tile_fn(log_obs[start:start + tile], initial)
+                 for start in range(0, n_rows, tile)]
+        return np.concatenate(parts, axis=0)
+
+    def _reordered_observations(self, log_obs: np.ndarray, name: str):
+        """Observations as ``(n, B, order, S_h, order)`` — predecessor
+        order without a gather: element ``[k, b, g, h, j]`` is the branch
+        metric of predecessor ``h*J + j`` into state ``g*S_h + h``."""
+        xp = self.backend.xp
+        n_rows, n_symbols, n_states, order = log_obs.shape
+        sub_states = n_states // order
+        view = log_obs.reshape(n_rows, n_symbols, sub_states, order, order)
+        transposed = view.transpose(1, 0, 4, 2, 3)
+        if self.backend.is_numpy and self.backend.supports_out:
+            out = self._buffer(name, transposed.shape)
+            out[...] = transposed
+            return out
+        return xp.ascontiguousarray(self.backend.from_numpy(
+            np.ascontiguousarray(transposed)))
 
     # ------------------------------------------------------------------
     def viterbi(self, log_obs: np.ndarray,
@@ -129,30 +217,56 @@ class TrellisKernel:
         reference detector) or ``"uniform"``.
         """
         log_obs, squeeze = self._as_batch(log_obs)
-        n_rows, n_symbols = log_obs.shape[:2]
         if self.channel.memory == 0:
             detected = np.argmax(log_obs[:, :, 0, :], axis=-1)
             return detected[0] if squeeze else detected
+        detected = self._tiled(log_obs, self._viterbi_tile, initial)
+        return detected[0] if squeeze else detected
+
+    def _viterbi_tile(self, log_obs: np.ndarray, initial: str) -> np.ndarray:
+        xp = self.backend.xp
+        n_rows, n_symbols, n_states, order = log_obs.shape
         pred_state = self._pred_state
         pred_input = self._pred_input
-        # Branch metrics pre-gathered into predecessor order for the whole
-        # block at once — one large fancy index instead of one per symbol.
-        obs_pred = log_obs[:, :, pred_state, pred_input[:, None]]
+        backpointers = self._buffer("vit_bp",
+                                    (n_symbols, n_rows, n_states),
+                                    dtype=np.int32)
         metrics = self._initial_metrics(n_rows, initial)
-        backpointers = np.empty((n_symbols, n_rows, pred_state.shape[0]),
-                                dtype=np.int32)
-        for k in range(n_symbols):
-            candidate = metrics[:, pred_state]                   # (B, S, J)
-            candidate += obs_pred[:, k]
-            backpointers[k] = candidate.argmax(axis=2)
-            metrics = candidate.max(axis=2)
+        if self._canonical:
+            sub_states = n_states // order
+            obs_re = self._reordered_observations(log_obs, "vit_obs")
+            if not self.backend.is_numpy:
+                metrics = self.backend.from_numpy(metrics)
+            inplace = self.backend.is_numpy and self.backend.supports_out
+            candidate = (self._buffer("vit_cand",
+                                      (n_rows, order, sub_states, order))
+                         if inplace else None)
+            for k in range(n_symbols):
+                m_view = metrics.reshape(n_rows, 1, sub_states, order)
+                if inplace:
+                    np.add(m_view, obs_re[k], out=candidate)
+                else:
+                    candidate = m_view + obs_re[k]
+                backpointers[k] = self.backend.to_numpy(
+                    xp.argmax(candidate, axis=-1)
+                ).reshape(n_rows, n_states)
+                metrics = xp.max(candidate, axis=-1).reshape(
+                    n_rows, n_states)
+            metrics = self.backend.to_numpy(metrics)
+        else:
+            obs_pred = log_obs[:, :, pred_state, pred_input[:, None]]
+            for k in range(n_symbols):
+                candidate = metrics[:, pred_state]               # (B, S, J)
+                candidate += obs_pred[:, k]
+                backpointers[k] = candidate.argmax(axis=2)
+                metrics = candidate.max(axis=2)
         rows = np.arange(n_rows)
         state = np.argmax(metrics, axis=1)
         detected = np.empty((n_rows, n_symbols), dtype=np.int64)
         for k in range(n_symbols - 1, -1, -1):
             detected[:, k] = pred_input[state]
             state = pred_state[state, backpointers[k, rows, state]]
-        return detected[0] if squeeze else detected
+        return detected
 
     # ------------------------------------------------------------------
     def symbol_log_posteriors(self, log_obs: np.ndarray,
@@ -165,35 +279,108 @@ class TrellisKernel:
         differences matter for the bit LLRs built on top).
         """
         log_obs, squeeze = self._as_batch(log_obs)
-        n_rows, n_symbols = log_obs.shape[:2]
-        order = self.channel.order
         if self.channel.memory == 0:
             app = log_obs[:, :, 0, :]
             app = app - app.max(axis=-1, keepdims=True)
             return app[0] if squeeze else app
+        app = self._tiled(log_obs, self._posteriors_tile, initial)
+        return app[0] if squeeze else app
+
+    def _posteriors_tile(self, log_obs: np.ndarray,
+                         initial: str) -> np.ndarray:
+        if self._canonical:
+            return self._posteriors_tile_canonical(log_obs, initial)
+        return self._posteriors_tile_generic(log_obs, initial)
+
+    def _posteriors_tile_canonical(self, log_obs: np.ndarray,
+                                   initial: str) -> np.ndarray:
+        xp = self.backend.xp
+        n_rows, n_symbols, n_states, order = log_obs.shape
+        sub_states = n_states // order
+        inplace = self.backend.is_numpy and self.backend.supports_out
+        # Forward pass (max-log alphas), one slice per symbol boundary.
+        obs_re = self._reordered_observations(log_obs, "bcjr_obs")
+        init = self._initial_metrics(n_rows, initial)
+        if inplace:
+            alphas = self._buffer("bcjr_alphas",
+                                  (n_symbols + 1, n_rows, n_states))
+            alphas[0] = init
+            candidate = self._buffer("bcjr_cand",
+                                     (n_rows, order, sub_states, order))
+            for k in range(n_symbols):
+                m_view = alphas[k].reshape(n_rows, 1, sub_states, order)
+                np.add(m_view, obs_re[k], out=candidate)
+                np.max(candidate, axis=-1,
+                       out=alphas[k + 1].reshape(n_rows, order, sub_states))
+        else:
+            alphas = [self.backend.from_numpy(init)]
+            for k in range(n_symbols):
+                m_view = alphas[k].reshape(n_rows, 1, sub_states, order)
+                candidate = m_view + obs_re[k]
+                alphas.append(xp.max(candidate, axis=-1).reshape(
+                    n_rows, n_states))
+        # Backward pass and per-symbol combination in the same sweep.
+        # ``combined[b, q*J + r, m] = log_obs[b, k, q*J + r, m] +
+        # beta[b, m*S_h + q]`` — the successor gather is a reshaped,
+        # broadcast view of beta.
+        step_re = log_obs.reshape(n_rows, n_symbols, sub_states, order,
+                                  order)
+        if not self.backend.is_numpy:
+            step_re = self.backend.from_numpy(
+                np.ascontiguousarray(step_re))
+        beta = xp.zeros((n_rows, n_states), dtype=self.dtype)
+        app = np.empty((n_rows, n_symbols, order), dtype=self.dtype)
+        if inplace:
+            combined = self._buffer("bcjr_comb",
+                                    (n_rows, sub_states, order, order))
+            scratch = self._buffer("bcjr_scratch",
+                                   (n_rows, sub_states, order, order))
+        for k in range(n_symbols - 1, -1, -1):
+            beta_view = beta.reshape(n_rows, order, sub_states) \
+                .transpose(0, 2, 1)[:, :, None, :]     # (B, S_h, 1, M)
+            alpha_view = alphas[k].reshape(n_rows, sub_states, order, 1)
+            if inplace:
+                np.add(step_re[:, k], beta_view, out=combined)
+                np.add(alpha_view, combined, out=scratch)
+                app[:, k] = scratch.max(axis=(1, 2))
+                np.max(combined, axis=3,
+                       out=beta.reshape(n_rows, sub_states, order))
+            else:
+                combined = step_re[:, k] + beta_view
+                app[:, k] = self.backend.to_numpy(
+                    xp.max(alpha_view + combined, axis=(1, 2)))
+                beta = xp.max(combined, axis=3).reshape(n_rows, n_states)
+        app -= app.max(axis=-1, keepdims=True)
+        return app
+
+    def _posteriors_tile_generic(self, log_obs: np.ndarray,
+                                 initial: str) -> np.ndarray:
         pred_state = self._pred_state
         pred_input = self._pred_input
         successors = self._successors
+        n_rows, n_symbols = log_obs.shape[:2]
         n_states = self.channel.n_states
+        order = self.channel.order
         # Forward pass (max-log alphas), one slice per symbol boundary;
         # branch metrics pre-gathered into predecessor order like viterbi().
         obs_pred = log_obs[:, :, pred_state, pred_input[:, None]]
-        alphas = np.empty((n_symbols + 1, n_rows, n_states))
+        alphas = np.empty((n_symbols + 1, n_rows, n_states),
+                          dtype=self.dtype)
         alphas[0] = self._initial_metrics(n_rows, initial)
         for k in range(n_symbols):
             candidate = alphas[k][:, pred_state]
             candidate += obs_pred[:, k]
             alphas[k + 1] = candidate.max(axis=2)
         # Backward pass and per-symbol combination in the same sweep.
-        beta = np.zeros((n_rows, n_states))
-        app = np.empty((n_rows, n_symbols, order))
+        beta = np.zeros((n_rows, n_states), dtype=self.dtype)
+        app = np.empty((n_rows, n_symbols, order), dtype=self.dtype)
         for k in range(n_symbols - 1, -1, -1):
             step = log_obs[:, k]                                  # (B, S, M)
             combined = step + beta[:, successors]                 # (B, S, M)
             app[:, k] = (alphas[k][:, :, None] + combined).max(axis=1)
             beta = combined.max(axis=2)
         app -= app.max(axis=-1, keepdims=True)
-        return app[0] if squeeze else app
+        return app
 
     # ------------------------------------------------------------------
     @staticmethod

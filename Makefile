@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test lint smoke bench scenarios run-scenario run-all noc phy \
-	instrument serve backend-smoke
+	instrument serve backend-smoke dispatch-bench
 
 # Tier-1 verification: the full unit/integration suite plus benchmarks.
 test:
@@ -40,6 +40,14 @@ backend-smoke:
 		--batch-sizes 64 --repeats 1
 	$(PYTHON) -c "import json; r = json.load(open('BENCH_kernels.json')); \
 		assert r['records'], 'empty benchmark report'"
+
+# Warm-dispatch gate: the persistent worker pool's >=3x repeat-sweep
+# floor over the frozen per-call-pool baseline, plus byte-identical
+# intra-point sharding (the >=2.5x sharded floor additionally needs
+# 4 physical cores).  REPRO_DISPATCH_BENCH=reduced shrinks the workload.
+dispatch-bench:
+	$(PYTHON) -m pytest -q -s benchmarks/test_bench_engine_dispatch.py
+	$(PYTHON) -m pytest -q tests/test_core_pool.py
 
 # The scenario registry: list everything runnable by name.
 scenarios:

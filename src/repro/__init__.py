@@ -13,7 +13,8 @@ The library is organised as four substrates plus integration layers:
 * :mod:`repro.core` — the end-to-end wireless interconnect system composing
   all of the above, plus :class:`repro.core.engine.SweepEngine`, the
   batched Monte-Carlo sweep engine (per-point independent seeding,
-  optional process parallelism), and :mod:`repro.core.store`, the
+  optional process parallelism over the persistent
+  :class:`~repro.core.pool.WorkerPool`), and :mod:`repro.core.store`, the
   content-addressed result stores (:class:`~repro.core.store.MemoryStore`
   in process, :class:`~repro.core.store.DiskStore` across processes and
   days) the engine caches into.
@@ -50,7 +51,7 @@ gives the links, the system, the sweep engine and the scenario registry;
 :mod:`repro.api` is the same facade as a flat importable module.
 """
 
-__version__ = "1.8.0"
+__version__ = "1.9.0"
 
 from repro import backend, channel, coding, core, instrument, noc, phy, utils
 from repro.backend import (
@@ -70,6 +71,7 @@ from repro.core import (
     SystemReport,
     WirelessBoardLink,
     WirelessInterconnectSystem,
+    WorkerPool,
     link_flit_error_rate,
     parameter_grid,
 )
@@ -144,6 +146,7 @@ __all__ = [
     "SweepOutcome",
     "SweepPointError",
     "parameter_grid",
+    "WorkerPool",
     # cross-layer NoC engine
     "NocModel",
     "NocEvaluation",

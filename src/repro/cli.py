@@ -111,6 +111,25 @@ def _parse_set(assignments: Sequence[str]) -> Dict[str, Any]:
     return overrides
 
 
+def _workers_argument(raw: str) -> int:
+    """``--workers`` value: a positive integer or ``auto``.
+
+    ``auto`` resolves to ``os.cpu_count()`` immediately, so every
+    consumer (engine, campaign, service) sees a plain worker count.
+    """
+    if raw.strip().lower() == "auto":
+        return os.cpu_count() or 1
+    try:
+        workers = int(raw)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected a positive integer or 'auto', got {raw!r}")
+    if workers < 1:
+        raise argparse.ArgumentTypeError(
+            f"worker count must be at least 1, got {workers}")
+    return workers
+
+
 def _format_value(value: Any) -> str:
     """One-line rendering of a point value for the run summary table."""
     if isinstance(value, float):
@@ -527,8 +546,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="root seed (default 0, reproducible; negative for fresh "
              "entropy)")
     run_parser.add_argument(
-        "--workers", type=int, default=None,
-        help="worker processes for the sweep engine (default: serial)")
+        "--workers", type=_workers_argument, default=None,
+        help="worker processes for the sweep engine, or 'auto' for "
+             "os.cpu_count() (default: serial)")
     run_parser.add_argument(
         "--set", action="append", default=[], metavar="KEY=VALUE",
         help="override a spec field, e.g. channel.distance_m=0.2")
@@ -563,8 +583,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="root seed for every scenario (default 0, reproducible; "
              "negative for fresh entropy — disables the store)")
     run_all_parser.add_argument(
-        "--workers", type=int, default=None,
-        help="size of the one shared process pool (default: serial)")
+        "--workers", type=_workers_argument, default=None,
+        help="size of the one shared process pool, or 'auto' for "
+             "os.cpu_count() (default: serial)")
     run_all_parser.add_argument(
         "--json", metavar="PATH",
         help="write the structured CampaignResult to PATH")
@@ -703,9 +724,9 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port (default 8765; 0 binds an ephemeral port, printed "
              "on startup)")
     serve_parser.add_argument(
-        "--workers", type=int, default=2,
+        "--workers", type=_workers_argument, default=2,
         help="points evaluated concurrently — dispatcher threads and "
-             "process-pool size (default 2)")
+             "process-pool size, or 'auto' for os.cpu_count() (default 2)")
     serve_parser.add_argument(
         "--quiet", action="store_true", default=True,
         help=argparse.SUPPRESS)

@@ -409,6 +409,35 @@ class BerSimulator:
             tally.n_batches += 1
         return tally
 
+    def simulate_batches(self, ebn0_db: float, seed_sequence,
+                         batch_indices) -> list:
+        """Measure explicit adaptive batches: one fresh tally per index.
+
+        The shardable core of :meth:`simulate_adaptive`.  Batch ``b`` of
+        an adaptive point is fully determined by ``(seed_sequence, b)``
+        — :func:`batch_seed_sequence` derives its generator from the
+        batch *index*, not from which batches ran before or where — so
+        disjoint index ranges can be evaluated by different processes
+        and merged.  Each returned :class:`BerTally` covers exactly one
+        full batch (``n_batches == 1``); merging them **in index order**
+        onto a resume tally whose cursor equals the first index yields
+        byte-for-byte the tally a serial :meth:`simulate_adaptive` run
+        accumulates over the same batches.  The adaptive sweep engine
+        uses this to shard a deep point across its worker pool
+        (:meth:`repro.core.engine.SweepEngine.sweep_adaptive`).
+        """
+        if not isinstance(seed_sequence, np.random.SeedSequence):
+            seed_sequence = ensure_seed_sequence(seed_sequence)
+        tallies = []
+        for batch_index in batch_indices:
+            tally = BerTally()
+            child = batch_seed_sequence(seed_sequence, int(batch_index))
+            self._append_batch(self.batch_size, ebn0_db,
+                               np.random.default_rng(child), tally, None)
+            tally.n_batches = 1
+            tallies.append(tally)
+        return tallies
+
     def simulate_reference(self, ebn0_db: float, n_codewords: int = 50,
                            rng: RngLike = None,
                            max_bit_errors: Optional[int] = None) -> BerPoint:

@@ -16,7 +16,10 @@ links plus the per-stack NoCs into a system-level model with throughput and
 latency reports.  :class:`repro.core.engine.SweepEngine` is the shared
 Monte-Carlo sweep engine (per-point independent seeding, optional process
 parallelism, content-addressed result caching) behind the BER/NoC parameter
-sweeps, and :mod:`repro.core.store` holds the durable
+sweeps, :class:`repro.core.pool.WorkerPool` the persistent worker pool
+(one-shot worker broadcast, chunked dispatch, deterministic intra-point
+sharding) its parallel path dispatches through, and
+:mod:`repro.core.store` holds the durable
 :class:`~repro.core.store.RunStore` backends it caches into.
 :mod:`repro.core.crosslayer` bridges the layers the paper keeps separate:
 it turns a PHY/coding operating point into the per-link flit error
@@ -35,6 +38,7 @@ from repro.core.engine import (
     parameter_grid,
 )
 from repro.core.link import LinkReport, WirelessBoardLink
+from repro.core.pool import PoolTask, WorkerPool, broadcast_key_for
 from repro.core.store import DiskStore, MemoryStore, RunStore
 from repro.core.system import SystemReport, WirelessInterconnectSystem
 
@@ -47,6 +51,9 @@ __all__ = [
     "SweepOutcome",
     "SweepPointError",
     "parameter_grid",
+    "WorkerPool",
+    "PoolTask",
+    "broadcast_key_for",
     "RunStore",
     "MemoryStore",
     "DiskStore",

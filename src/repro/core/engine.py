@@ -15,8 +15,17 @@ that pattern:
     random stream, and results are invariant to evaluation order;
   - **optional process-level parallelism** (``n_workers > 1``), useful on
     multi-core hosts — workers and parameter values must then be
-    picklable; on either path the first worker exception cancels every
-    outstanding point and re-raises as :class:`SweepPointError` naming
+    picklable.  Parallel engines dispatch through a **warm**
+    :class:`repro.core.pool.WorkerPool` (created lazily, reused across
+    sweeps, released by :meth:`SweepEngine.close` or the engine's
+    context manager): the worker is broadcast to the pool once per
+    generation instead of being re-pickled per point, cheap many-point
+    grids are submitted in chunks, and incremental workers exposing the
+    shard protocol have deep adaptive points split across the pool with
+    byte-identical-to-serial results (see
+    :meth:`SweepEngine.sweep_adaptive`).  On either path the first
+    worker exception fails fast — queued points are cancelled, in-flight
+    points killed — and re-raises as :class:`SweepPointError` naming
     the failing point's params;
   - **content-addressed result caching** through a
     :class:`repro.core.store.RunStore`: keys are stable SHA-256 hashes of
@@ -48,13 +57,13 @@ and the campaign runner (:mod:`repro.scenarios.campaign`) use it directly.
 from __future__ import annotations
 
 import itertools
-from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import (Any, Callable, Dict, Iterable, List, Mapping, Optional,
                     Sequence, Tuple)
 
 import numpy as np
 
+from repro.core.pool import PoolTask, WorkerPool, broadcast_key_for
 from repro.core.store import MemoryStore, RunStore, store_and_canonicalize
 from repro.utils.hashing import sweep_point_key, worker_cache_key
 from repro.utils.rng import RngLike, ensure_seed_sequence
@@ -218,50 +227,71 @@ def _advance_point(worker: Any, params: Mapping[str, Any], state: Any,
     return worker.advance(params, state, seed_sequence, rule)
 
 
+def _advance_shard(worker: Any, params: Mapping[str, Any],
+                   seed_sequence: np.random.SeedSequence,
+                   batch_indices: Sequence[int]) -> List[Any]:
+    """One shard of a sharded adaptive point (picklable): evaluate the
+    given absolute batch indices, returning their per-batch deltas."""
+    return worker.advance_shard(params, seed_sequence, batch_indices)
+
+
+def _shard_capable(worker: Any) -> bool:
+    """Does an incremental worker also expose the shard protocol
+    (``cursor`` / ``advance_shard`` / ``absorb``)?"""
+    return all(callable(getattr(worker, name, None))
+               for name in ("cursor", "advance_shard", "absorb"))
+
+
 def execute_pending(pending: Sequence[Any],
-                    job: Callable[[Any], Tuple[Any, ...]],
+                    job: Callable[[Any], Any],
                     record: Callable[[Any, Any], None],
                     error: Callable[[Any, Exception], SweepPointError],
-                    n_workers: Optional[int]) -> None:
-    """Evaluate opaque tasks serially or through one shared process pool.
+                    n_workers: Optional[int],
+                    pool: Optional[WorkerPool] = None) -> None:
+    """Evaluate opaque tasks serially or through a worker pool.
 
     The shared back half of :meth:`SweepEngine.sweep`,
     :meth:`SweepEngine.sweep_adaptive` and
     :meth:`repro.scenarios.campaign.Campaign.run`: ``job(task)`` yields a
-    ``(function, *args)`` tuple — typically :func:`_evaluate_point` or
-    :func:`_advance_point` plus its arguments, everything picklable on
-    the pool path — ``record(task, value)`` consumes each completion as
-    it happens (durability for interrupted runs), and the first worker
-    exception — on either path — cancels any outstanding futures and
-    re-raises as the :class:`SweepPointError` built by ``error(task,
-    exception)``.
+    :class:`repro.core.pool.PoolTask` (or, for compatibility, a
+    ``(function, worker, *args)`` tuple) — typically
+    :func:`_evaluate_point` or :func:`_advance_point` plus its
+    arguments, everything picklable on the pool path — ``record(task,
+    value)`` consumes each completion as it happens (durability for
+    interrupted runs), and the first worker exception — on either path —
+    cancels queued work, kills in-flight work and re-raises as the
+    :class:`SweepPointError` built by ``error(task, exception)``.
+
+    Pass ``pool`` to dispatch through a caller-owned warm
+    :class:`~repro.core.pool.WorkerPool` (reused executor, one-shot
+    worker broadcast, chunked submission); with ``pool=None`` and
+    ``n_workers > 1`` an ephemeral pool is built and closed around the
+    batch, preserving the historical per-call behaviour.
     """
     if not pending:
         return
-    if n_workers is not None and n_workers > 1:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            future_task = {pool.submit(*job(task)): task
-                           for task in pending}
-            for future in as_completed(future_task):
-                task = future_task[future]
-                try:
-                    value = future.result()
-                except Exception as exc:
-                    for other in future_task:
-                        other.cancel()
-                    raise error(task, exc) from exc
-                # Outside the except scope: a record() failure (say, a
-                # full disk under a DiskStore) is a storage error and
-                # propagates as itself, not as a worker failure.
-                record(task, value)
+    tasks = []
+    for item in pending:
+        built = job(item)
+        if not isinstance(built, PoolTask):
+            fn, worker, *args = built
+            built = PoolTask(fn=fn, worker=worker, args=tuple(args))
+        tasks.append((item, built))
+    if pool is not None or (n_workers is not None and n_workers > 1):
+        owned = pool is None
+        pool = pool if pool is not None else WorkerPool(n_workers)
+        try:
+            pool.execute(tasks, record=record, error=error)
+        finally:
+            if owned:
+                pool.close()
     else:
-        for task in pending:
-            call = job(task)
+        for item, built in tasks:
             try:
-                value = call[0](*call[1:])
+                value = built.fn(built.worker, *built.args)
             except Exception as exc:
-                raise error(task, exc) from exc
-            record(task, value)
+                raise error(item, exc) from exc
+            record(item, value)
 
 
 class SweepEngine:
@@ -302,6 +332,48 @@ class SweepEngine:
         self.store: RunStore = store if store is not None else MemoryStore()
         self._hits = 0
         self._misses = 0
+        self._pool: Optional[WorkerPool] = None
+
+    # ------------------------------------------------------------------
+    # dispatch backend
+    # ------------------------------------------------------------------
+    @property
+    def _parallel(self) -> bool:
+        return self.n_workers is not None and self.n_workers > 1
+
+    def _ensure_pool(self) -> Optional[WorkerPool]:
+        """The engine's warm :class:`~repro.core.pool.WorkerPool`.
+
+        Created lazily on the first parallel sweep and reused for the
+        engine's lifetime, so repeated sweeps stop paying pool spin-up
+        and worker re-pickling; ``None`` on the serial path.  The pool
+        itself handles fork-safety and re-creation after a fast-fail
+        abort.
+        """
+        if not self._parallel:
+            return None
+        if self._pool is None:
+            self._pool = WorkerPool(self.n_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the warm pool's worker processes (no-op when serial
+        or never used).  The engine stays usable — the next parallel
+        sweep lazily re-creates the processes as a new generation, and
+        the pool's dispatch counters keep accumulating."""
+        if self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "SweepEngine":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def dispatch_stats(self) -> Optional[Dict[str, int]]:
+        """The warm pool's dispatch counters (``None`` before any
+        parallel sweep); see :meth:`repro.core.pool.WorkerPool.stats`."""
+        return self._pool.stats() if self._pool is not None else None
 
     # ------------------------------------------------------------------
     def cache_info(self) -> Dict[str, int]:
@@ -315,7 +387,8 @@ class SweepEngine:
 
     # ------------------------------------------------------------------
     def _run_pending(self, worker: SweepWorker, plan: Sequence[PlannedPoint],
-                     pending: Sequence[int]) -> Dict[int, Any]:
+                     pending: Sequence[int],
+                     key: Any = None) -> Dict[int, Any]:
         """Evaluate the pending plan indices, storing each completion.
 
         Every finished point is written to the store immediately, so an
@@ -332,15 +405,20 @@ class SweepEngine:
                 value = store_and_canonicalize(self.store, store_key, value)
             values[index] = value
 
+        broadcast = broadcast_key_for(worker, key=key) \
+            if self._parallel else None
         execute_pending(
             pending,
-            job=lambda index: (_evaluate_point, worker, plan[index].params,
-                               plan[index].seed_sequence),
+            job=lambda index: PoolTask(
+                fn=_evaluate_point, worker=worker,
+                args=(plan[index].params, plan[index].seed_sequence),
+                broadcast_key=broadcast),
             record=record,
             error=lambda index, exc: SweepPointError(
                 f"sweep point {plan[index].params!r} failed: {exc}",
                 params=plan[index].params),
-            n_workers=self.n_workers)
+            n_workers=self.n_workers,
+            pool=self._ensure_pool())
         return values
 
     # ------------------------------------------------------------------
@@ -375,7 +453,7 @@ class SweepEngine:
         pending = [index for index, planned in enumerate(plan)
                    if planned.store_key is None
                    or planned.store_key not in self.store]
-        values = self._run_pending(worker, plan, pending)
+        values = self._run_pending(worker, plan, pending, key=key)
         self._misses += len(pending)
 
         outcomes: List[SweepOutcome] = []
@@ -445,6 +523,29 @@ class SweepEngine:
         (``resumed_units`` / ``new_units`` / ``total_units`` /
         ``satisfied``); ``from_cache`` is True only for points whose
         stored state already satisfied ``rule`` (zero new units).
+
+        **Deterministic intra-point sharding.**  A worker that
+        additionally exposes
+
+        * ``cursor(state) -> int`` — the next batch index to run;
+        * ``advance_shard(params, seed_sequence, batch_indices) ->
+          [delta, ...]`` — evaluate the given absolute batch indices
+          (each independently seeded, e.g. via
+          :func:`repro.coding.ber.batch_seed_sequence`), one
+          JSON-serializable delta per index, in order;
+        * ``absorb(state, delta) -> state`` — fold one delta into the
+          state, advancing the cursor by one batch
+
+        is, on a parallel engine (``n_workers > 1``), advanced by
+        splitting each pending point's upcoming batch indices across the
+        pool and replaying the returned deltas **in batch-index order**
+        against ``satisfied`` — exactly the serial advance loop's
+        check-then-run-batch sequence — discarding any overshoot.  The
+        final state is therefore byte-identical to a serial
+        (``n_workers=1``) run by construction; the shard protocol's only
+        obligation is that batch ``b``'s delta depends on nothing but
+        ``(params, seed_sequence, b)`` and that ``satisfied`` matches
+        the stopping check ``advance`` uses internally.
         """
         for method in ("decode", "encode", "satisfied", "advance",
                        "progress", "finalize"):
@@ -482,16 +583,29 @@ class SweepEngine:
                 state = worker.decode(stored)
             states[index] = state
 
-        execute_pending(
-            pending,
-            job=lambda index: (_advance_point, worker, plan[index].params,
-                               states[index], plan[index].seed_sequence,
-                               rule),
-            record=record,
-            error=lambda index, exc: SweepPointError(
+        broadcast = broadcast_key_for(worker, key=key) \
+            if self._parallel else None
+
+        def point_error(index: int, exc: Exception) -> SweepPointError:
+            return SweepPointError(
                 f"adaptive sweep point {plan[index].params!r} failed: "
-                f"{exc}", params=plan[index].params),
-            n_workers=self.n_workers)
+                f"{exc}", params=plan[index].params)
+
+        if pending and self._parallel and _shard_capable(worker):
+            self._advance_sharded(worker, plan, states, pending, rule,
+                                  record, point_error, broadcast)
+        else:
+            execute_pending(
+                pending,
+                job=lambda index: PoolTask(
+                    fn=_advance_point, worker=worker,
+                    args=(plan[index].params, states[index],
+                          plan[index].seed_sequence, rule),
+                    broadcast_key=broadcast),
+                record=record,
+                error=point_error,
+                n_workers=self.n_workers,
+                pool=self._ensure_pool())
         pending_set = set(pending)
         self._misses += len(pending)
         self._hits += len(plan) - len(pending)
@@ -513,3 +627,88 @@ class SweepEngine:
                 from_cache=index not in pending_set,
                 adaptive=adaptive))
         return outcomes
+
+    # ------------------------------------------------------------------
+    def _shard_round_batches(self, worker: Any, state: Any, rule: Any,
+                             ramp: int) -> int:
+        """Batches per shard for one point's next sharded round.
+
+        Rounds ramp geometrically (1, 2, 4, ... batches per shard) so a
+        deep point amortizes dispatch while a shallow one overshoots at
+        most one small round — overshot batches are discarded by the
+        replay, so they only cost compute, never correctness.  When the
+        rule carries a ``max_units`` cap, the observed units-per-batch
+        rate bounds the round to roughly the batches still needed.
+        """
+        per = int(ramp)
+        max_units = getattr(rule, "max_units", None)
+        cursor = int(worker.cursor(state))
+        if max_units is not None and cursor > 0:
+            done = int(worker.progress(state))
+            if 0 < done < max_units:
+                per_batch = max(1, done // cursor)
+                needed = -(-(int(max_units) - done) // per_batch)
+                per = min(per, max(1, -(-needed // self.n_workers)))
+        return max(1, per)
+
+    def _advance_sharded(self, worker: Any, plan: Sequence[PlannedPoint],
+                         states: Dict[int, Any], pending: Sequence[int],
+                         rule: Any, record: Callable[[int, Any], None],
+                         error: Callable[[int, Exception], SweepPointError],
+                         broadcast: Optional[str]) -> None:
+        """Advance pending adaptive points by sharding batch indices.
+
+        Each round, every unsatisfied point contributes ``n_workers``
+        shard tasks covering consecutive upcoming batch indices; the
+        returned per-batch deltas are replayed in index order against
+        ``worker.satisfied`` — the serial advance loop's exact
+        check-then-batch sequence — so the resulting state is
+        byte-identical to a serial run, with overshoot discarded.
+        ``record`` persists every point's state after each round
+        (durability: an interrupted deep point resumes mid-way), and the
+        canonicalized (store round-tripped) state it writes back keeps
+        replay and storage representations identical.
+        """
+        pool = self._ensure_pool()
+        n_shards = self.n_workers
+        active: List[int] = []
+        for index in pending:
+            if worker.satisfied(states[index], rule):
+                record(index, states[index])
+            else:
+                active.append(index)
+        ramp = {index: 1 for index in active}
+        while active:
+            tasks: List[Tuple[Tuple[int, int], PoolTask]] = []
+            for index in active:
+                start = int(worker.cursor(states[index]))
+                per = self._shard_round_batches(worker, states[index],
+                                                rule, ramp[index])
+                for shard in range(n_shards):
+                    low = start + shard * per
+                    tasks.append((
+                        (index, shard),
+                        PoolTask(fn=_advance_shard, worker=worker,
+                                 args=(plan[index].params,
+                                       plan[index].seed_sequence,
+                                       list(range(low, low + per))),
+                                 broadcast_key=broadcast)))
+            results: Dict[Tuple[int, int], List[Any]] = {}
+            pool.execute(
+                tasks,
+                record=lambda task_id, value: results.__setitem__(task_id,
+                                                                  value),
+                error=lambda task_id, exc: error(task_id[0], exc))
+            remaining: List[int] = []
+            for index in active:
+                deltas = [delta for shard in range(n_shards)
+                          for delta in results[(index, shard)]]
+                for delta in deltas:
+                    if worker.satisfied(states[index], rule):
+                        break
+                    states[index] = worker.absorb(states[index], delta)
+                record(index, states[index])
+                if not worker.satisfied(states[index], rule):
+                    ramp[index] = min(2 * ramp[index], 8)
+                    remaining.append(index)
+            active = remaining

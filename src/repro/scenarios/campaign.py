@@ -41,6 +41,7 @@ from repro.core.engine import (
     execute_pending,
     plan_sweep,
 )
+from repro.core.pool import PoolTask, WorkerPool, broadcast_key_for
 from repro.core.store import MemoryStore, RunStore, store_and_canonicalize
 from repro.scenarios.registry import build_scenario, scenario_names
 from repro.scenarios.result import ScenarioResult
@@ -197,7 +198,8 @@ class Campaign:
         return [entry.build() for entry in self.entries]
 
     def run(self, store: Optional[RunStore] = None,
-            n_workers: Optional[int] = None) -> "CampaignResult":
+            n_workers: Optional[int] = None,
+            pool: Optional[WorkerPool] = None) -> "CampaignResult":
         """Execute every point of every entry through one shared pool.
 
         Points already present in ``store`` are served from it; every
@@ -210,12 +212,27 @@ class Campaign:
         same scenario under two labels) are computed once and fanned out,
         reported as ``shared_points`` — distinct from ``cache_hits``,
         which only counts pre-existing store content.
+
+        Parallel runs (``n_workers > 1``) dispatch through one
+        :class:`~repro.core.pool.WorkerPool`: each scenario's worker is
+        broadcast to the pool once (per-point messages carry only the
+        broadcast key, params and seed state) and cheap points are
+        submitted in chunks.  Pass a caller-owned warm ``pool`` to reuse
+        its processes and broadcasts across campaign runs; otherwise an
+        ephemeral pool lives for this call.  The pool's dispatch
+        counters land in the result's ``execution["dispatch"]`` block.
         """
         if n_workers is not None and n_workers < 1:
             raise ValueError("n_workers must be at least 1")
         store = store if store is not None else MemoryStore()
         scenarios = self.build_scenarios()
         started = time.perf_counter()
+        parallel = pool is not None or (n_workers is not None
+                                        and n_workers > 1)
+        broadcasts = [broadcast_key_for(scenario.worker,
+                                        key=scenario.cache_key())
+                      if parallel else None
+                      for scenario in scenarios]
 
         tasks: List[_Task] = []
         for entry_index, (entry, scenario) in enumerate(
@@ -329,15 +346,21 @@ class Campaign:
                 # campaign stats never claim a cold store was warm.
                 shared[follower_slot] = True
 
-        def job(task: _Task) -> Tuple[Any, ...]:
+        def job(task: _Task) -> PoolTask:
             worker = scenarios[task.entry_index].worker
             rule = rules[task.entry_index]
+            broadcast = broadcasts[task.entry_index]
             if rule is not None:
-                return (_advance_point, worker, task.planned.params,
-                        states[(task.entry_index, task.point_index)],
-                        task.planned.seed_sequence, rule)
-            return (_evaluate_point, worker, task.planned.params,
-                    task.planned.seed_sequence)
+                return PoolTask(
+                    fn=_advance_point, worker=worker,
+                    args=(task.planned.params,
+                          states[(task.entry_index, task.point_index)],
+                          task.planned.seed_sequence, rule),
+                    broadcast_key=broadcast)
+            return PoolTask(fn=_evaluate_point, worker=worker,
+                            args=(task.planned.params,
+                                  task.planned.seed_sequence),
+                            broadcast_key=broadcast)
 
         def point_error(task: _Task, error: Exception) -> SweepPointError:
             entry = self.entries[task.entry_index]
@@ -347,12 +370,21 @@ class Campaign:
                 f"{task.planned.params!r}: {error}",
                 params=task.planned.params, scenario=entry.scenario)
 
-        execute_pending(
-            primaries,
-            job=job,
-            record=record,
-            error=point_error,
-            n_workers=n_workers)
+        owned_pool = pool is None and parallel
+        if owned_pool:
+            pool = WorkerPool(n_workers)
+        try:
+            execute_pending(
+                primaries,
+                job=job,
+                record=record,
+                error=point_error,
+                n_workers=n_workers,
+                pool=pool)
+            dispatch = pool.stats() if pool is not None else None
+        finally:
+            if owned_pool:
+                pool.close()
         elapsed_s = time.perf_counter() - started
         store_description = store.describe()
 
@@ -408,6 +440,8 @@ class Campaign:
             # The one full store walk of the run (entries, bytes).
             "store": store.info(),
         }
+        if dispatch is not None:
+            execution["dispatch"] = dispatch
         return CampaignResult(entries=self.entries, results=tuple(results),
                               execution=execution)
 

@@ -784,6 +784,25 @@ class _AdaptiveBerWorker:
     def progress(self, state) -> int:
         return int(state.n_codewords)
 
+    # -- deterministic intra-point sharding ----------------------------
+    # Optional extension of the incremental protocol: the sweep engine
+    # splits a deep point's upcoming batch indices across its worker
+    # pool and replays the per-batch deltas in index order, which is
+    # bit-exact against a serial run because every batch draws from its
+    # own index-derived seed (see BerSimulator.simulate_batches).
+    def cursor(self, state) -> int:
+        return int(state.n_batches)
+
+    def advance_shard(self, params: Mapping, seed_sequence, batch_indices):
+        tallies = self._simulator(params).simulate_batches(
+            float(params["ebn0_db"]), seed_sequence, batch_indices)
+        return [tally.to_dict() for tally in tallies]
+
+    def absorb(self, state, delta):
+        from repro.coding.ber import BerTally
+
+        return state.merge(BerTally.from_dict(delta))
+
     def finalize(self, params: Mapping, state) -> dict:
         from repro.utils.statistics import wilson_interval
 

@@ -42,7 +42,6 @@ import itertools
 import queue
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.core.engine import (
@@ -51,6 +50,7 @@ from repro.core.engine import (
     _evaluate_point,
     plan_sweep,
 )
+from repro.core.pool import PoolTask, WorkerPool, broadcast_key_for
 from repro.core.store import MemoryStore, RunStore, store_and_canonicalize
 from repro.scenarios.scenario import Scenario
 from repro.service.jobs import PRIORITY_RANKS, Job, parse_request
@@ -97,9 +97,13 @@ class CampaignService:
             raise ValueError("n_workers must be at least 1")
         self.store: RunStore = store if store is not None else MemoryStore()
         self.n_workers = int(n_workers)
-        self._pool: Optional[ProcessPoolExecutor] = (
-            ProcessPoolExecutor(max_workers=self.n_workers)
-            if processes else None)
+        # One warm WorkerPool shared by every dispatcher thread: each
+        # scenario's worker is broadcast to the pool processes once, so
+        # a multi-point job re-pickles nothing per point (the per-point
+        # message is the broadcast key, params and seed state).
+        self._pool: Optional[WorkerPool] = (
+            WorkerPool(self.n_workers) if processes else None)
+        self._broadcast_keys: Dict[str, Optional[str]] = {}
         self._lock = threading.Lock()
         self._completion = threading.Condition(self._lock)
         self._queue: "queue.PriorityQueue[Tuple[int, int, Optional[str], int]]" \
@@ -152,6 +156,9 @@ class CampaignService:
                           key=scenario.cache_key())
         rule = (scenario.precision.stopping_rule()
                 if scenario.precision is not None else None)
+        broadcast = (broadcast_key_for(scenario.worker,
+                                       key=scenario.cache_key())
+                     if self._pool is not None else None)
         with self._lock:
             if not self._accepting:
                 raise ServiceUnavailable(
@@ -162,6 +169,7 @@ class CampaignService:
                       seed=seed if isinstance(seed, int) else None,
                       plan=plan, rule=rule)
             self._jobs[job.id] = job
+            self._broadcast_keys[job.id] = broadcast
             for index, slot in enumerate(job.slots):
                 self._admit_point(job, index)
             job.mark_finished_if_complete()
@@ -244,9 +252,12 @@ class CampaignService:
             try:
                 try:
                     if self._pool is not None:
-                        value = self._pool.submit(*call).result()
+                        # run_one: a point failure stays this point's
+                        # failure — the shared pool (and the other
+                        # dispatchers' in-flight points) live on.
+                        value = self._pool.run_one(call)
                     else:
-                        value = call[0](*call[1:])
+                        value = call.fn(call.worker, *call.args)
                 except Exception as exc:
                     self._record_failure(job, index, exc)
                 else:
@@ -255,13 +266,26 @@ class CampaignService:
                 with self._lock:
                     self._busy -= 1
 
-    def _build_call(self, job: Job, index: int) -> Tuple[Any, ...]:
+    def _build_call(self, job: Job, index: int) -> PoolTask:
+        """One point as a :class:`~repro.core.pool.PoolTask`.
+
+        The broadcast key (derived from the scenario's cache key at
+        admission) routes the worker through the pool's one-shot
+        broadcast cache: the first point of a scenario ships the pickled
+        worker, every later point of any job with the same key travels
+        as ``(key, params, seed state)``.
+        """
         slot = job.slots[index]
+        broadcast = self._broadcast_keys.get(job.id)
         if job.rule is not None:
-            return (_advance_point, job.scenario.worker, slot.planned.params,
-                    slot.state, slot.planned.seed_sequence, job.rule)
-        return (_evaluate_point, job.scenario.worker, slot.planned.params,
-                slot.planned.seed_sequence)
+            return PoolTask(fn=_advance_point, worker=job.scenario.worker,
+                            args=(slot.planned.params, slot.state,
+                                  slot.planned.seed_sequence, job.rule),
+                            broadcast_key=broadcast)
+        return PoolTask(fn=_evaluate_point, worker=job.scenario.worker,
+                        args=(slot.planned.params,
+                              slot.planned.seed_sequence),
+                        broadcast_key=broadcast)
 
     def _skip_dead_task(self, job: Job, index: int) -> None:
         """A queued point of a failed/cancelled job reached the front:
@@ -399,7 +423,15 @@ class CampaignService:
 
         ``store`` embeds the manifest-backed :meth:`RunStore.info`, so
         reporting key counts and byte sizes does not walk the store.
+        ``dispatch`` reports the worker pool's warm-dispatch counters —
+        pool generation, broadcast installs vs hits, chunk sizes — or
+        ``{"mode": "inline"}`` when points run in the dispatcher
+        threads.
         """
+        if self._pool is not None:
+            dispatch = {"mode": "processes", **self._pool.stats()}
+        else:
+            dispatch = {"mode": "inline"}
         with self._lock:
             by_status: Dict[str, int] = {"queued": 0, "running": 0,
                                          "done": 0, "failed": 0,
@@ -423,6 +455,7 @@ class CampaignService:
                 "accepting": self._accepting,
                 "uptime_s": time.time() - self._started_at,
                 "store": self.store.info(),
+                "dispatch": dispatch,
             }
 
     # ------------------------------------------------------------------
@@ -448,7 +481,7 @@ class CampaignService:
         for thread in self._threads:
             thread.join(timeout=timeout)
         if self._pool is not None:
-            self._pool.shutdown(wait=True)
+            self._pool.close()
             self._pool = None
         cancelled = 0
         with self._lock:

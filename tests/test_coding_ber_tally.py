@@ -201,6 +201,35 @@ class TestSimulateAdaptive:
         assert a == b
 
 
+class TestSimulateBatches:
+    def test_merged_shards_equal_the_adaptive_tally(self):
+        # The sharded-dispatch identity: per-index batch tallies merged
+        # in index order reproduce simulate_adaptive byte for byte.
+        sim = uncoded_simulator()
+        root = np.random.SeedSequence(42, spawn_key=(3,))
+        adaptive = sim.simulate_adaptive(3.0, TestSimulateAdaptive.LOOSE,
+                                         root)
+        shards = sim.simulate_batches(3.0, root,
+                                      range(adaptive.n_batches))
+        merged = BerTally()
+        for shard in shards:
+            merged = merged.merge(shard)
+        assert merged == adaptive
+        assert merged.to_dict() == adaptive.to_dict()
+
+    def test_indices_are_independent_of_call_grouping(self):
+        # Batch b depends only on (params, root, b): computing indices
+        # one at a time equals computing them in one call.
+        sim = uncoded_simulator()
+        root = np.random.SeedSequence(7)
+        together = sim.simulate_batches(3.0, root, [0, 1, 2, 3])
+        separate = [sim.simulate_batches(3.0, root, [index])[0]
+                    for index in (0, 1, 2, 3)]
+        assert [tally.to_dict() for tally in together] \
+            == [tally.to_dict() for tally in separate]
+        assert all(tally.n_batches == 1 for tally in together)
+
+
 class TestBatchSeedSequence:
     def test_matches_spawned_children_without_mutating_root(self):
         root = np.random.SeedSequence(99, spawn_key=(2,))

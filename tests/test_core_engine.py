@@ -1,5 +1,7 @@
 """Tests for the Monte-Carlo sweep engine (repro.core.engine)."""
 
+import time
+
 import numpy as np
 import pytest
 
@@ -334,6 +336,66 @@ class TestParallelism:
     def test_n_workers_validation(self):
         with pytest.raises(ValueError):
             SweepEngine(n_workers=0)
+
+
+def _slow_or_fail(params, rng):
+    if params["scale"] == 1.0:
+        time.sleep(30.0)
+        return 0.0
+    raise ValueError("early failure")
+
+
+class TestWarmDispatch:
+    def test_early_failure_is_not_masked_by_a_slow_point(self):
+        # Regression: a failure in a pool-dispatched sweep used to
+        # surface only after every in-flight point drained.  With one
+        # 30 s point and one immediately-failing point, the
+        # SweepPointError must arrive promptly and name the failure.
+        engine = SweepEngine(n_workers=2, cache=False)
+        start = time.monotonic()
+        with pytest.raises(SweepPointError) as excinfo:
+            engine.sweep(_slow_or_fail,
+                         parameter_grid(scale=(1.0, 2.0)), rng=8)
+        assert time.monotonic() - start < 15.0
+        assert excinfo.value.params == {"scale": 2.0}
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_repeat_sweeps_reuse_one_pool_generation(self):
+        points = parameter_grid(scale=(1.0, 2.0, 3.0, 4.0))
+        with SweepEngine(n_workers=2, cache=False) as engine:
+            first = engine.sweep_values(_draw, points, rng=8)
+            after_first = engine.dispatch_stats()
+            second = engine.sweep_values(_draw, points, rng=8)
+            after_second = engine.dispatch_stats()
+        # Warm dispatch must be invisible in the results: both sweeps
+        # (and a fresh engine) agree bit-for-bit.
+        assert first == second
+        assert first == SweepEngine(cache=False).sweep_values(_draw,
+                                                              points, rng=8)
+        # ... and visible in the stats: one worker broadcast, one
+        # executor generation, with the second sweep all hits.
+        assert after_first["generation"] == 1
+        assert after_first["broadcasts"] == 1
+        assert after_second["generation"] == 1
+        assert after_second["broadcast_hits"] \
+            == after_first["broadcast_hits"] + len(points)
+
+    def test_close_then_sweep_recreates_the_pool(self):
+        points = parameter_grid(scale=(1.0, 2.0))
+        engine = SweepEngine(n_workers=2, cache=False)
+        try:
+            first = engine.sweep_values(_draw, points, rng=8)
+            engine.close()
+            second = engine.sweep_values(_draw, points, rng=8)
+            assert first == second
+            assert engine.dispatch_stats()["generation"] == 2
+        finally:
+            engine.close()
+
+    def test_serial_engine_has_no_dispatch_stats(self):
+        engine = SweepEngine()
+        engine.sweep_values(_draw, parameter_grid(scale=(1.0,)), rng=8)
+        assert engine.dispatch_stats() is None
 
 
 class TestRngHelpers:

@@ -10,6 +10,7 @@ import pytest
 from repro.coding.ber import batch_seed_sequence
 from repro.core.engine import SweepEngine, SweepPointError
 from repro.core.store import DiskStore, MemoryStore
+from repro.utils.hashing import canonical_json
 from repro.utils.statistics import StoppingRule
 
 
@@ -56,9 +57,42 @@ class BernoulliWorker:
 
 
 @dataclass(frozen=True)
+class ShardedBernoulliWorker(BernoulliWorker):
+    """BernoulliWorker extended with the intra-point shard protocol.
+
+    A shard computes per-batch deltas whose content depends only on
+    ``(params, seed_sequence, batch_index)`` — merging them in index
+    order reproduces :meth:`BernoulliWorker.advance` byte for byte.
+    """
+
+    def cursor(self, state) -> int:
+        return int(state["batches"])
+
+    def advance_shard(self, params: Mapping[str, Any], seed_sequence,
+                      batch_indices):
+        deltas = []
+        for batch_index in batch_indices:
+            child = batch_seed_sequence(seed_sequence, int(batch_index))
+            draws = np.random.default_rng(child).random(self.batch)
+            deltas.append({
+                "k": int(np.count_nonzero(draws < params["p"])),
+                "n": self.batch, "units": self.batch, "batches": 1})
+        return deltas
+
+    def absorb(self, state, delta):
+        return {key: state[key] + delta[key] for key in state}
+
+
+@dataclass(frozen=True)
 class FailingWorker(BernoulliWorker):
     def advance(self, params, state, seed_sequence, rule):
         raise RuntimeError("boom")
+
+
+@dataclass(frozen=True)
+class FailingShardWorker(ShardedBernoulliWorker):
+    def advance_shard(self, params, seed_sequence, batch_indices):
+        raise RuntimeError("shard boom")
 
 
 POINTS = [{"p": 0.5}, {"p": 0.2}, {"p": 0.05}]
@@ -155,3 +189,66 @@ class TestSweepAdaptive:
         assert engine.cache_info()["misses"] == len(POINTS)
         engine.sweep_adaptive(BernoulliWorker(), POINTS, LOOSE, rng=0)
         assert engine.cache_info()["hits"] == len(POINTS)
+
+
+class TestShardedAdaptive:
+    """Deterministic intra-point sharding must be invisible in results.
+
+    The same worker class runs serially (n_workers=1 never shards) and
+    sharded (n_workers=4 splits each point's batches across shards), so
+    the store keys match and the outcome JSON must be byte-identical.
+    """
+
+    @staticmethod
+    def _digest(outcomes):
+        return canonical_json([o.to_dict() for o in outcomes])
+
+    def test_cold_sharded_run_is_byte_identical_to_serial(self):
+        serial = SweepEngine(store=MemoryStore()).sweep_adaptive(
+            ShardedBernoulliWorker(), POINTS, TIGHT, rng=3)
+        sharded = SweepEngine(n_workers=4, store=MemoryStore())\
+            .sweep_adaptive(ShardedBernoulliWorker(), POINTS, TIGHT, rng=3)
+        assert self._digest(sharded) == self._digest(serial)
+
+    def test_resumed_sharded_run_is_byte_identical_to_serial(
+            self, tmp_path):
+        # Seed two identical stores with a serial LOOSE pass, then
+        # tighten the target: a sharded resume must extend the cached
+        # tallies with the exact draws the serial resume makes.
+        serial_path = str(tmp_path / "serial")
+        sharded_path = str(tmp_path / "sharded")
+        for path in (serial_path, sharded_path):
+            SweepEngine(store=DiskStore(path)).sweep_adaptive(
+                ShardedBernoulliWorker(), POINTS, LOOSE, rng=3)
+        serial = SweepEngine(store=DiskStore(serial_path)).sweep_adaptive(
+            ShardedBernoulliWorker(), POINTS, TIGHT, rng=3)
+        sharded = SweepEngine(n_workers=4, store=DiskStore(sharded_path))\
+            .sweep_adaptive(ShardedBernoulliWorker(), POINTS, TIGHT, rng=3)
+        assert self._digest(sharded) == self._digest(serial)
+        for outcome in sharded:
+            assert outcome.adaptive["resumed_units"] > 0
+            assert outcome.adaptive["new_units"] > 0
+
+    def test_sharded_point_failure_raises_sweep_point_error(self):
+        engine = SweepEngine(n_workers=2, store=MemoryStore())
+        with pytest.raises(SweepPointError, match="shard boom"):
+            engine.sweep_adaptive(FailingShardWorker(), POINTS, LOOSE,
+                                  rng=0)
+
+    def test_adaptive_ber_worker_shards_identically(self):
+        # The real scenario worker (coded-BER simulator) through the
+        # same byte-identity gate, on a deliberately small budget.
+        from repro.scenarios.catalog import _AdaptiveBerWorker
+        from repro.scenarios.specs import CodingSpec, PhySpec
+
+        worker = _AdaptiveBerWorker(
+            CodingSpec(lifting_factor=25, termination_length=10),
+            PhySpec(), batch_size=4)
+        points = [{"frontend": "bpsk-awgn", "ebn0_db": 1.5}]
+        rule = StoppingRule(rel_ci_target=0.3, min_units=4, max_units=24,
+                            min_errors=2)
+        serial = SweepEngine(store=MemoryStore()).sweep_adaptive(
+            worker, points, rule, rng=11)
+        sharded = SweepEngine(n_workers=2, store=MemoryStore())\
+            .sweep_adaptive(worker, points, rule, rng=11)
+        assert self._digest(sharded) == self._digest(serial)

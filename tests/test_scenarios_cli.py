@@ -125,6 +125,31 @@ class TestRun:
         assert DiskStore(store).info()["entries"] == 4
 
 
+class TestWorkersArgument:
+    def test_auto_resolves_to_cpu_count(self):
+        from repro.cli import _workers_argument
+
+        assert _workers_argument("auto") == (os.cpu_count() or 1)
+        assert _workers_argument("AUTO") == (os.cpu_count() or 1)
+        assert _workers_argument("3") == 3
+
+    def test_run_accepts_workers_auto(self, capsys):
+        assert main(["run", "fig4", "--quiet", "--workers", "auto"]) == 0
+        capsys.readouterr()
+
+    def test_non_integer_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run", "fig4", "--quiet", "--workers", "many"])
+        assert excinfo.value.code == 2
+        assert "positive integer or 'auto'" in capsys.readouterr().err
+
+    def test_zero_workers_exits_2(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run-all", "--quiet", "--workers", "0"])
+        assert excinfo.value.code == 2
+        assert "at least 1" in capsys.readouterr().err
+
+
 class TestRunAllAndCache:
     def test_run_all_only_glob(self, tmp_path, capsys):
         store = str(tmp_path / "store")

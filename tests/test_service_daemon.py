@@ -48,6 +48,12 @@ def _gated_boom(params: Mapping[str, Any], rng: np.random.Generator):
     raise RuntimeError("kaboom")
 
 
+def _boom_at_one(params: Mapping[str, Any], rng: np.random.Generator):
+    if params["x"] == 1:
+        raise RuntimeError("kaboom")
+    return {"y": params["x"] * 2}
+
+
 @dataclass(frozen=True)
 class GatedCoin:
     """Minimal incremental worker; ``gate`` params block ``advance``."""
@@ -404,6 +410,50 @@ class TestIntrospection:
             assert partial["pending_params"] == [{"x": 2, "gate": "later"}]
             _gate("later").set()
             assert service.wait(job_id, timeout=30)["completed"] == 2
+
+
+class TestProcessDispatch:
+    def test_multi_point_job_reuses_one_broadcast_worker(self):
+        # A processes=True service routes points through the shared
+        # WorkerPool: the job's worker is broadcast once and every
+        # later point of the scenario travels as (key, params, seed).
+        points = [{"x": value} for value in range(1, 5)]
+        with _service(processes=True, n_workers=2) as service:
+            job = service.submit_scenario(_scenario(points), seed=0)
+            done = service.wait(job["job_id"], timeout=60)
+            assert done["status"] == "done"
+            assert [point["value"]["y"] for point in done["points"]] \
+                == [2, 4, 6, 8]
+            dispatch = service.stats()["dispatch"]
+        assert dispatch["mode"] == "processes"
+        assert dispatch["broadcasts"] == 1
+        assert dispatch["broadcast_hits"] == len(points) - 1
+        assert dispatch["tasks"] == len(points)
+        assert dispatch["generation"] == 1
+
+    def test_point_failure_does_not_sacrifice_the_pool(self):
+        # Both jobs run the same scenario worker (one broadcast key), so
+        # any generation churn after the failure would be a pool abort.
+        with _service(processes=True, n_workers=1) as service:
+            bad = service.submit_scenario(
+                _scenario([{"x": 1}], worker=_boom_at_one,
+                          name="svc-flaky"), seed=0)
+            _spin_until(
+                lambda: service.job(bad["job_id"])["status"] == "failed")
+            good = service.submit_scenario(
+                _scenario([{"x": 3}], worker=_boom_at_one,
+                          name="svc-flaky"), seed=0)
+            done = service.wait(good["job_id"], timeout=60)
+            assert done["points"][0]["value"] == {"y": 6}
+            dispatch = service.stats()["dispatch"]
+            # run_one failures leave the warm pool intact: one
+            # generation, and the second job's point was a broadcast hit.
+            assert dispatch["generation"] == 1
+            assert dispatch["broadcast_hits"] == 1
+
+    def test_inline_service_reports_inline_dispatch(self):
+        with _service(n_workers=1) as service:
+            assert service.stats()["dispatch"] == {"mode": "inline"}
 
 
 class TestParseRequest:
